@@ -1,0 +1,38 @@
+"""E-32 — §2.5: evaluating the whole 32-relation family (Problem 4 ii).
+
+Measures the facade's ``all_relations`` under each engine, and the
+hierarchy-pruned variant, over a shared workload.  The 1-1 equivalence
+``r(X,Y) = R(X̂,Ŷ)`` means the 32 queries reuse the 8 proxy cuts of
+each side (Key Idea 1): the linear engine's batch cost stays linear in
+the node sets.
+"""
+
+import pytest
+
+from repro.core.evaluator import SynchronizationAnalyzer
+
+from .conftest import make_pair
+
+
+@pytest.mark.parametrize("engine", ["naive", "polynomial", "linear"])
+def test_all_32_relations(benchmark, engine):
+    ex, x, y = make_pair(12, events_per_node=8, seed=11)
+    an = SynchronizationAnalyzer(ex, engine=engine)
+    an.all_relations(x, y)  # warm caches
+    result = benchmark(lambda: an.all_relations(x, y))
+    assert len(result) == 32
+
+
+def test_all_32_with_pruning(benchmark):
+    ex, x, y = make_pair(12, events_per_node=8, seed=11)
+    an = SynchronizationAnalyzer(ex)
+    plain = an.all_relations(x, y)
+    result = benchmark(lambda: an.all_relations(x, y, prune=True))
+    assert result == plain
+
+
+def test_strongest_relations(benchmark):
+    ex, x, y = make_pair(12, events_per_node=8, seed=11)
+    an = SynchronizationAnalyzer(ex)
+    an.strongest(x, y)
+    benchmark(lambda: an.strongest(x, y))

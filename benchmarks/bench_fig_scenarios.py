@@ -1,0 +1,47 @@
+"""F-1/F-2/F-3 — regenerating the paper's figures.
+
+Benchmarks the scripted figure reconstructions end-to-end (execution,
+interval, cuts, proxies) and asserts their structural invariants — the
+machine-checkable content of the drawings.
+"""
+
+import pytest
+
+from repro.simulation.scenarios import figure1, figure2, figure3
+from repro.viz.spacetime import render
+
+
+def test_figure1_construction(benchmark):
+    fig = benchmark(figure1)
+    assert fig.x.node_set == (0, 1, 2)
+    assert fig.y.node_set == (1, 2, 3)
+
+
+def test_figure2_construction(benchmark):
+    fig = benchmark(figure2)
+    assert len(fig.x) == 8
+    assert fig.cuts.c1.issubset(fig.cuts.c2)
+    assert fig.cuts.c3.issubset(fig.cuts.c4)
+
+
+def test_figure3_construction(benchmark):
+    fig = benchmark(figure3)
+    assert fig.cuts_lx.c1 == fig.cuts_x.c1
+    assert fig.cuts_ux.c4 == fig.cuts_x.c4
+
+
+def test_figure2_render(benchmark):
+    fig = figure2()
+    out = benchmark(
+        lambda: render(
+            fig.execution,
+            intervals={"X": fig.x},
+            cuts={
+                "C1": fig.cuts.c1,
+                "C2": fig.cuts.c2,
+                "C3": fig.cuts.c3,
+                "C4": fig.cuts.c4,
+            },
+        )
+    )
+    assert out.count("X") == 8

@@ -1,0 +1,59 @@
+"""Global-state lattice enumeration vs conjunctive fast-path detection.
+
+Engineering extension behind the [11] predicate-specification use
+case: the Cooper–Marzullo sweep's cost tracks the (potentially
+exponential) lattice size, while the Garg–Waldecker fast path stays
+linear in the trace — the expected shape this module measures.
+"""
+
+import pytest
+
+from repro.globalstates import (
+    GlobalStateLattice,
+    possibly,
+    possibly_conjunctive,
+)
+from repro.simulation.workloads import random_execution
+
+SIZES = [(2, 8), (3, 8), (4, 8)]
+
+
+def _workload(num_nodes, events):
+    ex = random_execution(num_nodes, events_per_node=events,
+                          msg_prob=0.35, seed=num_nodes)
+    locals_ = {
+        n: (lambda n_, i, t=events // 2: i >= t) for n in range(num_nodes)
+    }
+    return ex, locals_
+
+
+@pytest.mark.parametrize("num_nodes,events", SIZES,
+                         ids=lambda v: str(v))
+def test_lattice_enumeration(benchmark, num_nodes, events):
+    ex, _ = _workload(num_nodes, events)
+    lattice = GlobalStateLattice(ex, limit=2_000_000)
+    size = benchmark(lattice.count)
+    benchmark.extra_info["lattice_size"] = size
+
+
+@pytest.mark.parametrize("num_nodes,events", SIZES,
+                         ids=lambda v: str(v))
+def test_possibly_sweep(benchmark, num_nodes, events):
+    ex, locals_ = _workload(num_nodes, events)
+
+    def phi(state):
+        return all(p(n, state[n]) for n, p in locals_.items())
+
+    benchmark(lambda: possibly(ex, phi, limit=2_000_000))
+
+
+@pytest.mark.parametrize("num_nodes,events", SIZES,
+                         ids=lambda v: str(v))
+def test_possibly_conjunctive_fast_path(benchmark, num_nodes, events):
+    ex, locals_ = _workload(num_nodes, events)
+    fast = benchmark(lambda: possibly_conjunctive(ex, locals_))
+
+    def phi(state):
+        return all(p(n, state[n]) for n, p in locals_.items())
+
+    assert fast == possibly(ex, phi, limit=2_000_000)

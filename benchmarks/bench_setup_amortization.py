@@ -1,0 +1,96 @@
+"""E-SET — §2.3's claim: timestamp/cut setup cost is negligible.
+
+The paper asserts (deferring to [8]) that *"the overhead of setting up
+the timestamp structure is negligible in comparison with the overhead
+of the evaluation conditions themselves"* once cuts are reused across
+queries (Key Idea 1).  This module measures:
+
+* the one-time clock construction for the whole execution;
+* the one-time per-interval cut construction;
+* the per-query evaluation cost against many other intervals;
+
+and prints the break-even query count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cuts import cuts_of
+from repro.core.linear import LinearEvaluator
+from repro.core.relations import BASE_RELATIONS
+from repro.events.poset import Execution
+from repro.simulation.workloads import random_trace
+
+from .conftest import fresh_intervals, make_pairs
+
+TRACE = random_trace(16, events_per_node=12, msg_prob=0.3, seed=21)
+EX = Execution(TRACE)
+PAIRS = make_pairs(EX, 30)
+
+
+def test_clock_setup(benchmark):
+    """One-time cost: both timestamp structures for the full trace."""
+    benchmark(lambda: Execution(TRACE))
+
+
+def test_cut_setup_per_interval(benchmark):
+    """One-time cost per interval: the four cut timestamps."""
+    x, _y = PAIRS[0]
+
+    def run():
+        fresh = fresh_intervals(x)
+        return cuts_of(fresh)
+
+    benchmark(run)
+
+
+def test_query_cost_with_reuse(benchmark):
+    """Steady-state: all 8 relations over 30 pairs with warm cuts."""
+    ev = LinearEvaluator(EX)
+    for x, y in PAIRS:
+        cuts_of(x), cuts_of(y)
+
+    def run():
+        total = 0
+        for x, y in PAIRS:
+            for rel in BASE_RELATIONS:
+                total += ev.evaluate(rel, x, y)
+        return total
+
+    benchmark(run)
+
+
+def test_amortization_report(benchmark):
+    """Break-even analysis: queries needed to amortize the setup."""
+    import time
+
+    t0 = time.perf_counter()
+    Execution(TRACE)
+    clock_setup = time.perf_counter() - t0
+
+    x0, y0 = PAIRS[0]
+    t0 = time.perf_counter()
+    for _ in range(100):
+        cuts_of(fresh_intervals(x0))
+    cut_setup = (time.perf_counter() - t0) / 100
+
+    ev = LinearEvaluator(EX)
+    cuts_of(x0), cuts_of(y0)
+    t0 = time.perf_counter()
+    reps = 2000
+    for _ in range(reps):
+        for rel in BASE_RELATIONS:
+            ev.evaluate(rel, x0, y0)
+    per_query = (time.perf_counter() - t0) / (reps * len(BASE_RELATIONS))
+
+    print(
+        f"\nsetup amortization: clock setup {clock_setup * 1e3:.2f} ms "
+        f"(whole trace, {TRACE.total_events} events), cut setup "
+        f"{cut_setup * 1e6:.1f} us/interval, query {per_query * 1e6:.2f} "
+        f"us/relation -> cut setup amortized after "
+        f"{cut_setup / per_query:.0f} queries"
+    )
+    benchmark.extra_info["clock_setup_ms"] = clock_setup * 1e3
+    benchmark.extra_info["cut_setup_us"] = cut_setup * 1e6
+    benchmark.extra_info["query_us"] = per_query * 1e6
+    benchmark(lambda: ev.evaluate(BASE_RELATIONS[0], x0, y0))

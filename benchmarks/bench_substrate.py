@@ -1,0 +1,93 @@
+"""Substrate benchmarks: simulator throughput, clock passes, online
+monitor ingestion.
+
+Not paper experiments — capacity characterisation of the layers the
+experiments stand on, so regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.events.clocks import compute_forward_clocks, compute_reverse_clocks
+from repro.events.poset import Execution
+from repro.monitor.online import OnlineMonitor
+from repro.simulation.engine import simulate
+from repro.simulation.network import Network, UniformLatency
+from repro.simulation.process import Process
+from repro.simulation.workloads import random_trace
+
+
+class _Gossip(Process):
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def on_start(self, ctx):
+        ctx.set_timer(0.1, tag=0)
+
+    def on_timer(self, ctx, tag):
+        dst = (ctx.node + 1 + int(ctx.rng.integers(0, ctx.num_nodes - 1))) \
+            % ctx.num_nodes
+        ctx.send(dst, payload=tag)
+        if tag + 1 < self.rounds:
+            ctx.set_timer(1.0, tag=tag + 1)
+
+    def on_message(self, ctx, payload, label, src):
+        ctx.internal()
+
+
+def test_simulator_throughput(benchmark):
+    """Events simulated per second on a gossip workload."""
+
+    def run():
+        return simulate(
+            [_Gossip(20) for _ in range(8)],
+            network=Network(UniformLatency(0.2, 2.0)),
+            seed=4,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["events"] = result.trace.total_events
+    assert result.trace.total_events > 100
+
+
+TRACE = random_trace(16, events_per_node=50, msg_prob=0.35, seed=10)
+
+
+def test_forward_clock_pass(benchmark):
+    benchmark(lambda: compute_forward_clocks(TRACE))
+
+
+def test_reverse_clock_pass(benchmark):
+    benchmark(lambda: compute_reverse_clocks(TRACE))
+
+
+def test_full_execution_analysis(benchmark):
+    benchmark(lambda: Execution(TRACE))
+
+
+def test_online_ingestion(benchmark):
+    """Streaming a whole trace through the online monitor."""
+
+    def run():
+        om = OnlineMonitor(TRACE.num_nodes)
+        pos = [0] * TRACE.num_nodes
+        handles = {}
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in range(TRACE.num_nodes):
+                while pos[node] < TRACE.num_real(node):
+                    ev = TRACE.events_of(node)[pos[node]]
+                    send = TRACE.send_of(ev.eid)
+                    if send is not None and send not in handles:
+                        break
+                    if ev.kind.name == "SEND":
+                        handles[ev.eid] = om.send(node)
+                    elif ev.kind.name == "RECV":
+                        om.recv(node, handles[send])
+                    else:
+                        om.internal(node)
+                    pos[node] += 1
+                    progressed = True
+        return om
+
+    benchmark(run)

@@ -1,0 +1,42 @@
+"""E-19 — Theorem 19: the restricted ``≪̸`` test.
+
+Measures the single ``≪̸(↓Y, X↑)`` decision (the R4 cut pair, where
+both sides are anchored) with the scan restricted to min(N_X, N_Y)
+versus the full |P| scan, across node counts.  The restricted scan's
+cost tracks the interval width, not the system size.
+"""
+
+import pytest
+
+from repro.core.counting import ComparisonCounter
+from repro.core.cuts import cut_C2, cut_C3
+from repro.core.linear import not_ll_restricted
+
+from .conftest import make_pair
+
+SYSTEM_SIZES = [8, 32, 128]
+SPREAD = 4  # |N_X| = |N_Y| = 4 regardless of |P|
+
+
+@pytest.mark.parametrize("num_nodes", SYSTEM_SIZES, ids=lambda n: f"P={n}")
+def test_restricted_scan(benchmark, num_nodes):
+    ex, x, y = make_pair(num_nodes, seed=num_nodes, spread=SPREAD)
+    past, fut = cut_C2(y), cut_C3(x)
+    nodes = x.node_set if x.width <= y.width else y.node_set
+    counter = ComparisonCounter()
+    not_ll_restricted(past, fut, nodes, counter)
+    benchmark(lambda: not_ll_restricted(past, fut, nodes))
+    benchmark.extra_info["comparisons"] = counter.total
+    assert counter.total <= min(x.width, y.width)
+
+
+@pytest.mark.parametrize("num_nodes", SYSTEM_SIZES, ids=lambda n: f"P={n}")
+def test_full_scan(benchmark, num_nodes):
+    ex, x, y = make_pair(num_nodes, seed=num_nodes, spread=SPREAD)
+    past, fut = cut_C2(y), cut_C3(x)
+    all_nodes = range(ex.num_nodes)
+    # answers must agree (Key Idea 2)
+    assert not_ll_restricted(past, fut, all_nodes) == not_ll_restricted(
+        past, fut, x.node_set
+    )
+    benchmark(lambda: not_ll_restricted(past, fut, all_nodes))

@@ -1,0 +1,61 @@
+"""Shared workloads and helpers for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md §4
+(tables, theorems, figures, ablations).  Workload sizes are chosen so
+the full harness completes in well under a minute while still spanning
+two orders of magnitude in the node count for scaling fits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.events.poset import Execution
+from repro.nonatomic.event import NonatomicEvent
+from repro.nonatomic.selection import random_disjoint_pair
+from repro.simulation.workloads import random_execution
+
+#: node counts for scaling sweeps (|N_X| = |N_Y| = |P|)
+SCALING_NODES = [2, 4, 8, 16, 32, 64]
+
+
+def make_pair(
+    num_nodes: int,
+    events_per_node: int = 6,
+    seed: int = 0,
+    spread: int | None = None,
+) -> Tuple[Execution, NonatomicEvent, NonatomicEvent]:
+    """One execution plus a disjoint X/Y pair spanning ``spread`` nodes
+    (default: all of them)."""
+    ex = random_execution(
+        num_nodes, events_per_node=events_per_node, msg_prob=0.3, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    spread = spread if spread is not None else num_nodes
+    x, y = random_disjoint_pair(
+        ex, rng, num_nodes_x=spread, num_nodes_y=spread, events_per_node=2
+    )
+    return ex, x, y
+
+
+def make_pairs(
+    ex: Execution, count: int, seed: int = 7
+) -> List[Tuple[NonatomicEvent, NonatomicEvent]]:
+    """A batch of disjoint pairs over one execution."""
+    rng = np.random.default_rng(seed)
+    return [random_disjoint_pair(ex, rng, events_per_node=2) for _ in range(count)]
+
+
+@pytest.fixture(scope="session")
+def medium_workload():
+    """A 16-node execution with 20 pairs (the default query workload)."""
+    ex = random_execution(16, events_per_node=8, msg_prob=0.3, seed=42)
+    return ex, make_pairs(ex, 20)
+
+
+def fresh_intervals(x: NonatomicEvent) -> NonatomicEvent:
+    """Clone an interval without its cut cache (for no-reuse baselines)."""
+    return NonatomicEvent(x.execution, x.ids, name=x.name)

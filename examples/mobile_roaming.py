@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Mobile-computing handoff coordination with explainable verdicts.
+
+A mobile host roams across base stations; handoffs, home-agent
+reroutes and per-residency data epochs are nonatomic events, and
+roaming correctness is a set of relation conditions.  The demo runs a
+clean trace, then injects a premature-data fault and uses the
+``explain()`` API to show *which node and which timestamp comparison*
+convicts the violation.
+
+Run:  python examples/mobile_roaming.py
+"""
+
+from repro.apps.mobile import roaming_scenario
+from repro.core.explain import explain
+
+
+def report(scenario, title):
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+    ex = scenario.execution
+    print(f"execution: {ex.num_nodes} nodes "
+          f"(0 = home agent, 1.. = stations), "
+          f"{ex.trace.total_events} events")
+    for name, rep in scenario.check().items():
+        status = "PASS" if rep.passed else "FAIL"
+        print(f"  [{status}] {name}")
+    print(f"  roaming verdict: "
+          f"{'CORRECT' if scenario.all_safe() else 'VIOLATED'}\n")
+
+
+def main() -> None:
+    report(roaming_scenario(num_stations=3), "Nominal roaming (3 stations)")
+
+    bad = roaming_scenario(num_stations=3, premature_data=True)
+    report(bad, "Faulty roaming (station serves data before the reroute)")
+
+    # Drill into the failed condition with the explain API.
+    failing = [
+        (name, rep) for name, rep in bad.check().items() if not rep.passed
+    ]
+    name, rep = failing[0]
+    print(f"why did {name!r} fail?")
+    k = int(name.split("reroute")[1])
+    reroute = bad.reroutes[k]
+    epoch = bad.epochs[k + 1]
+    explanation = explain("R1(U,L)", reroute, epoch)
+    print(explanation)
+    print("\nreading: the epoch's first delivery on that node has a local "
+          "index below the\nreroute's causal reach there — it was served "
+          "before the home agent rerouted.")
+
+
+if __name__ == "__main__":
+    main()

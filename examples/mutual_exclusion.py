@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Verifying distributed mutual exclusion with the relation family.
+
+Each occupancy of a replicated critical section is a nonatomic event
+(lock-hold events on the holder plus replica nodes).  Safety is the
+pairwise condition ``R1(U,L)(A, B) or R1(U,L)(B, A)`` — one occupancy's
+*end proxy* wholly precedes the other's *begin proxy*.
+
+The demo verifies a correct token-passing run, then injects a race
+(the last occupancy starts without waiting for the token) and shows
+the violation report.
+
+Run:  python examples/mutual_exclusion.py
+"""
+
+from repro.apps.mutex import MutualExclusionChecker, token_mutex_trace
+
+
+def run(violate: bool) -> None:
+    title = "racy run (last holder skips the token)" if violate else \
+        "correct token-passing run"
+    print("=" * 70)
+    print(f"Mutual exclusion over a replicated resource — {title}")
+    print("=" * 70)
+    execution, occupancies = token_mutex_trace(
+        num_nodes=4, occupancies=5, replicas=2, violate=violate, seed=8
+    )
+    print(f"execution: {execution.trace.total_events} events, "
+          f"{len(execution.trace.messages)} messages")
+    for name in sorted(occupancies):
+        occ = occupancies[name]
+        print(f"  {name}: {len(occ)} lock-hold events on nodes "
+              f"{list(occ.node_set)}")
+
+    checker = MutualExclusionChecker(execution)
+    violations = checker.check()
+    if not violations:
+        print("\nall occupancy pairs serialised — exclusion HOLDS\n")
+    else:
+        print(f"\nexclusion VIOLATED ({len(violations)} interleaved pairs):")
+        for v in violations:
+            print(f"  {v}")
+        print()
+
+
+def main() -> None:
+    run(violate=False)
+    run(violate=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate the paper's three figures as ASCII space-time diagrams.
+
+* Figure 1 — poset events X and Y with their proxies L/U;
+* Figure 2 — the 8-event poset X on 4 nodes with cuts C1(X)–C4(X);
+* Figure 3 — the four cuts of each proxy L_X and U_X, with the
+  coincidences noted in Section 2.5 verified.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.simulation.scenarios import figure1, figure2, figure3
+from repro.viz import render, render_cut_table
+
+
+def show_figure1() -> None:
+    fig = figure1()
+    print("=" * 70)
+    print("Figure 1: poset events X and Y and their proxies")
+    print("=" * 70)
+    print(render(
+        fig.execution,
+        intervals={"X": fig.x, "Y": fig.y},
+        show_messages=True,
+    ))
+    print(f"\nN_X = {list(fig.x.node_set)}, N_Y = {list(fig.y.node_set)}")
+    print(f"L_X = {sorted(fig.lx.ids)}")
+    print(f"U_X = {sorted(fig.ux.ids)}")
+    print(f"L_Y = {sorted(fig.ly.ids)}")
+    print(f"U_Y = {sorted(fig.uy.ids)}")
+
+
+def show_figure2() -> None:
+    fig = figure2()
+    print("\n" + "=" * 70)
+    print("Figure 2: cuts of poset X (8 atomic events, 4 nodes)")
+    print("=" * 70)
+    print(render(
+        fig.execution,
+        intervals={"X": fig.x},
+        cuts={
+            "C1": fig.cuts.c1,
+            "C2": fig.cuts.c2,
+            "C3": fig.cuts.c3,
+            "C4": fig.cuts.c4,
+        },
+        show_messages=False,
+    ))
+    print("\nCut timestamps (Table 2):")
+    print(render_cut_table({
+        "C1(X) = ∩⇓X": fig.cuts.c1,
+        "C2(X) = ∪⇓X": fig.cuts.c2,
+        "C3(X) = ∩⇑X": fig.cuts.c3,
+        "C4(X) = ∪⇑X": fig.cuts.c4,
+    }))
+    print(f"\nC1 ⊆ C2: {fig.cuts.c1.issubset(fig.cuts.c2)}")
+    print(f"C3 ⊆ C4: {fig.cuts.c3.issubset(fig.cuts.c4)}")
+
+
+def show_figure3() -> None:
+    fig = figure3()
+    print("\n" + "=" * 70)
+    print("Figure 3: cuts of proxies L_X and U_X")
+    print("=" * 70)
+    print(f"L_X = {sorted(fig.lx.ids)}")
+    print(f"U_X = {sorted(fig.ux.ids)}\n")
+    print(render_cut_table({
+        "C1(L_X)": fig.cuts_lx.c1,
+        "C2(L_X)": fig.cuts_lx.c2,
+        "C3(L_X)": fig.cuts_lx.c3,
+        "C4(L_X)": fig.cuts_lx.c4,
+        "C1(U_X)": fig.cuts_ux.c1,
+        "C2(U_X)": fig.cuts_ux.c2,
+        "C3(U_X)": fig.cuts_ux.c3,
+        "C4(U_X)": fig.cuts_ux.c4,
+    }))
+    print("\nCoincidences (Section 2.5):")
+    print(f"  C1(L_X) == C1(X): {fig.cuts_lx.c1 == fig.cuts_x.c1}")
+    print(f"  C2(U_X) == C2(X): {fig.cuts_ux.c2 == fig.cuts_x.c2}")
+    print(f"  C3(L_X) == C3(X): {fig.cuts_lx.c3 == fig.cuts_x.c3}")
+    print(f"  C4(U_X) == C4(X): {fig.cuts_ux.c4 == fig.cuts_x.c4}")
+
+
+if __name__ == "__main__":
+    show_figure1()
+    show_figure2()
+    show_figure3()

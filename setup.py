@@ -1,0 +1,9 @@
+"""Legacy setup shim (metadata lives in pyproject.toml).
+
+Present so that ``pip install -e .`` works on environments whose
+setuptools predates full PEP 660 editable-install support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,142 @@
+"""repro — testing synchronization conditions for distributed real-time
+applications.
+
+A complete, from-scratch reproduction of:
+
+    A. D. Kshemkalyani, "Testing of Synchronization Conditions for
+    Distributed Real-Time Applications", IPPS/SPDP Workshops, 1998.
+
+The library provides:
+
+* an execution substrate — traces, vector clocks (forward and reverse),
+  the happened-before poset (:mod:`repro.events`);
+* a discrete-event message-passing simulator and workload generators
+  producing such traces (:mod:`repro.simulation`);
+* nonatomic poset events, proxies and cuts (:mod:`repro.nonatomic`,
+  :mod:`repro.core.cuts`);
+* the 32 synchronization relations with three interchangeable
+  evaluation engines — naive ``O(|X|·|Y|)``, polynomial
+  ``O(|N_X|·|N_Y|)``, and the paper's linear-time conditions
+  (:mod:`repro.core`);
+* a synchronization-condition specification language and trace checker
+  for real-time applications (:mod:`repro.monitor`), plus worked
+  application layers (:mod:`repro.apps`).
+
+Quickstart
+----------
+>>> from repro import TraceBuilder, SynchronizationAnalyzer
+>>> b = TraceBuilder(2)
+>>> x1 = b.internal(0)
+>>> m = b.send(0)
+>>> _ = b.recv(1, m)
+>>> y1 = b.internal(1)
+>>> an = SynchronizationAnalyzer(b.execute())
+>>> an.holds("R1", an.interval([x1]), an.interval([y1]))
+True
+"""
+
+from .core import (
+    BASE_RELATIONS,
+    FAMILY32,
+    ComparisonCounter,
+    Cut,
+    LinearEvaluator,
+    NaiveEvaluator,
+    PolynomialEvaluator,
+    Relation,
+    RelationSpec,
+    SynchronizationAnalyzer,
+    cut_C1,
+    cut_C2,
+    cut_C3,
+    cut_C4,
+    cuts_of,
+    future_cut,
+    implies,
+    ll,
+    not_ll,
+    parse_spec,
+    past_cut,
+)
+from .events import (
+    Event,
+    EventId,
+    EventKind,
+    Execution,
+    Message,
+    Trace,
+    TraceBuilder,
+)
+from .globalstates import (
+    GlobalStateLattice,
+    definitely,
+    possibly,
+    possibly_conjunctive,
+)
+from .nonatomic import (
+    NonatomicEvent,
+    Proxy,
+    ProxyDefinition,
+    ProxyUndefinedError,
+    proxy_of,
+)
+from .realtime import (
+    RealTimeChecker,
+    TimedConstraint,
+    interval_span,
+    latency,
+    periodic_jitter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # events
+    "Event",
+    "EventId",
+    "EventKind",
+    "Message",
+    "Trace",
+    "TraceBuilder",
+    "Execution",
+    # nonatomic
+    "NonatomicEvent",
+    "Proxy",
+    "ProxyDefinition",
+    "ProxyUndefinedError",
+    "proxy_of",
+    # core
+    "Relation",
+    "RelationSpec",
+    "BASE_RELATIONS",
+    "FAMILY32",
+    "parse_spec",
+    "implies",
+    "Cut",
+    "past_cut",
+    "future_cut",
+    "cut_C1",
+    "cut_C2",
+    "cut_C3",
+    "cut_C4",
+    "cuts_of",
+    "ll",
+    "not_ll",
+    "ComparisonCounter",
+    "NaiveEvaluator",
+    "PolynomialEvaluator",
+    "LinearEvaluator",
+    "SynchronizationAnalyzer",
+    # global states
+    "GlobalStateLattice",
+    "possibly",
+    "definitely",
+    "possibly_conjunctive",
+    # real time
+    "interval_span",
+    "latency",
+    "periodic_jitter",
+    "TimedConstraint",
+    "RealTimeChecker",
+]

@@ -1,0 +1,35 @@
+"""Complexity accounting and empirical scaling analysis."""
+
+from .complexity import (
+    fit_power_law,
+    measure_comparisons,
+    predicted_comparisons,
+    worst_case_comparisons,
+)
+from .intervalgraph import (
+    concurrent_pairs,
+    interval_order_graph,
+    serialization_layers,
+)
+from .metrics import (
+    ExecutionMetrics,
+    concurrency_ratio,
+    critical_path,
+    message_stats,
+    summarize,
+)
+
+__all__ = [
+    "predicted_comparisons",
+    "worst_case_comparisons",
+    "measure_comparisons",
+    "fit_power_law",
+    "interval_order_graph",
+    "concurrent_pairs",
+    "serialization_layers",
+    "ExecutionMetrics",
+    "concurrency_ratio",
+    "critical_path",
+    "message_stats",
+    "summarize",
+]

@@ -1,0 +1,134 @@
+"""Structural metrics of distributed executions.
+
+Quantities a practitioner inspects before trusting relation results on
+a trace — how concurrent it is, how chatty, how long its causal
+critical path runs.  Used by the workload generators' tests (to verify
+the generators produce the communication structure they advertise) and
+by the examples' reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..events.event import EventId
+from ..events.poset import Execution
+
+__all__ = [
+    "ExecutionMetrics",
+    "concurrency_ratio",
+    "critical_path",
+    "message_stats",
+    "summarize",
+]
+
+
+def concurrency_ratio(execution: Execution, sample: int | None = None,
+                      seed: int = 0) -> float:
+    """Fraction of distinct cross-node event pairs that are concurrent.
+
+    1.0 means no cross-node causality at all (no delivered messages);
+    0.0 means a totally ordered execution.  For large traces pass
+    ``sample`` to estimate from that many random pairs.
+    """
+    ids = [eid for eid in execution.iter_ids()]
+    cross = [
+        (a, b)
+        for i, a in enumerate(ids)
+        for b in ids[i + 1 :]
+        if a[0] != b[0]
+    ]
+    if not cross:
+        return 1.0
+    if sample is not None and sample < len(cross):
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(cross), size=sample, replace=False)
+        cross = [cross[int(i)] for i in picks]
+    concurrent = sum(1 for a, b in cross if execution.concurrent(a, b))
+    return concurrent / len(cross)
+
+
+def critical_path(execution: Execution) -> Tuple[int, Tuple[EventId, ...]]:
+    """The longest causal chain of real events.
+
+    Returns ``(length, chain)``; the chain is one witness path.  This
+    is the execution's inherent sequential depth — the lower bound on
+    its makespan regardless of resources.
+    """
+    import networkx as nx
+
+    g = execution.to_networkx()
+    if g.number_of_nodes() == 0:
+        return 0, ()
+    path = nx.dag_longest_path(g)
+    return len(path), tuple(path)
+
+
+@dataclass(frozen=True, slots=True)
+class MessageStats:
+    """Summary of a trace's communication."""
+
+    sent: int
+    delivered: int
+    lost: int
+    channels: int  # distinct (src, dst) pairs used
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sends without a matching receive."""
+        return self.lost / self.sent if self.sent else 0.0
+
+
+def message_stats(execution: Execution) -> MessageStats:
+    """Count sends, deliveries, losses and active channels."""
+    from ..events.event import EventKind
+
+    sends = sum(
+        1 for ev in execution.trace.iter_events() if ev.kind is EventKind.SEND
+    )
+    delivered = len(execution.trace.messages)
+    channels = {
+        (msg.send[0], msg.recv[0]) for msg in execution.trace.messages
+    }
+    return MessageStats(
+        sent=sends,
+        delivered=delivered,
+        lost=sends - delivered,
+        channels=len(channels),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionMetrics:
+    """Bundle of all structural metrics for one execution."""
+
+    num_nodes: int
+    total_events: int
+    messages: MessageStats
+    concurrency: float
+    critical_path_length: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.num_nodes} nodes, {self.total_events} events, "
+            f"{self.messages.delivered} messages "
+            f"({self.messages.loss_rate:.0%} lost), "
+            f"concurrency {self.concurrency:.2f}, "
+            f"critical path {self.critical_path_length}"
+        )
+
+
+def summarize(
+    execution: Execution, concurrency_sample: int | None = 2000
+) -> ExecutionMetrics:
+    """Compute the full metric bundle (sampled concurrency by default)."""
+    return ExecutionMetrics(
+        num_nodes=execution.num_nodes,
+        total_events=execution.trace.total_events,
+        messages=message_stats(execution),
+        concurrency=concurrency_ratio(execution, sample=concurrency_sample),
+        critical_path_length=critical_path(execution)[0],
+    )

@@ -1,0 +1,22 @@
+"""Worked application layers from the paper's motivating domains."""
+
+from .airdefense import AirDefenseScenario, air_defense_scenario
+from .mobile import RoamingScenario, roaming_scenario
+from .multimedia import StreamSyncChecker, SyncViolation, stream_trace
+from .mutex import ExclusionViolation, MutualExclusionChecker, token_mutex_trace
+from .process_control import ControlLoop, control_loop
+
+__all__ = [
+    "MutualExclusionChecker",
+    "ExclusionViolation",
+    "token_mutex_trace",
+    "StreamSyncChecker",
+    "SyncViolation",
+    "stream_trace",
+    "AirDefenseScenario",
+    "air_defense_scenario",
+    "ControlLoop",
+    "control_loop",
+    "RoamingScenario",
+    "roaming_scenario",
+]

@@ -1,0 +1,208 @@
+"""Air-defence coordination scenario.
+
+[11] motivates the relation family with a real-time *air defence
+control system*: radar sites jointly observe a track, a fusion centre
+confirms it, and interceptor batteries launch.  The safety-critical
+synchronization conditions are naturally fine-grained relation
+conditions between nonatomic events:
+
+* ``detection`` — the radar plots across all sites observing the track;
+* ``confirmation`` — the fusion centre's correlate/confirm processing;
+* ``launch_i`` — battery *i*'s arming and firing sequence.
+
+Required conditions (checked by :meth:`AirDefenseScenario.check`):
+
+1. *confirmed-after-detected*: confirmation begins only after at least
+   one radar plot — ``R3'(detection, confirmation)`` (every
+   confirmation event follows some detection event);
+2. *launch-after-confirmation*: every launch event follows the entire
+   confirmation — ``R1(U,L)(confirmation, launch_i)``;
+3. *no premature launch*: no launch event precedes any detection event
+   — ``not R4(launch_i, detection)``.
+
+:func:`air_defense_scenario` builds the execution with the
+discrete-event simulator (radars emit periodic plots; fusion confirms
+after a quorum; batteries fire on command), with an optional fault that
+makes one battery fire on a stale cue before confirmation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.evaluator import SynchronizationAnalyzer
+from ..core.relations import Relation, RelationSpec
+from ..events.poset import Execution
+from ..monitor.checker import CheckReport, ConditionChecker
+from ..monitor.predicates import parse_condition
+from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.proxies import Proxy
+from ..nonatomic.selection import by_label
+from ..simulation.engine import simulate
+from ..simulation.network import ConstantLatency, Network
+from ..simulation.process import Context, Process
+
+__all__ = ["AirDefenseScenario", "air_defense_scenario"]
+
+
+class _Radar(Process):
+    """Emits ``plots`` radar plots, each reported to the fusion centre."""
+
+    def __init__(self, fusion: int, plots: int) -> None:
+        self.fusion = fusion
+        self.plots = plots
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.set_timer(0.5 + 0.1 * ctx.node, tag=0)
+
+    def on_timer(self, ctx: Context, tag: int) -> None:
+        ctx.internal(label="detect", payload={"plot": tag})
+        ctx.send(self.fusion, payload={"plot": tag}, label="report")
+        if tag + 1 < self.plots:
+            ctx.set_timer(1.0, tag=tag + 1)
+
+
+class _Fusion(Process):
+    """Confirms the track after a quorum of plots, then commands fire."""
+
+    def __init__(self, quorum: int, batteries: Tuple[int, ...]) -> None:
+        self.quorum = quorum
+        self.batteries = batteries
+        self.reports = 0
+        self.confirmed = False
+
+    def on_message(self, ctx: Context, payload, label, src) -> None:
+        if label != "report" or self.confirmed:
+            return
+        self.reports += 1
+        ctx.internal(label="correlate")
+        if self.reports >= self.quorum:
+            self.confirmed = True
+            ctx.internal(label="confirm")
+            for bat in self.batteries:
+                ctx.send(bat, label="fire-cmd")
+
+
+class _Battery(Process):
+    """Arms and fires on command; optionally fires early on a stale cue."""
+
+    def __init__(self, premature: bool = False) -> None:
+        self.premature = premature
+        self.fired = False
+
+    def on_start(self, ctx: Context) -> None:
+        if self.premature:
+            # fault: fires at t=0.1 on a stale cue, before any command
+            ctx.set_timer(0.1, tag="stale-cue")
+
+    def on_timer(self, ctx: Context, tag) -> None:
+        if tag == "stale-cue" and not self.fired:
+            self._fire(ctx)
+
+    def on_message(self, ctx: Context, payload, label, src) -> None:
+        if label == "fire-cmd" and not self.fired:
+            self._fire(ctx)
+
+    def _fire(self, ctx: Context) -> None:
+        self.fired = True
+        ctx.internal(label="arm")
+        ctx.internal(label="launch")
+
+
+@dataclass(frozen=True, slots=True)
+class AirDefenseScenario:
+    """A built air-defence execution with its named intervals."""
+
+    execution: Execution
+    detection: NonatomicEvent
+    confirmation: NonatomicEvent
+    launches: Tuple[NonatomicEvent, ...]
+
+    def bindings(self) -> Dict[str, NonatomicEvent]:
+        """Interval bindings for the condition checker."""
+        out = {"detection": self.detection, "confirmation": self.confirmation}
+        for i, l in enumerate(self.launches):
+            out[f"launch{i}"] = l
+        return out
+
+    def conditions(self) -> Dict[str, str]:
+        """The scenario's safety conditions (textual specs)."""
+        conds = {
+            "confirmed-after-detected": "R3'(detection, confirmation)",
+        }
+        for i in range(len(self.launches)):
+            conds[f"launch{i}-after-confirmation"] = (
+                f"R1(U,L)(confirmation, launch{i})"
+            )
+            conds[f"launch{i}-not-premature"] = f"not R4(launch{i}, detection)"
+        return conds
+
+    def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
+        """Evaluate every safety condition; returns per-condition reports."""
+        checker = ConditionChecker(
+            SynchronizationAnalyzer(self.execution, engine=engine)
+        )
+        return checker.check_all(self.conditions(), self.bindings())
+
+    def all_safe(self, engine: str = "linear") -> bool:
+        """True iff every safety condition passes."""
+        return all(r.passed for r in self.check(engine).values())
+
+
+def air_defense_scenario(
+    num_radars: int = 3,
+    num_batteries: int = 2,
+    plots_per_radar: int = 2,
+    quorum: Optional[int] = None,
+    premature_battery: Optional[int] = None,
+    seed: int = 0,
+) -> AirDefenseScenario:
+    """Simulate the air-defence engagement and collect its intervals.
+
+    Node layout: radars ``0..R-1``, fusion centre ``R``, batteries
+    ``R+1..R+B``.  ``premature_battery`` (an index in ``0..B-1``)
+    injects the early-launch fault, making conditions 2 and 3 fail for
+    that battery.
+    """
+    if num_radars < 1 or num_batteries < 1:
+        raise ValueError("need >= 1 radar and >= 1 battery")
+    quorum = quorum if quorum is not None else num_radars
+    if quorum > num_radars * plots_per_radar:
+        raise ValueError(
+            f"quorum={quorum} can never be reached with "
+            f"{num_radars} radars x {plots_per_radar} plots"
+        )
+    fusion = num_radars
+    batteries = tuple(fusion + 1 + i for i in range(num_batteries))
+    processes: List[Process] = [
+        _Radar(fusion, plots_per_radar) for _ in range(num_radars)
+    ]
+    processes.append(_Fusion(quorum, batteries))
+    processes.extend(
+        _Battery(premature=(premature_battery == i)) for i in range(num_batteries)
+    )
+    result = simulate(
+        processes, network=Network(ConstantLatency(0.3)), seed=seed
+    )
+    ex = result.execute()
+    detection = by_label(ex, "detect", name="detection")
+    confirm_ids = [
+        ev.eid for ev in ex.trace.iter_events()
+        if ev.label in ("correlate", "confirm")
+    ]
+    confirmation = NonatomicEvent(ex, confirm_ids, name="confirmation")
+    launches = []
+    for i, bat in enumerate(batteries):
+        ids = [
+            ev.eid
+            for ev in ex.trace.events_of(bat)
+            if ev.label in ("arm", "launch")
+        ]
+        launches.append(NonatomicEvent(ex, ids, name=f"launch{i}"))
+    return AirDefenseScenario(
+        execution=ex,
+        detection=detection,
+        confirmation=confirmation,
+        launches=tuple(launches),
+    )

@@ -1,0 +1,166 @@
+"""Mobile-computing handoff coordination.
+
+Another of the paper's motivating domains: *coordination in mobile
+computing*.  A mobile host roams between base stations; each **handoff**
+is a nonatomic event spanning three nodes (old station, new station,
+and the mobile's home agent that reroutes traffic).  Correctness of a
+roaming trace is a set of relation conditions:
+
+1. *handoffs are serialised* — handoff ``k`` completes everywhere
+   before handoff ``k+1`` begins: ``R1(U,L)(h_k, h_{k+1})``;
+2. *no data before reroute* — the home agent's reroute of handoff
+   ``k`` precedes every data delivery of epoch ``k+1``:
+   ``R1(U,L)(reroute_k, epoch_{k+1})``;
+3. *data continuity* — every epoch's deliveries causally follow the
+   session setup: ``R3'(setup, epoch_k)``.
+
+:func:`roaming_scenario` builds the trace with the simulator; with
+``premature_data=True`` the new station starts forwarding data before
+the home agent's reroute acknowledgement — condition 2 then fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.evaluator import SynchronizationAnalyzer
+from ..events.builder import TraceBuilder
+from ..events.poset import Execution
+from ..monitor.checker import CheckReport, ConditionChecker
+from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.selection import by_label
+
+__all__ = ["RoamingScenario", "roaming_scenario"]
+
+#: node roles: 0 = home agent, 1.. = base stations
+HOME = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RoamingScenario:
+    """A built roaming execution with its named intervals."""
+
+    execution: Execution
+    setup: NonatomicEvent
+    handoffs: Tuple[NonatomicEvent, ...]  # station-side handoff steps
+    reroutes: Tuple[NonatomicEvent, ...]  # home-agent reroute steps
+    epochs: Tuple[NonatomicEvent, ...]  # data deliveries per residency
+
+    def bindings(self) -> Dict[str, NonatomicEvent]:
+        """Interval bindings for the condition checker."""
+        out = {"setup": self.setup}
+        for k, h in enumerate(self.handoffs):
+            out[f"handoff{k}"] = h
+        for k, r in enumerate(self.reroutes):
+            out[f"reroute{k}"] = r
+        for k, e in enumerate(self.epochs):
+            out[f"epoch{k}"] = e
+        return out
+
+    def conditions(self) -> Dict[str, str]:
+        """The roaming-correctness conditions."""
+        conds: Dict[str, str] = {}
+        for k in range(len(self.handoffs) - 1):
+            conds[f"handoff{k}-serialised"] = (
+                f"R1(U,L)(handoff{k}, handoff{k + 1})"
+            )
+        for k in range(len(self.reroutes)):
+            if k + 1 < len(self.epochs):
+                conds[f"epoch{k + 1}-after-reroute{k}"] = (
+                    f"R1(U,L)(reroute{k}, epoch{k + 1})"
+                )
+        for k in range(len(self.epochs)):
+            conds[f"epoch{k}-after-setup"] = f"R3'(setup, epoch{k})"
+        return conds
+
+    def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
+        """Evaluate every condition."""
+        checker = ConditionChecker(
+            SynchronizationAnalyzer(self.execution, engine=engine)
+        )
+        return checker.check_all(self.conditions(), self.bindings())
+
+    def all_safe(self, engine: str = "linear") -> bool:
+        """True iff every condition passes."""
+        return all(r.passed for r in self.check(engine).values())
+
+
+def roaming_scenario(
+    num_stations: int = 3,
+    data_per_epoch: int = 2,
+    premature_data: bool = False,
+) -> RoamingScenario:
+    """A mobile host visiting ``num_stations`` stations in sequence.
+
+    Node layout: node 0 is the home agent; nodes ``1..num_stations``
+    are base stations.  The session starts at station 1; each handoff
+    ``k`` moves service from station ``k+1`` to station ``k+2`` through
+    a context-transfer message and a home-agent reroute (all labelled
+    ``f"handoff{k}"``).  During each residency the serving station
+    delivers ``data_per_epoch`` units (labelled ``f"epoch{k}"``),
+    forwarded by the home agent.
+
+    With ``premature_data=True`` the *last* epoch's first delivery is
+    emitted by the new station before the home agent's reroute ack —
+    breaking the epoch-after-handoff condition.
+    """
+    if num_stations < 2:
+        raise ValueError("need at least two base stations")
+    b = TraceBuilder(num_stations + 1)
+    t = iter(range(1, 10_000))
+
+    def deliver_epoch(station: int, epoch: int, via_home: bool = True) -> None:
+        for _ in range(data_per_epoch):
+            if via_home:
+                h = b.send(HOME, label=f"fwd{epoch}", time=next(t))
+                b.recv(station, h, label=f"epoch{epoch}", time=next(t))
+            else:
+                b.internal(station, label=f"epoch{epoch}", time=next(t))
+
+    # session setup: home agent registers the mobile at station 1
+    s = b.send(HOME, label="setup", time=next(t))
+    b.recv(1, s, label="setup", time=next(t))
+    ack = b.send(1, label="setup", time=next(t))
+    b.recv(HOME, ack, label="setup", time=next(t))
+
+    deliver_epoch(1, 0)
+
+    num_handoffs = num_stations - 1
+    for k in range(num_handoffs):
+        old, new = k + 1, k + 2
+        label = f"handoff{k}"
+        last = k == num_handoffs - 1
+        # old station hands context to the new one
+        ctx = b.send(old, label=label, time=next(t))
+        b.recv(new, ctx, label=label, time=next(t))
+        if premature_data and last:
+            # fault: new station starts serving from its own buffer
+            # before the home agent reroutes
+            deliver_epoch(new, k + 1, via_home=False)
+        # new station asks the home agent to reroute
+        req = b.send(new, label=label, time=next(t))
+        b.recv(HOME, req, label=f"reroute{k}", time=next(t))
+        reroute = b.send(HOME, label=f"reroute{k}", time=next(t))
+        b.recv(new, reroute, label=label, time=next(t))
+        if not (premature_data and last):
+            deliver_epoch(new, k + 1)
+
+    ex = b.execute()
+    setup = by_label(ex, "setup", name="setup")
+    handoffs = tuple(
+        by_label(ex, f"handoff{k}", name=f"handoff{k}")
+        for k in range(num_handoffs)
+    )
+    reroutes = tuple(
+        by_label(ex, f"reroute{k}", name=f"reroute{k}")
+        for k in range(num_handoffs)
+    )
+    epochs = tuple(
+        by_label(ex, f"epoch{k}", name=f"epoch{k}")
+        for k in range(num_handoffs + 1)
+    )
+    return RoamingScenario(
+        execution=ex, setup=setup, handoffs=handoffs, reroutes=reroutes,
+        epochs=epochs,
+    )

@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Make the library usable on recorded traces without writing Python::
+
+    python -m repro generate random --nodes 4 --events 20 --out trace.json
+    python -m repro info trace.json
+    python -m repro render trace.json --interval phase0
+    python -m repro relations trace.json --x phase0 --y phase1
+    python -m repro relations trace.json --x a --y b --spec "R2'(U,L)"
+    python -m repro check trace.json --spec "R1(U,L)(a, b) and not R4(b, a)" \\
+        --bind a=phase0 --bind b=phase1
+    python -m repro figures
+
+Intervals are named by event *label*: ``--x phase0`` selects every
+event labelled ``phase0`` (the convention all generators and the
+application layers follow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.metrics import summarize
+from .core.evaluator import SynchronizationAnalyzer
+from .core.relations import FAMILY32
+from .events.poset import Execution
+from .events.serialization import load, save
+from .monitor.checker import ConditionChecker
+from .nonatomic.selection import by_label
+from .simulation import workloads
+from .viz.spacetime import render
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "random": lambda a: workloads.random_trace(
+        a.nodes, events_per_node=a.events, msg_prob=a.msg_prob, seed=a.seed
+    ),
+    "ring": lambda a: workloads.ring_trace(a.nodes, rounds=a.rounds),
+    "pipeline": lambda a: workloads.pipeline_trace(a.nodes, items=a.items),
+    "broadcast": lambda a: workloads.broadcast_trace(a.nodes, rounds=a.rounds),
+    "client-server": lambda a: workloads.client_server_trace(
+        max(a.nodes - 1, 1), requests_per_client=a.items, seed=a.seed
+    ),
+    "barrier": lambda a: workloads.barrier_trace(a.nodes, phases=a.rounds),
+    "layered": lambda a: workloads.layered_trace(
+        num_sensors=max(a.nodes - 3, 1), num_actuators=2, periods=a.rounds
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for doc generation/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Test synchronization conditions between distributed "
+        "nonatomic events (Kshemkalyani, IPPS 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a workload trace")
+    p_gen.add_argument("kind", choices=sorted(_GENERATORS))
+    p_gen.add_argument("--nodes", type=int, default=4)
+    p_gen.add_argument("--events", type=int, default=20,
+                       help="events per node (random workload)")
+    p_gen.add_argument("--msg-prob", type=float, default=0.3)
+    p_gen.add_argument("--rounds", type=int, default=3,
+                       help="rounds/phases/periods (structured workloads)")
+    p_gen.add_argument("--items", type=int, default=4,
+                       help="items/requests (pipeline, client-server)")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output JSON path")
+
+    p_info = sub.add_parser("info", help="summarise a trace")
+    p_info.add_argument("trace")
+
+    p_render = sub.add_parser("render", help="ASCII space-time diagram")
+    p_render.add_argument("trace")
+    p_render.add_argument("--interval", action="append", default=[],
+                          help="label(s) to highlight (repeatable)")
+    p_render.add_argument("--no-messages", action="store_true")
+
+    p_rel = sub.add_parser("relations",
+                           help="evaluate relations between two intervals")
+    p_rel.add_argument("trace")
+    p_rel.add_argument("--x", required=True, help="label of interval X")
+    p_rel.add_argument("--y", required=True, help="label of interval Y")
+    p_rel.add_argument("--spec", help="one relation (e.g. R2'(U,L)); "
+                       "default: report all 32 + strongest")
+    p_rel.add_argument("--engine", default="linear",
+                       choices=["naive", "polynomial", "linear"])
+
+    p_check = sub.add_parser("check", help="check a condition over a trace")
+    p_check.add_argument("trace")
+    p_check.add_argument("--spec", required=True,
+                         help="condition text, e.g. 'R1(a,b) and not R4(b,a)'")
+    p_check.add_argument("--bind", action="append", default=[],
+                         metavar="NAME=LABEL",
+                         help="bind a condition name to an event label")
+    p_check.add_argument("--engine", default="linear",
+                         choices=["naive", "polynomial", "linear"])
+
+    sub.add_parser("figures", help="print the paper's figures")
+    return parser
+
+
+def _load_execution(path: str) -> Execution:
+    return Execution(load(path))
+
+
+def _cmd_generate(args) -> int:
+    trace = _GENERATORS[args.kind](args)
+    save(trace, args.out)
+    print(f"wrote {args.kind} trace ({trace.num_nodes} nodes, "
+          f"{trace.total_events} events, {len(trace.messages)} messages) "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    ex = _load_execution(args.trace)
+    metrics = summarize(ex)
+    print(metrics)
+    labels = sorted(
+        {ev.label for ev in ex.trace.iter_events() if ev.label is not None}
+    )
+    if labels:
+        print(f"labels: {', '.join(labels)}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    ex = _load_execution(args.trace)
+    intervals = {label: by_label(ex, label) for label in args.interval}
+    print(render(ex, intervals=intervals, show_messages=not args.no_messages))
+    return 0
+
+
+def _cmd_relations(args) -> int:
+    ex = _load_execution(args.trace)
+    an = SynchronizationAnalyzer(ex, engine=args.engine)
+    x = by_label(ex, args.x)
+    y = by_label(ex, args.y)
+    print(f"X = {args.x!r}: {len(x)} events on nodes {list(x.node_set)}")
+    print(f"Y = {args.y!r}: {len(y)} events on nodes {list(y.node_set)}")
+    if args.spec:
+        print(f"{args.spec}(X, Y) = {an.holds(args.spec, x, y)}")
+        return 0
+    results = an.all_relations(x, y)
+    holding = [str(s) for s in FAMILY32 if results[s]]
+    print(f"holding ({len(holding)}/32): {', '.join(holding) or '(none)'}")
+    strongest = an.strongest(x, y)
+    print("strongest: " + (", ".join(map(str, strongest)) or "(none)"))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    ex = _load_execution(args.trace)
+    bindings = {}
+    for item in args.bind:
+        name, _, label = item.partition("=")
+        if not label:
+            print(f"error: --bind needs NAME=LABEL, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        bindings[name] = by_label(ex, label, name=name)
+    checker = ConditionChecker(SynchronizationAnalyzer(ex, engine=args.engine))
+    report = checker.check(args.spec, bindings)
+    print(report)
+    return 0 if report.passed else 1
+
+
+def _cmd_figures(args) -> int:
+    from .simulation.scenarios import figure2, figure3
+    from .viz.spacetime import render_cut_table
+
+    fig = figure2()
+    print(render(fig.execution, intervals={"X": fig.x},
+                 cuts={"C1": fig.cuts.c1, "C2": fig.cuts.c2,
+                       "C3": fig.cuts.c3, "C4": fig.cuts.c4},
+                 show_messages=False))
+    fig3 = figure3()
+    print(render_cut_table({
+        "C1(L_X)": fig3.cuts_lx.c1, "C4(U_X)": fig3.cuts_ux.c4,
+    }))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "render": _cmd_render,
+    "relations": _cmd_relations,
+    "check": _cmd_check,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,131 @@
+"""An axiom system on the relations (after [13]).
+
+The companion paper [13] ("Causality between nonatomic poset events in
+distributed computations") develops an axiom system over the relation
+family.  This module implements the machine-checkable core — the laws
+that govern how relations *combine* — and the test suite verifies every
+law on randomly generated executions:
+
+* **composition** (:func:`compose`): the strongest base relation
+  guaranteed between X and Z given ``a(X, Y)`` and ``b(Y, Z)``, for
+  pairwise-disjoint non-empty X, Y, Z.  E.g. ``R2 ∘ R1 = R1`` (each x
+  reaches some y, and every z is above every y), while ``R4 ∘ R4``
+  guarantees nothing;
+* **asymmetry** (:data:`MUTUALLY_EXCLUSIVE_WITH_CONVERSE`): which
+  relations can never hold in both directions simultaneously.  For
+  example ``R2(X, Y) ∧ R2(Y, X)`` would build an unbounded ascending
+  chain in a finite poset; ``R4`` both ways is perfectly possible
+  (different witness pairs);
+* the synonym and implication laws re-exported from
+  :mod:`repro.core.hierarchy`.
+
+Derivations (sketch).  Write each left relation's guarantee about Y:
+R1 — all y above all x; R2' — some ``y*`` above all x; R2 — each x
+below some ``y_x``; R3 — some ``x*`` below all y; R3' — each y above
+some ``x_y``; R4 — some ``x' ≺ y'``.  Chain it with the right
+relation's guarantee about Y → Z and read off the strongest X → Z
+quantifier shape; when the two guarantees cannot be linked through a
+shared y (e.g. R2' provides an *upper* witness while R3 consumes a
+*lower* one), no relation is guaranteed and :func:`compose` returns
+``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .relations import Relation
+
+__all__ = [
+    "compose",
+    "COMPOSITION_TABLE",
+    "MUTUALLY_EXCLUSIVE_WITH_CONVERSE",
+    "converse_compatible",
+]
+
+
+def _canon(rel: Relation) -> Relation:
+    """Collapse the synonym pairs onto R1 / R4."""
+    return {Relation.R1P: Relation.R1, Relation.R4P: Relation.R4}.get(rel, rel)
+
+
+# Strongest guaranteed composition a(X,Y) ∧ b(Y,Z) ⟹ table[a][b](X,Z),
+# for pairwise-disjoint, non-empty X, Y, Z.  None = nothing guaranteed.
+_R = Relation
+COMPOSITION_TABLE: Dict[Tuple[Relation, Relation], Optional[Relation]] = {
+    (_R.R1, _R.R1): _R.R1,
+    (_R.R1, _R.R2P): _R.R2P,
+    (_R.R1, _R.R2): _R.R2P,
+    (_R.R1, _R.R3): _R.R1,
+    (_R.R1, _R.R3P): _R.R1,
+    (_R.R1, _R.R4): _R.R2P,
+    (_R.R2P, _R.R1): _R.R1,
+    (_R.R2P, _R.R2P): _R.R2P,
+    (_R.R2P, _R.R2): _R.R2P,
+    (_R.R2P, _R.R3): None,
+    (_R.R2P, _R.R3P): None,
+    (_R.R2P, _R.R4): None,
+    (_R.R2, _R.R1): _R.R1,
+    (_R.R2, _R.R2P): _R.R2P,
+    (_R.R2, _R.R2): _R.R2,
+    (_R.R2, _R.R3): None,
+    (_R.R2, _R.R3P): None,
+    (_R.R2, _R.R4): None,
+    (_R.R3, _R.R1): _R.R3,
+    (_R.R3, _R.R2P): _R.R4,
+    (_R.R3, _R.R2): _R.R4,
+    (_R.R3, _R.R3): _R.R3,
+    (_R.R3, _R.R3P): _R.R3,
+    (_R.R3, _R.R4): _R.R4,
+    # R3' gives some x₀ below a fixed y₀, and R1 puts y₀ below *every*
+    # z — so the single witness x₀ already yields R3, not just R3'.
+    (_R.R3P, _R.R1): _R.R3,
+    (_R.R3P, _R.R2P): _R.R4,
+    (_R.R3P, _R.R2): _R.R4,
+    (_R.R3P, _R.R3): _R.R3,
+    (_R.R3P, _R.R3P): _R.R3P,
+    (_R.R3P, _R.R4): _R.R4,
+    (_R.R4, _R.R1): _R.R3,
+    (_R.R4, _R.R2P): _R.R4,
+    (_R.R4, _R.R2): _R.R4,
+    (_R.R4, _R.R3): None,
+    (_R.R4, _R.R3P): None,
+    (_R.R4, _R.R4): None,
+}
+
+
+def compose(a: Relation, b: Relation) -> Optional[Relation]:
+    """The strongest relation guaranteed by ``a(X, Y) ∧ b(Y, Z)``.
+
+    Valid for pairwise-disjoint, non-empty X, Y, Z; synonym inputs
+    (R1'/R4') are canonicalised.  Returns ``None`` when no relation is
+    guaranteed (the guarantees cannot be chained through a shared
+    witness in Y).
+
+    Every entry is verified *sound* by the property suite; the
+    ``R1``-row and ``·∘R1``-column entries are additionally verified
+    maximal (no strictly stronger relation is always implied).
+    """
+    return COMPOSITION_TABLE[(_canon(a), _canon(b))]
+
+
+#: Relations r with ``r(X, Y) ⟹ ¬r(Y, X)`` for disjoint non-empty X, Y.
+#: R1: a cycle through all pairs.  R2'/R3: the two global witnesses
+#: would dominate each other.  R2/R3': an alternating strictly
+#: ascending chain, impossible in a finite poset.  R4/R4' are *not*
+#: asymmetric: different witness pairs may point both ways.
+MUTUALLY_EXCLUSIVE_WITH_CONVERSE: FrozenSet[Relation] = frozenset(
+    {
+        Relation.R1,
+        Relation.R1P,
+        Relation.R2,
+        Relation.R2P,
+        Relation.R3,
+        Relation.R3P,
+    }
+)
+
+
+def converse_compatible(rel: Relation) -> bool:
+    """Can ``rel(X, Y)`` and ``rel(Y, X)`` hold simultaneously?"""
+    return rel not in MUTUALLY_EXCLUSIVE_WITH_CONVERSE

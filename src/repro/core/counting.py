@@ -1,0 +1,63 @@
+"""Operation counters for reproducing the paper's complexity claims.
+
+Theorems 19 and 20 are statements about *integer comparison counts*, not
+wall-clock time, so the evaluators are instrumented: every causality
+check (naive/polynomial engines) and every cut-timestamp comparison
+(linear engine) increments a :class:`ComparisonCounter`.  Benchmarks and
+tests assert the measured counts against the theorems' bounds exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["ComparisonCounter", "NULL_COUNTER"]
+
+
+class ComparisonCounter:
+    """Counts integer comparisons, optionally per category.
+
+    Categories let the benchmarks separate one-time *setup* comparisons
+    (building cut timestamps, Section 2.3) from per-query *test*
+    comparisons (Theorem 20).
+    """
+
+    __slots__ = ("total", "by_category")
+
+    def __init__(self) -> None:
+        self.total: int = 0
+        self.by_category: Dict[str, int] = {}
+
+    def add(self, n: int = 1, category: str | None = None) -> None:
+        """Record ``n`` comparisons (optionally under ``category``)."""
+        self.total += n
+        if category is not None:
+            self.by_category[category] = self.by_category.get(category, 0) + n
+
+    def reset(self) -> None:
+        """Zero all counts."""
+        self.total = 0
+        self.by_category.clear()
+
+    def snapshot(self) -> int:
+        """Current total, for delta measurements."""
+        return self.total
+
+    def __int__(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComparisonCounter(total={self.total}, {self.by_category})"
+
+
+class _NullCounter(ComparisonCounter):
+    """A counter that ignores everything (zero-overhead default)."""
+
+    __slots__ = ()
+
+    def add(self, n: int = 1, category: str | None = None) -> None:  # noqa: D102
+        pass
+
+
+#: Shared do-nothing counter used when instrumentation is off.
+NULL_COUNTER = _NullCounter()

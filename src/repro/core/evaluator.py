@@ -1,0 +1,204 @@
+"""High-level facade for evaluating synchronization relations.
+
+:class:`SynchronizationAnalyzer` answers the paper's Problem 4 for a
+recorded execution:
+
+(i)  *does a specific relation r(X, Y) hold?* — :meth:`holds`;
+(ii) *which relations hold?* — :meth:`all_relations` /
+     :meth:`base_relations` / :meth:`strongest`.
+
+The engine is selectable (``"naive"`` / ``"polynomial"`` / ``"linear"``)
+so applications, tests and benchmarks exercise the same API while
+comparing the three evaluation strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+from ..events.event import EventId
+from ..events.poset import Execution
+from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.proxies import ProxyDefinition
+from .counting import ComparisonCounter
+from .hierarchy import evaluate_all_pruned, maximal_true
+from .linear import LinearEvaluator
+from .naive import NaiveEvaluator
+from .polynomial import PolynomialEvaluator
+from .relations import BASE_RELATIONS, FAMILY32, Relation, RelationSpec, parse_spec
+
+__all__ = ["SynchronizationAnalyzer", "ENGINES"]
+
+SpecLike = Union[str, Relation, RelationSpec]
+
+#: Engine registry: name -> evaluator class.
+ENGINES = {
+    "naive": NaiveEvaluator,
+    "polynomial": PolynomialEvaluator,
+    "linear": LinearEvaluator,
+}
+
+
+class SynchronizationAnalyzer:
+    """Evaluate synchronization conditions over one execution.
+
+    Parameters
+    ----------
+    execution:
+        The analysed execution (or anything with its interface).
+    engine:
+        ``"linear"`` (default, the paper's algorithm), ``"polynomial"``
+        (prior-work baseline) or ``"naive"`` (definition-level).
+    proxy_definition:
+        Proxy definition for 32-family specs (Def. 2 per-node default).
+    counted:
+        If True, attach a :class:`ComparisonCounter` (exposed as
+        :attr:`counter`) recording every integer comparison.
+    check_disjoint:
+        If True (default), :meth:`holds` raises when X and Y share
+        atomic events — the precondition under which the linear
+        conditions are exact.  Disable to explore the boundary
+        behaviour the paper glosses (see DESIGN.md §2).
+
+    Examples
+    --------
+    >>> from repro import TraceBuilder, SynchronizationAnalyzer
+    >>> b = TraceBuilder(2)
+    >>> a1 = b.internal(0); m = b.send(0); r = b.recv(1, m); y1 = b.internal(1)
+    >>> ex = b.execute()
+    >>> an = SynchronizationAnalyzer(ex)
+    >>> X = an.interval([a1], name="X"); Y = an.interval([y1], name="Y")
+    >>> an.holds("R1", X, Y)
+    True
+    """
+
+    def __init__(
+        self,
+        execution: Execution,
+        engine: str = "linear",
+        proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
+        counted: bool = False,
+        check_disjoint: bool = True,
+        **engine_kwargs,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+            )
+        self.execution = execution
+        self.engine_name = engine
+        self.counter = ComparisonCounter() if counted else None
+        self.check_disjoint = check_disjoint
+        self._engine = ENGINES[engine](
+            execution,
+            counter=self.counter,
+            proxy_definition=proxy_definition,
+            **engine_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def interval(
+        self, ids: Iterable[EventId], name: str | None = None
+    ) -> NonatomicEvent:
+        """Create a nonatomic event over this execution."""
+        return NonatomicEvent(self.execution, ids, name=name)
+
+    @property
+    def comparisons(self) -> int:
+        """Total integer comparisons recorded (0 if not ``counted``)."""
+        return self.counter.total if self.counter is not None else 0
+
+    def _check_pair(self, x: NonatomicEvent, y: NonatomicEvent) -> None:
+        if self.check_disjoint and not x.is_disjoint(y):
+            raise ValueError(
+                "X and Y share atomic events; the evaluation conditions are "
+                "exact only for disjoint intervals (pass check_disjoint=False "
+                "to evaluate anyway)"
+            )
+
+    # ------------------------------------------------------------------
+    # Problem 4 (i): one relation
+    # ------------------------------------------------------------------
+    def holds(self, spec: SpecLike, x: NonatomicEvent, y: NonatomicEvent) -> bool:
+        """Does relation ``spec`` hold between ``x`` and ``y``?
+
+        ``spec`` may be a :class:`Relation` (base relation applied to
+        the full intervals), a :class:`RelationSpec` (32-family member
+        applied to proxies), or a string such as ``"R2'"`` / ``"R2'(U,L)"``.
+        """
+        self._check_pair(x, y)
+        if isinstance(spec, str):
+            spec = parse_spec(spec)
+        if isinstance(spec, Relation):
+            return self._engine.evaluate(spec, x, y)
+        return self._engine.evaluate_spec(spec, x, y)
+
+    # ------------------------------------------------------------------
+    # Problem 4 (ii): all relations
+    # ------------------------------------------------------------------
+    def base_relations(
+        self, x: NonatomicEvent, y: NonatomicEvent
+    ) -> Dict[Relation, bool]:
+        """Evaluate all 8 base relations ``R(X, Y)``."""
+        self._check_pair(x, y)
+        return {r: self._engine.evaluate(r, x, y) for r in BASE_RELATIONS}
+
+    def all_relations(
+        self,
+        x: NonatomicEvent,
+        y: NonatomicEvent,
+        prune: bool = False,
+    ) -> Dict[RelationSpec, bool]:
+        """Evaluate all 32 family relations ``r(X, Y)``.
+
+        With ``prune=True``, results implied by already-evaluated ones
+        are inferred through the hierarchy instead of tested (ablation
+        A-3); the answer is identical either way.
+        """
+        self._check_pair(x, y)
+        if prune:
+            results, _ = evaluate_all_pruned(
+                lambda spec: self._engine.evaluate_spec(spec, x, y), FAMILY32
+            )
+            return results
+        return {
+            spec: self._engine.evaluate_spec(spec, x, y) for spec in FAMILY32
+        }
+
+    def strongest(
+        self, x: NonatomicEvent, y: NonatomicEvent
+    ) -> Tuple[RelationSpec, ...]:
+        """The strongest 32-family relations holding between x and y.
+
+        These are the maximal true relations under the implication
+        hierarchy — the most informative synchronization facts.
+        """
+        return maximal_true(self.all_relations(x, y, prune=True))
+
+    # ------------------------------------------------------------------
+    # all-pairs evaluation
+    # ------------------------------------------------------------------
+    def relation_matrix(
+        self,
+        intervals: "Iterable[NonatomicEvent]",
+        spec: SpecLike,
+        mask_diagonal: bool = True,
+    ):
+        """``M[i, j] = spec(intervals[i], intervals[j])`` for all pairs.
+
+        Delegates to the vectorised kernel of
+        :mod:`repro.core.pairwise` (NumPy broadcasting over stacked cut
+        timestamps) — the fast path for pairwise sweeps such as the
+        mutual-exclusion verifier.  Engine choice does not apply here;
+        the kernel is its own (equivalent) evaluation strategy.
+        """
+        from .pairwise import IntervalSetMatrices
+
+        if isinstance(spec, str):
+            spec = parse_spec(spec)
+        mats = IntervalSetMatrices(list(intervals))
+        if isinstance(spec, Relation):
+            return mats.relation_matrix(spec, mask_diagonal=mask_diagonal)
+        return mats.spec_matrix(spec, mask_diagonal=mask_diagonal)

@@ -1,0 +1,192 @@
+"""The implication hierarchy of the relations.
+
+The relations of Table 1 form a hierarchy under logical implication (for
+non-empty X and Y):
+
+.. code-block:: text
+
+            R1 ≡ R1'
+           /        \\
+         R2'         R3
+          |           |
+         R2          R3'
+           \\        /
+            R4 ≡ R4'
+
+The 32-relation family inherits this hierarchy and adds the *proxy
+monotonicity* edges (valid under the Definition-2 proxies, where the
+``L``/``U`` events correspond per node): for any base relation ``R``,
+
+    ``R(U, py) ⟹ R(L, py)``   and   ``R(px, L) ⟹ R(px, U)``
+
+since replacing an ``x`` by a causally earlier one, or a ``y`` by a
+causally later one, only makes ``x ≺ y`` easier.
+
+These implications power two things: *property tests* (every generated
+instance must respect the hierarchy) and the *pruned batch evaluation*
+of Problem 4(ii) (when a strong relation holds, the relations it implies
+need no test; when a weak one fails, the ones implying it fail too) —
+ablation A-3 in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple, Union
+
+import networkx as nx
+
+from ..nonatomic.proxies import Proxy
+from .relations import BASE_RELATIONS, FAMILY32, Relation, RelationSpec
+
+__all__ = [
+    "BASE_IMPLICATIONS",
+    "base_dag",
+    "family_dag",
+    "implies",
+    "maximal_true",
+    "evaluate_all_pruned",
+]
+
+RelLike = Union[Relation, RelationSpec]
+
+#: Direct implication edges between base relations (non-empty X, Y).
+BASE_IMPLICATIONS: Tuple[Tuple[Relation, Relation], ...] = (
+    (Relation.R1, Relation.R1P),
+    (Relation.R1P, Relation.R1),
+    (Relation.R4, Relation.R4P),
+    (Relation.R4P, Relation.R4),
+    (Relation.R1, Relation.R2P),
+    (Relation.R1, Relation.R3),
+    (Relation.R2P, Relation.R2),
+    (Relation.R3, Relation.R3P),
+    (Relation.R2, Relation.R4),
+    (Relation.R3P, Relation.R4),
+)
+
+
+def base_dag() -> "nx.DiGraph":
+    """Implication digraph over the 8 base relations (edges = implies).
+
+    Synonym pairs (R1/R1', R4/R4') appear as 2-cycles; the graph is a
+    DAG on the equivalence classes.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(BASE_RELATIONS)
+    g.add_edges_from(BASE_IMPLICATIONS)
+    return g
+
+
+def family_dag() -> "nx.DiGraph":
+    """Implication digraph over the 32-relation family.
+
+    Combines the base hierarchy (per proxy combination) with the proxy
+    monotonicity edges.  Cached at module level after first build.
+    """
+    global _FAMILY_DAG
+    if _FAMILY_DAG is None:
+        g = nx.DiGraph()
+        g.add_nodes_from(FAMILY32)
+        for a, b in BASE_IMPLICATIONS:
+            for px in (Proxy.L, Proxy.U):
+                for py in (Proxy.L, Proxy.U):
+                    g.add_edge(RelationSpec(a, px, py), RelationSpec(b, px, py))
+        for rel in BASE_RELATIONS:
+            for py in (Proxy.L, Proxy.U):
+                g.add_edge(
+                    RelationSpec(rel, Proxy.U, py), RelationSpec(rel, Proxy.L, py)
+                )
+            for px in (Proxy.L, Proxy.U):
+                g.add_edge(
+                    RelationSpec(rel, px, Proxy.L), RelationSpec(rel, px, Proxy.U)
+                )
+        _FAMILY_DAG = g
+    return _FAMILY_DAG
+
+
+_FAMILY_DAG: "nx.DiGraph | None" = None
+_REACH_CACHE: Dict[RelLike, FrozenSet[RelLike]] = {}
+
+
+def _descendants(a: RelLike) -> FrozenSet[RelLike]:
+    cached = _REACH_CACHE.get(a)
+    if cached is None:
+        g = base_dag() if isinstance(a, Relation) else family_dag()
+        cached = frozenset(nx.descendants(g, a))
+        _REACH_CACHE[a] = cached
+    return cached
+
+
+def implies(a: RelLike, b: RelLike) -> bool:
+    """True iff ``a(X, Y)`` logically implies ``b(X, Y)``.
+
+    Both arguments must be base relations, or both 32-family specs.
+    Reflexive (``implies(a, a)`` is True).
+    """
+    if type(a) is not type(b):
+        raise TypeError("cannot mix base relations and 32-family specs")
+    return a == b or b in _descendants(a)
+
+
+def maximal_true(results: Dict[RelLike, bool]) -> Tuple[RelLike, ...]:
+    """The strongest relations that hold: true entries not implied by
+    any *strictly stronger* true entry.
+
+    Mutually equivalent relations (the R1/R1' and R4/R4' synonym pairs)
+    do not eliminate each other: both are reported when maximal.
+    """
+    true_set = [r for r, v in results.items() if v]
+    out: List[RelLike] = []
+    for r in true_set:
+        dominated = any(
+            other != r
+            and r in _descendants(other)
+            and other not in _descendants(r)  # strictly stronger, not a synonym
+            for other in true_set
+        )
+        if not dominated:
+            out.append(r)
+    return tuple(sorted(out, key=str))
+
+
+def evaluate_all_pruned(
+    evaluate: Callable[[RelLike], bool],
+    universe: Iterable[RelLike] = FAMILY32,
+) -> Tuple[Dict[RelLike, bool], int]:
+    """Evaluate every relation in ``universe`` with hierarchy pruning.
+
+    Relations are visited strongest-first (topological order).  Each
+    actual evaluation propagates: a True result marks all implied
+    relations True; a False result marks all implying relations False.
+
+    Returns
+    -------
+    (results, evaluations):
+        The full result map and the number of actual ``evaluate`` calls
+        (the savings metric reported by ablation A-3).
+    """
+    universe = list(universe)
+    if not universe:
+        return {}, 0
+    g = base_dag() if isinstance(universe[0], Relation) else family_dag()
+    sub = g.subgraph(universe)
+    condensation = nx.condensation(sub)
+    order: List[RelLike] = []
+    for scc in nx.topological_sort(condensation):
+        order.extend(condensation.nodes[scc]["members"])
+
+    known: Dict[RelLike, bool] = {}
+    evaluations = 0
+    for r in order:
+        if r in known:
+            continue
+        value = evaluate(r)
+        evaluations += 1
+        known[r] = value
+        if value:
+            for d in _descendants(r):
+                if d in sub:
+                    known.setdefault(d, True)
+        else:
+            for anc in nx.ancestors(sub, r):
+                known.setdefault(anc, False)
+    return {r: known[r] for r in universe}, evaluations

@@ -1,0 +1,122 @@
+"""Named synchronization idioms over the relation family.
+
+The 32 relations are precise but terse; applications usually reach for
+a handful of recurring *idioms*.  This module names them, documents
+the exact relation each maps to, and exposes them as predicates over an
+analyzer — a vocabulary layer, not new semantics (every idiom is a
+single `holds()` call, and the mapping is part of each docstring).
+
+========================  =========================================
+idiom                     relation
+========================  =========================================
+``wholly_before``         ``R1(X, Y)``
+``ends_before_starts``    ``R1(U,L)(X, Y)`` — interval separation
+``started_by_all_of``     ``R1(U,L)(Y, X)`` reversed
+``influences``            ``R4(X, Y)`` — some causal path
+``independent``           ``not R4(X, Y) and not R4(Y, X)``
+``covered_by``            ``R2(X, Y)`` — every part of X reaches Y
+``triggered_by_some``     ``R3'(X, Y)`` — every part of Y has a cause in X
+``has_common_effect``     ``R2'(X, Y)`` — one event of Y sees all of X
+``has_common_cause``      ``R3(X, Y)`` — one event of X reaches all of Y
+``serialised``            ``ends_before_starts`` either way
+========================  =========================================
+"""
+
+from __future__ import annotations
+
+from ..core.evaluator import SynchronizationAnalyzer
+from ..nonatomic.event import NonatomicEvent
+
+__all__ = [
+    "wholly_before",
+    "ends_before_starts",
+    "influences",
+    "independent",
+    "covered_by",
+    "triggered_by_some",
+    "has_common_effect",
+    "has_common_cause",
+    "serialised",
+]
+
+
+def wholly_before(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """Every component of X causally precedes every component of Y.
+
+    Exactly ``R1(X, Y)`` — the strongest separation; requires a causal
+    path from each of X's per-node latest events to each of Y's
+    per-node earliest ones.
+    """
+    return an.holds("R1", x, y)
+
+
+def ends_before_starts(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """X's *end proxy* precedes Y's *begin proxy*: ``R1(U,L)(X, Y)``.
+
+    The natural "the activity finished before the next one began"
+    reading for interval separation (identical to ``R1(X, Y)`` for
+    whole intervals under Definition 2, exposed separately because
+    specifications quote it on proxies).
+    """
+    return an.holds("R1(U,L)", x, y)
+
+
+def influences(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """Some component of X causally reaches some component of Y:
+    ``R4(X, Y)``."""
+    return an.holds("R4", x, y)
+
+
+def independent(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """No causal coupling in either direction:
+    ``not R4(X, Y) and not R4(Y, X)``."""
+    return not an.holds("R4", x, y) and not an.holds("R4", y, x)
+
+
+def covered_by(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """Every component of X is causally followed by some component of
+    Y: ``R2(X, Y)`` — nothing X did goes unobserved by Y."""
+    return an.holds("R2", x, y)
+
+
+def triggered_by_some(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """Every component of Y causally follows some component of X:
+    ``R3'(X, Y)`` — Y never acts spontaneously w.r.t. X."""
+    return an.holds("R3'", x, y)
+
+
+def has_common_effect(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """Some single component of Y causally follows all of X:
+    ``R2'(X, Y)`` — a rendezvous point that has seen everything X did."""
+    return an.holds("R2'", x, y)
+
+
+def has_common_cause(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """Some single component of X causally precedes all of Y:
+    ``R3(X, Y)`` — one trigger explains all of Y."""
+    return an.holds("R3", x, y)
+
+
+def serialised(
+    an: SynchronizationAnalyzer, x: NonatomicEvent, y: NonatomicEvent
+) -> bool:
+    """The intervals do not causally interleave: one's end proxy wholly
+    precedes the other's begin proxy (either order) — the mutual
+    exclusion criterion."""
+    return ends_before_starts(an, x, y) or ends_before_starts(an, y, x)

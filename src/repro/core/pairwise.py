@@ -1,0 +1,153 @@
+"""Vectorised all-pairs relation evaluation.
+
+Applications like the mutual-exclusion verifier (pairwise occupancy
+checks) and predicate detectors evaluate one relation over *every*
+ordered pair from a set of k intervals.  Doing that through the scalar
+engine costs k² Python-level calls; this module stacks the intervals'
+cut timestamps and extremal-index vectors into ``(k, P)`` matrices once
+and answers each relation for all k² pairs with a handful of NumPy
+broadcasting operations over a ``(k, k, P)`` comparison tensor.
+
+The vectorised conditions are the *full-|P|-scan* forms of the linear
+evaluation (sound for every relation, no anchoring subtleties), with
+out-of-node-set components encoded so they are neutral:
+
+* universal rows compare against a ``lastX``/``firstY`` vector that is
+  0 outside the node set (0 never fails ``T ≥ 0``, and a first-index 0
+  is treated as satisfied);
+* existential rows exploit that future-cut components are ≥ 1, so a
+  past component ≥ future component already implies it is ≥ 1.
+
+Complexity: ``O(k² · P)`` total — the same as k² linear-engine calls
+at full-|P| scan — but executed inside NumPy, which on realistic sizes
+is 1–2 orders of magnitude faster than the per-pair Python loop (see
+``benchmarks/bench_pairwise_matrix.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.proxies import Proxy, ProxyDefinition, proxy_of
+from .cuts import cut_C1, cut_C2, cut_C3, cut_C4
+from .relations import Relation, RelationSpec
+
+__all__ = ["IntervalSetMatrices", "relation_matrix"]
+
+
+class IntervalSetMatrices:
+    """Stacked per-interval vectors for a set of k intervals.
+
+    Rows are aligned with the input order.  Construction is the
+    one-time cost (``O(k · |N| · P)`` for the cut folds); every
+    :meth:`relation_matrix` call afterwards is pure NumPy.
+    """
+
+    __slots__ = ("intervals", "c1", "c2", "c3", "c4", "first", "last")
+
+    def __init__(self, intervals: Sequence[NonatomicEvent]) -> None:
+        if not intervals:
+            raise ValueError("need at least one interval")
+        ex = intervals[0].execution
+        for iv in intervals:
+            if iv.execution is not ex:
+                raise ValueError("intervals belong to different executions")
+        self.intervals = tuple(intervals)
+        num_nodes = ex.num_nodes
+        k = len(intervals)
+        self.c1 = np.zeros((k, num_nodes), dtype=np.int64)
+        self.c2 = np.zeros((k, num_nodes), dtype=np.int64)
+        self.c3 = np.zeros((k, num_nodes), dtype=np.int64)
+        self.c4 = np.zeros((k, num_nodes), dtype=np.int64)
+        # first/last component indices; 0 encodes "node not in N_X"
+        self.first = np.zeros((k, num_nodes), dtype=np.int64)
+        self.last = np.zeros((k, num_nodes), dtype=np.int64)
+        for row, iv in enumerate(self.intervals):
+            self.c1[row] = cut_C1(iv).vector
+            self.c2[row] = cut_C2(iv).vector
+            self.c3[row] = cut_C3(iv).vector
+            self.c4[row] = cut_C4(iv).vector
+            for node in iv.node_set:
+                self.first[row, node] = iv.first_at(node)
+                self.last[row, node] = iv.last_at(node)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    # ------------------------------------------------------------------
+    def relation_matrix(
+        self, relation: Relation, mask_diagonal: bool = True
+    ) -> np.ndarray:
+        """``M[i, j] = relation(intervals[i], intervals[j])``.
+
+        With ``mask_diagonal`` (default) the diagonal is forced False:
+        self-pairs violate the disjointness precondition and carry no
+        synchronization meaning.
+        """
+        out = _relation_matrix_from(self, self, relation)
+        if mask_diagonal:
+            np.fill_diagonal(out, False)
+        return out
+
+    def spec_matrix(
+        self,
+        spec: RelationSpec,
+        proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
+        mask_diagonal: bool = True,
+    ) -> np.ndarray:
+        """All-pairs matrix for a 32-family member (on the proxies)."""
+        left = IntervalSetMatrices(
+            [proxy_of(iv, spec.proxy_x, proxy_definition) for iv in self.intervals]
+        )
+        right = IntervalSetMatrices(
+            [proxy_of(iv, spec.proxy_y, proxy_definition) for iv in self.intervals]
+        )
+        out = _relation_matrix_from(left, right, spec.relation)
+        if mask_diagonal:
+            np.fill_diagonal(out, False)
+        return out
+
+
+def _relation_matrix_from(
+    xs: "IntervalSetMatrices", ys: "IntervalSetMatrices", relation: Relation
+) -> np.ndarray:
+    """Core broadcasting kernel: rows index X, columns index Y."""
+    # Shapes: X-side tensors are (k, 1, P); Y-side are (1, k, P).
+    lastX = xs.last[:, None, :]
+    firstX = xs.first[:, None, :]
+    c3X = xs.c3[:, None, :]
+    c4X = xs.c4[:, None, :]
+    c1Y = ys.c1[None, :, :]
+    c2Y = ys.c2[None, :, :]
+    firstY = ys.first[None, :, :]
+
+    if relation in (Relation.R1, Relation.R1P):
+        # ∀i ∈ N_X: T(∩⇓Y)[i] ≥ lastX[i]   (lastX = 0 off N_X: neutral)
+        return np.all(c1Y >= lastX, axis=2)
+    if relation is Relation.R2:
+        return np.all(c2Y >= lastX, axis=2)
+    if relation is Relation.R2P:
+        # ∃i: T(∪⇓Y)[i] ≥ T(∪⇑X)[i]   (full-|P| scan, always sound)
+        return np.any(c2Y >= c4X, axis=2)
+    if relation is Relation.R3:
+        return np.any(c1Y >= c3X, axis=2)
+    if relation is Relation.R3P:
+        # ∀i ∈ N_Y: firstY[i] ≥ T(∩⇑X)[i]  (firstY = 0 off N_Y: skip)
+        return np.all((firstY == 0) | (firstY >= c3X), axis=2)
+    if relation in (Relation.R4, Relation.R4P):
+        return np.any(c2Y >= c3X, axis=2)
+    raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
+
+
+def relation_matrix(
+    intervals: Sequence[NonatomicEvent],
+    relation: Relation,
+    mask_diagonal: bool = True,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`IntervalSetMatrices`."""
+    return IntervalSetMatrices(intervals).relation_matrix(
+        relation, mask_diagonal=mask_diagonal
+    )

@@ -1,0 +1,202 @@
+"""The causality relations of Table 1 and the 32-relation family ``R``.
+
+Table 1 (from [9], column 2) defines eight relations between event sets
+X and Y using first-order quantifiers over the atomic causality ``≺``:
+
+====  =========================  ==========================================
+R1    ``∀x∈X ∀y∈Y: x ≺ y``       everything in X precedes everything in Y
+R1'   ``∀y∈Y ∀x∈X: x ≺ y``       (same predicate, reversed quantifiers)
+R2    ``∀x∈X ∃y∈Y: x ≺ y``       every x precedes some y
+R2'   ``∃y∈Y ∀x∈X: x ≺ y``       some y follows all of X
+R3    ``∃x∈X ∀y∈Y: x ≺ y``       some x precedes all of Y
+R3'   ``∀y∈Y ∃x∈X: x ≺ y``       every y follows some x
+R4    ``∃x∈X ∃y∈Y: x ≺ y``       some x precedes some y
+R4'   ``∃y∈Y ∃x∈X: x ≺ y``       (same predicate, reversed quantifiers)
+====  =========================  ==========================================
+
+Note that R1 ≡ R1' and R4 ≡ R4' as predicates (swapping two quantifiers
+of the same kind), while R2 ≢ R2' and R3 ≢ R3' on posets — the paper's
+observation about the incomplete hierarchy of [9].
+
+The 32-relation family ``R`` of [11, 12] applies each base relation to a
+choice of *proxies*: ``r = R(X̂, Ŷ)`` with ``X̂ ∈ {L_X, U_X}`` and
+``Ŷ ∈ {L_Y, U_Y}``.  :class:`RelationSpec` names one member of the
+family, e.g. ``R2'(U, L)``; specs have a stable string syntax parsed by
+:func:`parse_spec`.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple
+
+from ..events.event import EventId
+from ..nonatomic.proxies import Proxy
+
+__all__ = [
+    "Relation",
+    "BASE_RELATIONS",
+    "RelationSpec",
+    "FAMILY32",
+    "parse_spec",
+    "quantifier_eval",
+]
+
+
+class Relation(enum.Enum):
+    """One of the eight base relations of Table 1."""
+
+    R1 = "R1"
+    R1P = "R1'"
+    R2 = "R2"
+    R2P = "R2'"
+    R3 = "R3"
+    R3P = "R3'"
+    R4 = "R4"
+    R4P = "R4'"
+
+    @property
+    def display(self) -> str:
+        """The paper's notation, e.g. ``R2'``."""
+        return self.value
+
+    @property
+    def quantifiers(self) -> str:
+        """The quantifier prefix in binding order, e.g. ``"∃y∀x"``."""
+        return {
+            Relation.R1: "∀x∀y",
+            Relation.R1P: "∀y∀x",
+            Relation.R2: "∀x∃y",
+            Relation.R2P: "∃y∀x",
+            Relation.R3: "∃x∀y",
+            Relation.R3P: "∀y∃x",
+            Relation.R4: "∃x∃y",
+            Relation.R4P: "∃y∃x",
+        }[self]
+
+    @property
+    def is_universal_family(self) -> bool:
+        """True for the relations evaluated as a conjunction of ``≪̸``
+        tests (R1, R1', R2, R3' — the ``∏`` rows of Table 1)."""
+        return self in (Relation.R1, Relation.R1P, Relation.R2, Relation.R3P)
+
+    @property
+    def synonym(self) -> "Relation | None":
+        """The logically equivalent relation, if any (R1≡R1', R4≡R4')."""
+        return {
+            Relation.R1: Relation.R1P,
+            Relation.R1P: Relation.R1,
+            Relation.R4: Relation.R4P,
+            Relation.R4P: Relation.R4,
+        }.get(self)
+
+
+#: The eight base relations, in Table 1 order.
+BASE_RELATIONS: Tuple[Relation, ...] = (
+    Relation.R1,
+    Relation.R1P,
+    Relation.R2,
+    Relation.R2P,
+    Relation.R3,
+    Relation.R3P,
+    Relation.R4,
+    Relation.R4P,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RelationSpec:
+    """One member of the 32-relation family ``R``: ``R(X̂, Ŷ)``.
+
+    ``relation`` is the Table-1 base relation; ``proxy_x``/``proxy_y``
+    select which proxy of X and Y it is applied to.  Specs order by
+    their display string (stable, human-meaningful).
+    """
+
+    relation: Relation
+    proxy_x: Proxy
+    proxy_y: Proxy
+
+    def __str__(self) -> str:
+        return f"{self.relation.display}({self.proxy_x.value},{self.proxy_y.value})"
+
+    def __lt__(self, other: "RelationSpec") -> bool:
+        if not isinstance(other, RelationSpec):
+            return NotImplemented
+        return str(self) < str(other)
+
+    @property
+    def display(self) -> str:
+        """Stable string form, e.g. ``"R2'(U,L)"``."""
+        return str(self)
+
+
+#: All 32 members of the family, ordered by (relation, proxy_x, proxy_y).
+FAMILY32: Tuple[RelationSpec, ...] = tuple(
+    RelationSpec(rel, px, py)
+    for rel in BASE_RELATIONS
+    for px in (Proxy.L, Proxy.U)
+    for py in (Proxy.L, Proxy.U)
+)
+
+
+_SPEC_RE = re.compile(
+    r"^\s*(R[1-4]'?)\s*(?:\(\s*([LU])\s*,\s*([LU])\s*\))?\s*$"
+)
+
+
+def parse_spec(text: str) -> "Relation | RelationSpec":
+    """Parse ``"R2'"`` into a :class:`Relation` or ``"R2'(U,L)"`` into a
+    :class:`RelationSpec`.
+
+    Raises
+    ------
+    ValueError
+        On malformed input.
+    """
+    m = _SPEC_RE.match(text)
+    if not m:
+        raise ValueError(
+            f"cannot parse relation spec {text!r}; expected e.g. \"R2'\" or "
+            f"\"R2'(U,L)\""
+        )
+    rel = Relation(m.group(1))
+    if m.group(2) is None:
+        return rel
+    return RelationSpec(rel, Proxy(m.group(2)), Proxy(m.group(3)))
+
+
+def quantifier_eval(
+    precedes: Callable[[EventId, EventId], bool],
+    relation: Relation,
+    xs: Iterable[EventId],
+    ys: Iterable[EventId],
+) -> bool:
+    """Evaluate a base relation directly from its quantifier form.
+
+    This is the ground-truth semantics (column 2 of Table 1) used by the
+    naive engine and by every equivalence test.  ``O(|xs| · |ys|)``
+    precedence checks in the worst case.
+
+    Empty domains follow first-order convention: a universally
+    quantified empty domain is vacuously true, an existentially
+    quantified one false.  (Nonatomic events are non-empty by
+    construction, so this only matters for direct calls.)
+    """
+    xs = tuple(xs)
+    ys = tuple(ys)
+    if relation in (Relation.R1, Relation.R1P):
+        return all(precedes(x, y) for x in xs for y in ys)
+    if relation is Relation.R2:
+        return all(any(precedes(x, y) for y in ys) for x in xs)
+    if relation is Relation.R2P:
+        return any(all(precedes(x, y) for x in xs) for y in ys)
+    if relation is Relation.R3:
+        return any(all(precedes(x, y) for y in ys) for x in xs)
+    if relation is Relation.R3P:
+        return all(any(precedes(x, y) for x in xs) for y in ys)
+    if relation in (Relation.R4, Relation.R4P):
+        return any(precedes(x, y) for x in xs for y in ys)
+    raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover

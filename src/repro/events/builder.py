@@ -1,0 +1,170 @@
+"""Imperative construction of traces.
+
+:class:`TraceBuilder` is the programmatic way to record a distributed
+execution event by event — used by the simulator, the workload
+generators, the scripted paper-figure scenarios, and by tests that need
+hand-crafted posets.
+
+Example
+-------
+Build the two-process execution ``a1 → b2`` (node 0 sends, node 1 does
+an internal event then receives)::
+
+    b = TraceBuilder(2)
+    m = b.send(0, label="req")
+    b.internal(1)
+    b.recv(1, m)
+    execution = b.execute()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .event import Event, EventId, EventKind
+from .poset import Execution
+from .trace import Message, Trace
+
+__all__ = ["MessageHandle", "TraceBuilder"]
+
+
+@dataclass(frozen=True, slots=True)
+class MessageHandle:
+    """Opaque handle returned by :meth:`TraceBuilder.send`.
+
+    Pass it to :meth:`TraceBuilder.recv` to close the message edge.
+    """
+
+    send: EventId
+
+
+class TraceBuilder:
+    """Incremental builder for :class:`~repro.events.trace.Trace`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of process partitions.  Node ids are ``0..num_nodes-1``.
+
+    Notes
+    -----
+    The builder appends events in per-node program order; the global
+    interleaving is whatever order the ``internal``/``send``/``recv``
+    calls are made in, but only the per-node orders and message edges
+    matter causally.  Unreceived sends are legal (lost messages).
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self._events: List[List[Event]] = [[] for _ in range(num_nodes)]
+        self._messages: List[Message] = []
+        self._received: set[EventId] = set()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of process partitions."""
+        return len(self._events)
+
+    def count(self, node: int) -> int:
+        """Number of events appended to ``node`` so far."""
+        return len(self._events[node])
+
+    def last_id(self, node: int) -> Optional[EventId]:
+        """Identifier of the most recent event on ``node`` (or None)."""
+        k = len(self._events[node])
+        return (node, k) if k else None
+
+    # ------------------------------------------------------------------
+    # event appenders
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        node: int,
+        kind: EventKind,
+        label: Optional[str],
+        time: Optional[float],
+        payload,
+    ) -> EventId:
+        if not (0 <= node < len(self._events)):
+            raise ValueError(f"no such node: {node}")
+        idx = len(self._events[node]) + 1
+        self._events[node].append(
+            Event(node=node, index=idx, kind=kind, label=label, time=time,
+                  payload=payload)
+        )
+        return (node, idx)
+
+    def internal(
+        self,
+        node: int,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+        payload=None,
+    ) -> EventId:
+        """Append an internal event on ``node``; returns its id."""
+        return self._append(node, EventKind.INTERNAL, label, time, payload)
+
+    def send(
+        self,
+        node: int,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+        payload=None,
+    ) -> MessageHandle:
+        """Append a send event on ``node``; returns a message handle."""
+        eid = self._append(node, EventKind.SEND, label, time, payload)
+        return MessageHandle(send=eid)
+
+    def recv(
+        self,
+        node: int,
+        handle: MessageHandle,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+        payload=None,
+    ) -> EventId:
+        """Append a receive event on ``node`` matched to ``handle``.
+
+        Raises
+        ------
+        ValueError
+            If the handle's message was already received.
+        """
+        if handle.send in self._received:
+            raise ValueError(f"message from {handle.send} already received")
+        eid = self._append(node, EventKind.RECV, label, time, payload)
+        self._messages.append(Message(send=handle.send, recv=eid))
+        self._received.add(handle.send)
+        return eid
+
+    def message(
+        self,
+        src: int,
+        dst: int,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+    ) -> tuple[EventId, EventId]:
+        """Convenience: append a send on ``src`` immediately received on
+        ``dst``.  Returns ``(send_id, recv_id)``."""
+        h = self.send(src, label=label, time=time)
+        r = self.recv(dst, h, label=label, time=time)
+        return h.send, r
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Trace:
+        """Finalise into an immutable :class:`Trace` (builder stays usable)."""
+        return Trace(
+            [list(per_node) for per_node in self._events], list(self._messages)
+        )
+
+    def execute(self) -> Execution:
+        """Finalise and analyse: build the trace and its :class:`Execution`."""
+        return Execution(self.build())

@@ -1,0 +1,249 @@
+"""The analysed execution poset ``(E, ≺)``.
+
+:class:`Execution` wraps a recorded :class:`~repro.events.trace.Trace`
+with the forward and reverse vector timestamp structures of Section 2.3
+and exposes the causality relation ``≺`` between atomic events.  It is
+the substrate on which nonatomic events, cuts and the synchronization
+relations are defined.
+
+Index conventions (see DESIGN.md §2): real events of node ``i`` have
+local indices ``1..k_i``; the dummy initial event ``⊥_i`` is index 0 and
+the dummy final event ``⊤_i`` is index ``k_i + 1``.  The paper's model
+axiom ``∀⊥_i ∀⊤_j ∀e ∈ (E \\ E^⊥ \\ E^⊤): ⊥_i ≺ e ≺ ⊤_j`` is built into
+the precedence methods.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .clocks import compute_forward_clocks, compute_reverse_clocks
+from .event import Event, EventId, EventKind
+from .trace import Trace
+
+__all__ = ["Execution", "Ordering"]
+
+
+class Ordering:
+    """Symbolic outcomes of :meth:`Execution.compare`."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    EQUAL = "equal"
+    CONCURRENT = "concurrent"
+
+
+class Execution:
+    """A distributed execution with its timestamp structures.
+
+    Parameters
+    ----------
+    trace:
+        The recorded trace.  Its happened-before relation must be
+        acyclic; otherwise :class:`~repro.events.clocks.CyclicTraceError`
+        is raised.
+
+    Notes
+    -----
+    Building an execution performs the one-time timestamping pass the
+    paper assumes: forward clocks (Def. 13) and reverse clocks (Def. 14)
+    for every real event, each an ``O(|E|·|P|)`` computation.  All query
+    methods afterwards are ``O(1)`` or ``O(|P|)``.
+    """
+
+    __slots__ = ("_trace", "_fwd", "_rev", "_lengths")
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+        self._fwd = compute_forward_clocks(trace)
+        self._rev = compute_reverse_clocks(trace)
+        self._lengths: Tuple[int, ...] = tuple(
+            trace.num_real(i) for i in range(trace.num_nodes)
+        )
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Trace:
+        """The underlying recorded trace."""
+        return self._trace
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of process/node partitions ``|P|``."""
+        return self._trace.num_nodes
+
+    @property
+    def lengths(self) -> Tuple[int, ...]:
+        """Per-node real event counts ``(k_0, ..., k_{P-1})``."""
+        return self._lengths
+
+    def num_real(self, node: int) -> int:
+        """Number of real events ``k_i`` of ``node``."""
+        return self._lengths[node]
+
+    def top_index(self, node: int) -> int:
+        """Local index of the dummy final event ``⊤_node``."""
+        return self._lengths[node] + 1
+
+    def event(self, eid: EventId) -> Event:
+        """The real :class:`Event` with identifier ``eid``."""
+        return self._trace.event(eid)
+
+    def is_real(self, eid: EventId) -> bool:
+        """True if ``eid`` denotes a real (non-dummy) event."""
+        node, idx = eid
+        return 0 <= node < self.num_nodes and 1 <= idx <= self._lengths[node]
+
+    def is_bottom(self, eid: EventId) -> bool:
+        """True if ``eid`` denotes a dummy initial event ``⊥_i``."""
+        node, idx = eid
+        return 0 <= node < self.num_nodes and idx == 0
+
+    def is_top(self, eid: EventId) -> bool:
+        """True if ``eid`` denotes a dummy final event ``⊤_i``."""
+        node, idx = eid
+        return 0 <= node < self.num_nodes and idx == self._lengths[node] + 1
+
+    def check_id(self, eid: EventId, allow_dummy: bool = False) -> None:
+        """Validate ``eid``; raise :class:`KeyError` if out of range."""
+        node, idx = eid
+        if not (0 <= node < self.num_nodes):
+            raise KeyError(eid)
+        lo = 0 if allow_dummy else 1
+        hi = self._lengths[node] + (1 if allow_dummy else 0)
+        if not (lo <= idx <= hi):
+            raise KeyError(eid)
+
+    def iter_ids(self) -> Iterator[EventId]:
+        """All real event ids, node-major."""
+        return self._trace.iter_ids()
+
+    # ------------------------------------------------------------------
+    # timestamps
+    # ------------------------------------------------------------------
+    def clock(self, eid: EventId) -> np.ndarray:
+        """Forward vector timestamp ``T(eid)`` (read-only view).
+
+        Only defined for real events; dummies are handled symbolically
+        by the precedence methods.
+        """
+        node, idx = eid
+        return self._fwd[node][idx - 1]
+
+    def rclock(self, eid: EventId) -> np.ndarray:
+        """Reverse vector timestamp ``T^R(eid)`` (read-only view)."""
+        node, idx = eid
+        return self._rev[node][idx - 1]
+
+    def clock_matrix(self, node: int) -> np.ndarray:
+        """All forward timestamps of ``node`` as a ``(k_i, P)`` matrix."""
+        return self._fwd[node]
+
+    def rclock_matrix(self, node: int) -> np.ndarray:
+        """All reverse timestamps of ``node`` as a ``(k_i, P)`` matrix."""
+        return self._rev[node]
+
+    # ------------------------------------------------------------------
+    # causality
+    # ------------------------------------------------------------------
+    def leq(self, a: EventId, b: EventId) -> bool:
+        """``a ≼ b``: ``a`` causally precedes or equals ``b``.
+
+        Handles dummy events per the model axiom: every ``⊥_i`` precedes
+        every non-``⊥`` event, and every ``⊤_j`` follows every
+        non-``⊤`` event.  Distinct ``⊥``s (resp. ``⊤``s) are
+        incomparable.
+        """
+        if a == b:
+            return True
+        a_node, a_idx = a
+        b_node, b_idx = b
+        if a_idx == 0:  # ⊥ precedes everything except other ⊥s
+            return b_idx != 0
+        if self.is_top(a):  # ⊤ precedes nothing but itself
+            return False
+        if b_idx == 0:
+            return False
+        if self.is_top(b):  # everything except ⊤s precedes ⊤
+            return not self.is_top(a)
+        # both real and distinct: the canonical clock test
+        return bool(self._fwd[b_node][b_idx - 1][a_node] >= a_idx)
+
+    def precedes(self, a: EventId, b: EventId) -> bool:
+        """``a ≺ b``: strict causal precedence (irreflexive)."""
+        return a != b and self.leq(a, b)
+
+    def concurrent(self, a: EventId, b: EventId) -> bool:
+        """``a ∥ b``: neither ``a ≼ b`` nor ``b ≼ a``."""
+        return not self.leq(a, b) and not self.leq(b, a)
+
+    def compare(self, a: EventId, b: EventId) -> str:
+        """Classify the causal order of two events (:class:`Ordering`)."""
+        if a == b:
+            return Ordering.EQUAL
+        if self.leq(a, b):
+            return Ordering.BEFORE
+        if self.leq(b, a):
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    # ------------------------------------------------------------------
+    # causal past / future enumeration
+    # ------------------------------------------------------------------
+    def causal_past_ids(self, eid: EventId) -> Set[EventId]:
+        """All real event ids ``e'`` with ``e' ≼ eid`` (the set ``↓e``).
+
+        ``O(|E|)`` via the forward clock: ``T(eid)[i]`` is exactly the
+        number of node-``i`` events in the causal past.
+        """
+        clock = self.clock(eid)
+        return {
+            (i, j)
+            for i in range(self.num_nodes)
+            for j in range(1, int(clock[i]) + 1)
+        }
+
+    def causal_future_ids(self, eid: EventId) -> Set[EventId]:
+        """All real event ids ``e'`` with ``e' ≽ eid``.
+
+        ``O(|E|)`` via the reverse clock: the node-``i`` events in the
+        causal future are the last ``T^R(eid)[i]`` events of ``E_i``.
+        """
+        rclock = self.rclock(eid)
+        out: Set[EventId] = set()
+        for i in range(self.num_nodes):
+            k = self._lengths[i]
+            out.update((i, j) for j in range(k - int(rclock[i]) + 1, k + 1))
+        return out
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """The covering digraph of real events (local + message edges).
+
+        Returns a :class:`networkx.DiGraph` whose transitive closure is
+        the strict causality relation ``≺`` restricted to real events.
+        Used by tests as a ground-truth oracle for the clock algebra.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.iter_ids())
+        for i in range(self.num_nodes):
+            for j in range(1, self._lengths[i]):
+                g.add_edge((i, j), (i, j + 1))
+        for msg in self._trace.messages:
+            g.add_edge(msg.send, msg.recv)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Execution(nodes={self.num_nodes}, "
+            f"events={self._trace.total_events}, "
+            f"messages={len(self._trace.messages)})"
+        )

@@ -1,0 +1,137 @@
+"""JSON (de)serialisation of traces.
+
+Traces are the durable artifact of a distributed run; real-time
+applications record them online and analyse them offline (the paper's
+Problem 4 starts from "a recorded trace").  The schema is deliberately
+simple and versioned:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "num_nodes": 2,
+      "events": [[{"kind": "send", "label": "req", "time": 0.5}], [...]],
+      "messages": [[[0, 1], [1, 1]]]
+    }
+
+Event ``node``/``index`` fields are implicit in the nesting and position
+(index = position + 1), which keeps files compact and unforgeable.
+Payloads are serialised only when JSON-representable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .event import Event, EventKind
+from .trace import Message, Trace, TraceError
+
+__all__ = ["trace_to_dict", "trace_from_dict", "dumps", "loads", "save", "load"]
+
+SCHEMA_VERSION = 1
+
+
+def _event_to_dict(ev: Event) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"kind": ev.kind.value}
+    if ev.label is not None:
+        out["label"] = ev.label
+    if ev.time is not None:
+        out["time"] = ev.time
+    if ev.payload is not None:
+        try:
+            json.dumps(ev.payload)
+        except (TypeError, ValueError):
+            pass
+        else:
+            out["payload"] = ev.payload
+    return out
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Convert a trace to a JSON-ready dictionary."""
+    return {
+        "version": SCHEMA_VERSION,
+        "num_nodes": trace.num_nodes,
+        "events": [
+            [_event_to_dict(ev) for ev in trace.events_of(i)]
+            for i in range(trace.num_nodes)
+        ],
+        "messages": [
+            [list(msg.send), list(msg.recv)] for msg in trace.messages
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> Trace:
+    """Reconstruct a trace from :func:`trace_to_dict` output.
+
+    Raises
+    ------
+    TraceError
+        If the payload is malformed or uses an unknown schema version.
+    """
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        raise TraceError(f"unsupported trace schema version: {version!r}")
+    try:
+        num_nodes = int(data["num_nodes"])
+        raw_events: List[List[Dict[str, Any]]] = data["events"]
+        raw_messages = data["messages"]
+    except (KeyError, TypeError) as exc:
+        raise TraceError(f"malformed trace payload: {exc}") from exc
+    if len(raw_events) != num_nodes:
+        raise TraceError(
+            f"num_nodes={num_nodes} but {len(raw_events)} event lists present"
+        )
+    events: List[List[Event]] = []
+    for node, per_node in enumerate(raw_events):
+        row: List[Event] = []
+        for pos, rec in enumerate(per_node):
+            try:
+                kind = EventKind(rec.get("kind", "internal"))
+            except ValueError as exc:
+                raise TraceError(f"unknown event kind: {rec.get('kind')!r}") from exc
+            row.append(
+                Event(
+                    node=node,
+                    index=pos + 1,
+                    kind=kind,
+                    label=rec.get("label"),
+                    time=rec.get("time"),
+                    payload=rec.get("payload"),
+                )
+            )
+        events.append(row)
+    messages = []
+    for pair in raw_messages:
+        try:
+            (s_node, s_idx), (r_node, r_idx) = pair
+        except (TypeError, ValueError) as exc:
+            raise TraceError(f"malformed message record: {pair!r}") from exc
+        messages.append(
+            Message(send=(int(s_node), int(s_idx)), recv=(int(r_node), int(r_idx)))
+        )
+    return Trace(events, messages)
+
+
+def dumps(trace: Trace, **json_kwargs: Any) -> str:
+    """Serialise a trace to a JSON string."""
+    return json.dumps(trace_to_dict(trace), **json_kwargs)
+
+
+def loads(text: str) -> Trace:
+    """Deserialise a trace from a JSON string."""
+    return trace_from_dict(json.loads(text))
+
+
+def save(trace: Trace, path: str, **json_kwargs: Any) -> None:
+    """Write a trace to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_to_dict(trace), fh, **json_kwargs)
+
+
+def load(path: str) -> Trace:
+    """Read a trace previously written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return trace_from_dict(json.load(fh))

@@ -1,0 +1,30 @@
+"""Consistent global states and distributed predicate detection."""
+
+from .detection import (
+    GlobalPredicate,
+    LocalPredicate,
+    definitely,
+    possibly,
+    possibly_conjunctive,
+)
+from .lattice import GlobalStateLattice, StateVector
+from .observations import (
+    count_observations,
+    is_observation,
+    observation_states,
+    sample_observation,
+)
+
+__all__ = [
+    "GlobalStateLattice",
+    "StateVector",
+    "possibly",
+    "definitely",
+    "possibly_conjunctive",
+    "LocalPredicate",
+    "GlobalPredicate",
+    "sample_observation",
+    "observation_states",
+    "is_observation",
+    "count_observations",
+]

@@ -1,0 +1,180 @@
+"""Global predicate detection: Possibly(φ) and Definitely(φ).
+
+[11] demonstrates the relation family alongside *distributed predicate
+specification* for a real-time air-defence system.  This module
+implements the two classic detection modalities over the consistent
+global-state lattice:
+
+* ``Possibly(φ)`` — some consistent observation of the execution
+  passes through a global state satisfying φ;
+* ``Definitely(φ)`` — every consistent observation does.
+
+Two engines are provided:
+
+* the general Cooper–Marzullo level sweep
+  (:func:`possibly`, :func:`definitely`) — works for any global-state
+  predicate, cost proportional to the lattice size;
+* the Garg–Waldecker fast path for **weak conjunctive predicates**
+  (:func:`possibly_conjunctive`) — φ is a conjunction of per-node
+  local predicates; the least solution state is found in
+  ``O(|E| · |P|)`` using vector clocks, no lattice enumeration.
+
+Local predicates are evaluated on *local states*: predicate
+``p(node, index)`` refers to the state of ``node`` after its
+``index``-th event (index 0 = initial state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events.poset import Execution
+from .lattice import GlobalStateLattice, StateVector
+
+__all__ = [
+    "LocalPredicate",
+    "GlobalPredicate",
+    "possibly",
+    "definitely",
+    "possibly_conjunctive",
+]
+
+#: p(node, index) -> bool over a node's local state after ``index`` events.
+LocalPredicate = Callable[[int, int], bool]
+
+#: φ(state) -> bool over a consistent global state vector.
+GlobalPredicate = Callable[[StateVector], bool]
+
+
+def possibly(
+    execution: Execution,
+    predicate: GlobalPredicate,
+    limit: int = 200_000,
+) -> Optional[StateVector]:
+    """``Possibly(φ)``: the first (lowest-level) satisfying consistent
+    global state, or None.
+
+    Level-order sweep of the lattice; ``limit`` bounds the number of
+    visited states (:class:`RuntimeError` beyond it).
+    """
+    lattice = GlobalStateLattice(execution, limit=limit)
+    for level in lattice.levels():
+        for state in level:
+            if predicate(state):
+                return state
+    return None
+
+
+def definitely(
+    execution: Execution,
+    predicate: GlobalPredicate,
+    limit: int = 200_000,
+) -> bool:
+    """``Definitely(φ)``: every observation passes through a satisfying
+    state.
+
+    Cooper–Marzullo: sweep levels keeping only the states reachable
+    *without* satisfying φ; if that frontier dies out before the final
+    state, φ was unavoidable.
+    """
+    lattice = GlobalStateLattice(execution, limit=limit)
+    frontier: List[StateVector] = (
+        [] if predicate(lattice.bottom) else [lattice.bottom]
+    )
+    if not frontier:
+        return True
+    top = lattice.top
+    visited = 0
+    while frontier:
+        if any(state == top for state in frontier):
+            return False  # a φ-avoiding observation reached the end
+        nxt = set()
+        for state in frontier:
+            for succ in lattice.successors(state):
+                if not predicate(succ):
+                    nxt.add(succ)
+                    visited += 1
+                    if visited > limit:
+                        raise RuntimeError(
+                            f"definitely() exceeded limit={limit}"
+                        )
+        frontier = list(nxt)
+    return True
+
+
+def possibly_conjunctive(
+    execution: Execution,
+    locals_: Dict[int, LocalPredicate],
+    limit: Optional[int] = None,
+) -> Optional[StateVector]:
+    """Garg–Waldecker detection of a weak conjunctive predicate.
+
+    ``locals_`` maps each constrained node to its local predicate;
+    unconstrained nodes may be in any state.  Returns the *least*
+    consistent global state where every constrained node satisfies its
+    predicate (with unconstrained components minimised), or None.
+
+    Algorithm: keep one candidate local state per constrained node
+    (the earliest satisfying one not yet eliminated); if candidate
+    ``s_i`` happened-before candidate ``s_j`` 's *next* advance — i.e.
+    the candidates are not pairwise concurrent-or-equal-cut-compatible
+    — advance the one that is causally behind.  Linear in the trace.
+
+    The returned state is verified consistent; the suite cross-checks
+    against the lattice sweep on every generated instance.
+    """
+    ex = execution
+    lengths = ex.lengths
+    nodes = sorted(locals_)
+    if not nodes:
+        return tuple(0 for _ in lengths)
+
+    def first_satisfying(node: int, start: int) -> Optional[int]:
+        for idx in range(start, lengths[node] + 1):
+            if locals_[node](node, idx):
+                return idx
+        return None
+
+    cand: Dict[int, int] = {}
+    for node in nodes:
+        idx = first_satisfying(node, 0)
+        if idx is None:
+            return None
+        cand[node] = idx
+
+    # Eliminate candidates that are causally *behind* another candidate:
+    # state (i, c_i) is incompatible with (j, c_j) if the past of j's
+    # candidate state requires more than c_i events on i.
+    changed = True
+    while changed:
+        changed = False
+        for i in nodes:
+            for j in nodes:
+                if i == j:
+                    continue
+                cj = cand[j]
+                if cj == 0:
+                    continue
+                need_on_i = int(ex.clock((j, cj))[i])
+                if need_on_i > cand[i]:
+                    nxt = first_satisfying(i, need_on_i)
+                    if nxt is None:
+                        return None
+                    cand[i] = nxt
+                    changed = True
+
+    # Assemble the least global state: constrained nodes at their
+    # candidates, others at the minimum forced by those candidates'
+    # pasts (componentwise max of their clocks).
+    state = np.zeros(len(lengths), dtype=np.int64)
+    for node in nodes:
+        state[node] = cand[node]
+    for node in nodes:
+        if cand[node]:
+            np.maximum(state, ex.clock((node, cand[node])), out=state)
+    result: StateVector = tuple(int(v) for v in state)
+    lattice = GlobalStateLattice(ex)
+    assert lattice.is_consistent(result)
+    return result

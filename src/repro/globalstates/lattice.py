@@ -1,0 +1,168 @@
+"""The lattice of consistent global states.
+
+Section 2.1 notes that *"It is known from lattice theory that the set
+of all cuts, denoted C, forms a lattice ordered by ⊂"*.  The cuts the
+paper manipulates are per-node prefixes; the subset that is also
+downward-closed under ``≺`` — no message received before it is sent —
+are the **consistent global states** of Mattern, and they again form a
+lattice under componentwise min/max.
+
+This module provides that lattice as a first-class object: membership
+tests, enabled advances, level-order traversal, counting, and meet/join
+— the substrate for global predicate detection
+(:mod:`repro.globalstates.detection`), which [11] demonstrates on the
+air-defence application.
+
+Consistency test used throughout: a cut vector ``c`` is consistent iff
+for every node ``i`` with ``c[i] >= 1``, the forward clock of its
+surface event is componentwise ``<= c`` — i.e. the surface's causal
+past is inside the cut.  (Equivalent to the no-orphan-receive
+formulation; ``O(|P|²)`` per test.)
+
+The lattice is exponentially large in general (``∏(k_i + 1)`` upper
+bound); the traversals below are level-order with memoisation and take
+an optional ``limit`` guard so misuse fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.cuts import Cut
+from ..events.poset import Execution
+
+__all__ = ["GlobalStateLattice", "StateVector"]
+
+#: A consistent global state as a tuple of per-node prefix lengths.
+StateVector = Tuple[int, ...]
+
+
+class GlobalStateLattice:
+    """The lattice of consistent global states of one execution.
+
+    Global states are represented as tuples ``c`` with
+    ``0 <= c[i] <= k_i`` (real events only; the dummy ``⊤`` prefix adds
+    nothing here since every real-complete state is already maximal).
+
+    Parameters
+    ----------
+    execution:
+        The analysed execution.
+    limit:
+        Safety cap on the number of states any full traversal may
+        visit; :class:`RuntimeError` is raised beyond it.
+    """
+
+    def __init__(self, execution: Execution, limit: int = 200_000) -> None:
+        self.execution = execution
+        self.limit = int(limit)
+        self._lengths = execution.lengths
+
+    # ------------------------------------------------------------------
+    # membership and structure
+    # ------------------------------------------------------------------
+    @property
+    def bottom(self) -> StateVector:
+        """The initial global state (only the ``⊥_i``)."""
+        return tuple(0 for _ in self._lengths)
+
+    @property
+    def top(self) -> StateVector:
+        """The final global state (every real event executed)."""
+        return tuple(self._lengths)
+
+    def is_consistent(self, state: StateVector) -> bool:
+        """Is this prefix vector a consistent global state?"""
+        ex = self.execution
+        for i, c in enumerate(state):
+            if not (0 <= c <= self._lengths[i]):
+                return False
+        for i, c in enumerate(state):
+            if c == 0:
+                continue
+            clock = ex.clock((i, c))
+            for j, need in enumerate(clock):
+                if need > state[j]:
+                    return False
+        return True
+
+    def enabled_advances(self, state: StateVector) -> List[int]:
+        """Nodes whose next event can be appended consistently.
+
+        Node ``i`` is enabled iff it has a next event whose causal past
+        (beyond itself) is already inside the state — for a receive,
+        its send has happened.
+        """
+        ex = self.execution
+        out: List[int] = []
+        for i, c in enumerate(state):
+            nxt = c + 1
+            if nxt > self._lengths[i]:
+                continue
+            clock = ex.clock((i, nxt))
+            ok = True
+            for j, need in enumerate(clock):
+                if j != i and need > state[j]:
+                    ok = False
+                    break
+            if ok:
+                out.append(i)
+        return out
+
+    def successors(self, state: StateVector) -> List[StateVector]:
+        """The consistent states one event beyond ``state``."""
+        return [
+            state[:i] + (state[i] + 1,) + state[i + 1 :]
+            for i in self.enabled_advances(state)
+        ]
+
+    def meet(self, a: StateVector, b: StateVector) -> StateVector:
+        """Greatest lower bound (componentwise min)."""
+        return tuple(int(x) for x in np.minimum(a, b))
+
+    def join(self, a: StateVector, b: StateVector) -> StateVector:
+        """Least upper bound (componentwise max).
+
+        The join/meet of consistent states is consistent — the lattice
+        property the paper leans on (property-tested in the suite).
+        """
+        return tuple(int(x) for x in np.maximum(a, b))
+
+    def to_cut(self, state: StateVector) -> Cut:
+        """The state as a :class:`~repro.core.cuts.Cut`."""
+        return Cut(self.execution, state)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def levels(self) -> Iterator[List[StateVector]]:
+        """Level-order traversal: level t holds the consistent states
+        with exactly t events.  The classic Cooper–Marzullo sweep."""
+        current: Set[StateVector] = {self.bottom}
+        visited = 1
+        while current:
+            yield sorted(current)
+            nxt: Set[StateVector] = set()
+            for state in current:
+                for succ in self.successors(state):
+                    if succ not in nxt:
+                        nxt.add(succ)
+                        visited += 1
+                        if visited > self.limit:
+                            raise RuntimeError(
+                                f"lattice traversal exceeded limit="
+                                f"{self.limit}; raise the cap or use the "
+                                "conjunctive fast path"
+                            )
+            current = nxt
+
+    def iter_states(self) -> Iterator[StateVector]:
+        """All consistent global states, level by level."""
+        for level in self.levels():
+            yield from level
+
+    def count(self) -> int:
+        """Number of consistent global states (may be exponential)."""
+        return sum(len(level) for level in self.levels())

@@ -1,0 +1,121 @@
+"""Observations: linear extensions of the execution poset.
+
+An *observation* is one totally ordered view of the execution — a
+linear extension of ``≺``, equivalently a maximal path through the
+consistent-global-state lattice.  Observations give operational
+meaning to the detection modalities: ``Possibly(φ)`` holds iff *some*
+observation passes through a φ-state, ``Definitely(φ)`` iff *all* do.
+
+This module provides:
+
+* :func:`sample_observation` — a uniformly seeded (not uniformly
+  distributed) random linear extension, drawn by walking the lattice
+  through randomly chosen enabled advances;
+* :func:`observation_states` — the global-state path an observation
+  induces;
+* :func:`is_observation` — validity check for an event sequence;
+* :func:`count_observations` — the exact number of linear extensions
+  (path-counting DP over the lattice levels; exponential-size guard
+  inherited from the lattice traversal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..events.event import EventId
+from ..events.poset import Execution
+from .lattice import GlobalStateLattice, StateVector
+
+__all__ = [
+    "sample_observation",
+    "observation_states",
+    "is_observation",
+    "count_observations",
+]
+
+
+def sample_observation(
+    execution: Execution, rng: np.random.Generator
+) -> List[EventId]:
+    """One random observation (linear extension) of the execution.
+
+    Drawn by repeatedly advancing a uniformly chosen enabled node —
+    every linear extension has positive probability (though not all are
+    equally likely).
+    """
+    lattice = GlobalStateLattice(execution)
+    state = list(lattice.bottom)
+    order: List[EventId] = []
+    total = sum(execution.lengths)
+    while len(order) < total:
+        enabled = lattice.enabled_advances(tuple(state))
+        node = enabled[int(rng.integers(0, len(enabled)))]
+        state[node] += 1
+        order.append((node, state[node]))
+    return order
+
+
+def observation_states(
+    execution: Execution, order: Sequence[EventId]
+) -> List[StateVector]:
+    """The consistent-global-state path induced by an observation.
+
+    Returns ``len(order) + 1`` states from bottom to the final state.
+
+    Raises
+    ------
+    ValueError
+        If ``order`` is not a valid observation.
+    """
+    if not is_observation(execution, order):
+        raise ValueError("sequence is not a linear extension of ≺")
+    state = [0] * execution.num_nodes
+    path: List[StateVector] = [tuple(state)]
+    for node, idx in order:
+        state[node] = idx
+        path.append(tuple(state))
+    return path
+
+
+def is_observation(execution: Execution, order: Sequence[EventId]) -> bool:
+    """Is ``order`` a linear extension of the execution?
+
+    Requires every real event exactly once, per-node index order, and
+    every event after its causal predecessors.
+    """
+    seen = set()
+    counts = [0] * execution.num_nodes
+    for node, idx in order:
+        if not execution.is_real((node, idx)) or (node, idx) in seen:
+            return False
+        if idx != counts[node] + 1:
+            return False
+        clock = execution.clock((node, idx))
+        for j, need in enumerate(clock):
+            if j != node and need > counts[j]:
+                return False
+        counts[node] = idx
+        seen.add((node, idx))
+    return len(seen) == sum(execution.lengths)
+
+
+def count_observations(execution: Execution, limit: int = 200_000) -> int:
+    """Exact number of linear extensions of the execution.
+
+    Path-counting dynamic program over the lattice levels: the count of
+    paths into a state is the sum over its predecessors.  Subject to
+    the same ``limit`` guard as lattice traversal (linear extensions of
+    wide posets are astronomically many — the *lattice* must fit, the
+    count itself is returned as a Python int of any size).
+    """
+    lattice = GlobalStateLattice(execution, limit=limit)
+    paths: Dict[StateVector, int] = {lattice.bottom: 1}
+    for level in lattice.levels():
+        for state in level:
+            count = paths[state]
+            for succ in lattice.successors(state):
+                paths[succ] = paths.get(succ, 0) + count
+    return paths[lattice.top]

@@ -1,0 +1,31 @@
+"""Synchronization-condition specification, checking and online monitoring."""
+
+from .checker import AtomOutcome, CheckReport, ConditionChecker
+from .online import OnlineInterval, OnlineMonitor, WatchNotification
+from .predicates import (
+    And,
+    Atom,
+    Condition,
+    Implies,
+    Not,
+    Or,
+    ParseError,
+    parse_condition,
+)
+
+__all__ = [
+    "Condition",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "parse_condition",
+    "ParseError",
+    "ConditionChecker",
+    "CheckReport",
+    "AtomOutcome",
+    "OnlineMonitor",
+    "OnlineInterval",
+    "WatchNotification",
+]

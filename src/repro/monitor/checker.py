@@ -1,0 +1,119 @@
+"""Offline checking of synchronization conditions over recorded traces.
+
+:class:`ConditionChecker` binds the interval names of a
+:class:`~repro.monitor.predicates.Condition` to concrete nonatomic
+events and evaluates it with a configurable relation engine, reporting
+per-atom outcomes for diagnosis — the workflow of the paper's
+Problem 4 applied to application-level requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple, Union
+
+from ..core.evaluator import SynchronizationAnalyzer
+from ..nonatomic.event import NonatomicEvent
+from .predicates import Atom, Condition, parse_condition
+
+__all__ = ["AtomOutcome", "CheckReport", "ConditionChecker"]
+
+
+@dataclass(frozen=True, slots=True)
+class AtomOutcome:
+    """Result of one relation atom within a condition."""
+
+    atom: Atom
+    value: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.atom} = {self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class CheckReport:
+    """Outcome of checking one condition against bound intervals."""
+
+    condition: Condition
+    passed: bool
+    atoms: Tuple[AtomOutcome, ...]
+
+    @property
+    def failing_atoms(self) -> Tuple[AtomOutcome, ...]:
+        """Atoms that evaluated False (diagnostic aid; note that under
+        negations a False atom is not necessarily the *cause* of a
+        failed condition)."""
+        return tuple(a for a in self.atoms if not a.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"[{status}] {self.condition}"]
+        lines.extend(f"    {a}" for a in self.atoms)
+        return "\n".join(lines)
+
+
+class ConditionChecker:
+    """Evaluate parsed or textual conditions against named intervals.
+
+    Parameters
+    ----------
+    analyzer:
+        The relation evaluator (engine choice, proxy definition and
+        disjointness policy are configured there).
+    """
+
+    def __init__(self, analyzer: SynchronizationAnalyzer) -> None:
+        self.analyzer = analyzer
+
+    def check(
+        self,
+        condition: Union[str, Condition],
+        bindings: Mapping[str, NonatomicEvent],
+    ) -> CheckReport:
+        """Check one condition.
+
+        Parameters
+        ----------
+        condition:
+            A :class:`Condition` or its textual form.
+        bindings:
+            Maps every interval name the condition mentions to a
+            nonatomic event of the analyzer's execution.
+
+        Raises
+        ------
+        KeyError
+            If a mentioned name is unbound.
+        """
+        if isinstance(condition, str):
+            condition = parse_condition(condition)
+        missing = condition.names() - set(bindings)
+        if missing:
+            raise KeyError(
+                f"condition mentions unbound interval(s): {sorted(missing)}"
+            )
+        outcomes: Dict[Atom, bool] = {}
+
+        def atom_eval(atom: Atom) -> bool:
+            if atom not in outcomes:
+                outcomes[atom] = self.analyzer.holds(
+                    atom.spec, bindings[atom.left], bindings[atom.right]
+                )
+            return outcomes[atom]
+
+        passed = condition.evaluate(atom_eval)
+        return CheckReport(
+            condition=condition,
+            passed=passed,
+            atoms=tuple(AtomOutcome(a, v) for a, v in outcomes.items()),
+        )
+
+    def check_all(
+        self,
+        conditions: Mapping[str, Union[str, Condition]],
+        bindings: Mapping[str, NonatomicEvent],
+    ) -> Dict[str, CheckReport]:
+        """Check a named set of conditions against shared bindings."""
+        return {
+            name: self.check(cond, bindings) for name, cond in conditions.items()
+        }

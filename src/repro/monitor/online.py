@@ -1,0 +1,310 @@
+"""Online (streaming) monitoring of synchronization conditions.
+
+The offline engines need the *reverse* timestamp structure, which only
+exists once the whole trace is recorded.  A real-time monitor cannot
+wait for termination — so this module evaluates the relations through
+equivalent **past-only** conditions that use nothing but the forward
+vector clocks available the moment an event is observed:
+
+======== ============================================================ ==========
+Relation Past-only condition (disjoint X, Y)                          Cost
+======== ============================================================ ==========
+R1, R1'  ``∀m ∈ N_X: T(∩⇓Y)[m] ≥ lastX[m]``                           |N_X|
+R2       ``∀m ∈ N_X: T(∪⇓Y)[m] ≥ lastX[m]``                           |N_X|
+R3       ``∃m ∈ N_X: T(∩⇓Y)[m] ≥ firstX[m]``                          |N_X|
+R4, R4'  ``∃m ∈ N_X: T(∪⇓Y)[m] ≥ firstX[m]``                          |N_X|
+R2'      ``∃i ∈ N_Y ∀m ∈ N_X: T(y_last(i))[m] ≥ lastX[m]``            |N_X|·|N_Y|
+R3'      ``∀i ∈ N_Y ∃m ∈ N_X: T(y_first(i))[m] ≥ firstX[m]``          |N_X|·|N_Y|
+======== ============================================================ ==========
+
+(The future-cut forms of R2'/R3' are linear but need ``T^R``; online,
+those two relations fall back to the polynomial past-only form — the
+price of not knowing the future.)
+
+Usage: feed events through :meth:`OnlineMonitor.internal` /
+:meth:`send` / :meth:`recv`, tag them into named intervals, ``close``
+an interval when the application activity completes, and query
+:meth:`holds` — or register :meth:`watch` conditions that fire as soon
+as every interval they mention is closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.relations import Relation, RelationSpec, parse_spec
+from ..events.builder import MessageHandle, TraceBuilder
+from ..events.event import EventId
+from ..events.poset import Execution
+from ..nonatomic.proxies import Proxy
+from .predicates import Atom, Condition, parse_condition
+
+__all__ = ["OnlineInterval", "OnlineMonitor", "WatchNotification"]
+
+
+class OnlineInterval:
+    """A nonatomic event being assembled from a live stream."""
+
+    __slots__ = ("name", "first", "last", "count", "closed")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.first: Dict[int, int] = {}
+        self.last: Dict[int, int] = {}
+        self.count = 0
+        self.closed = False
+
+    def add(self, eid: EventId) -> None:
+        node, idx = eid
+        if node not in self.first:
+            self.first[node] = idx
+        self.last[node] = idx
+        self.count += 1
+
+    @property
+    def node_set(self) -> Tuple[int, ...]:
+        """Nodes the interval spans (sorted)."""
+        return tuple(sorted(self.first))
+
+
+@dataclass(frozen=True, slots=True)
+class WatchNotification:
+    """Emitted when a watched condition becomes decidable."""
+
+    name: str
+    condition: Condition
+    passed: bool
+    decided_at: float
+
+
+class OnlineMonitor:
+    """Streaming trace ingestion + past-only relation evaluation.
+
+    Events must be fed in per-node program order (any interleaving
+    across nodes); receives must follow their sends — exactly the order
+    a real monitoring point observes.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self._builder = TraceBuilder(num_nodes)
+        self.num_nodes = num_nodes
+        self._clocks: List[List[np.ndarray]] = [[] for _ in range(num_nodes)]
+        self._intervals: Dict[str, OnlineInterval] = {}
+        self._watches: List[Tuple[str, Condition]] = []
+        self.notifications: List[WatchNotification] = []
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def _advance_clock(
+        self, node: int, extra: Optional[np.ndarray]
+    ) -> np.ndarray:
+        rows = self._clocks[node]
+        row = rows[-1].copy() if rows else np.zeros(self.num_nodes, np.int64)
+        if extra is not None:
+            np.maximum(row, extra, out=row)
+        row[node] += 1
+        rows.append(row)
+        return row
+
+    def _tag(self, eid: EventId, interval: Optional[str]) -> EventId:
+        if interval is not None:
+            iv = self._intervals.setdefault(interval, OnlineInterval(interval))
+            if iv.closed:
+                raise ValueError(f"interval {interval!r} is already closed")
+            iv.add(eid)
+        return eid
+
+    def internal(
+        self,
+        node: int,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+        interval: Optional[str] = None,
+    ) -> EventId:
+        """Observe an internal event (optionally tagged into an interval)."""
+        if time is not None:
+            self._now = max(self._now, time)
+        eid = self._builder.internal(node, label=label, time=time)
+        self._advance_clock(node, None)
+        return self._tag(eid, interval)
+
+    def send(
+        self,
+        node: int,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+        interval: Optional[str] = None,
+    ) -> MessageHandle:
+        """Observe a send event; returns the handle for its receive."""
+        if time is not None:
+            self._now = max(self._now, time)
+        handle = self._builder.send(node, label=label, time=time)
+        self._advance_clock(node, None)
+        self._tag(handle.send, interval)
+        return handle
+
+    def recv(
+        self,
+        node: int,
+        handle: MessageHandle,
+        *,
+        label: Optional[str] = None,
+        time: Optional[float] = None,
+        interval: Optional[str] = None,
+    ) -> EventId:
+        """Observe the receive matching ``handle``."""
+        if time is not None:
+            self._now = max(self._now, time)
+        s_node, s_idx = handle.send
+        if s_idx > len(self._clocks[s_node]):
+            raise ValueError("receive observed before its send")
+        eid = self._builder.recv(node, handle, label=label, time=time)
+        self._advance_clock(node, self._clocks[s_node][s_idx - 1])
+        return self._tag(eid, interval)
+
+    # ------------------------------------------------------------------
+    # clock queries
+    # ------------------------------------------------------------------
+    def clock(self, eid: EventId) -> np.ndarray:
+        """Forward vector timestamp of an observed event."""
+        node, idx = eid
+        return self._clocks[node][idx - 1]
+
+    def precedes(self, a: EventId, b: EventId) -> bool:
+        """``a ≺ b`` among observed events."""
+        return a != b and bool(self.clock(b)[a[0]] >= a[1])
+
+    # ------------------------------------------------------------------
+    # intervals and watches
+    # ------------------------------------------------------------------
+    def interval(self, name: str) -> OnlineInterval:
+        """Get (or create) the named interval."""
+        return self._intervals.setdefault(name, OnlineInterval(name))
+
+    def close(self, name: str) -> List[WatchNotification]:
+        """Mark an interval complete; fires any now-decidable watches.
+
+        Raises
+        ------
+        KeyError
+            If no such interval exists.
+        ValueError
+            If the interval is empty.
+        """
+        iv = self._intervals[name]
+        if iv.count == 0:
+            raise ValueError(f"cannot close empty interval {name!r}")
+        iv.closed = True
+        fired: List[WatchNotification] = []
+        remaining: List[Tuple[str, Condition]] = []
+        for wname, cond in self._watches:
+            needed = cond.names()
+            if all(
+                n in self._intervals and self._intervals[n].closed for n in needed
+            ):
+                note = WatchNotification(
+                    name=wname,
+                    condition=cond,
+                    passed=cond.evaluate(self._atom_eval),
+                    decided_at=self._now,
+                )
+                fired.append(note)
+                self.notifications.append(note)
+            else:
+                remaining.append((wname, cond))
+        self._watches = remaining
+        return fired
+
+    def watch(self, name: str, condition: Union[str, Condition]) -> None:
+        """Register a condition to evaluate once its intervals close."""
+        if isinstance(condition, str):
+            condition = parse_condition(condition)
+        self._watches.append((name, condition))
+
+    # ------------------------------------------------------------------
+    # past-only relation evaluation
+    # ------------------------------------------------------------------
+    def _closed(self, name: str) -> OnlineInterval:
+        iv = self._intervals[name]
+        if not iv.closed:
+            raise ValueError(f"interval {name!r} is not closed yet")
+        return iv
+
+    def _proxy_bounds(
+        self, iv: OnlineInterval, proxy: Optional[Proxy]
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """(first, last) index maps of the interval or one of its proxies."""
+        if proxy is None:
+            return iv.first, iv.last
+        if proxy is Proxy.L:
+            return iv.first, iv.first
+        return iv.last, iv.last
+
+    def _eval_base(
+        self,
+        relation: Relation,
+        xfirst: Dict[int, int],
+        xlast: Dict[int, int],
+        yfirst: Dict[int, int],
+        ylast: Dict[int, int],
+    ) -> bool:
+        nx = sorted(xfirst)
+        y_first_clocks = [self.clock((n, j)) for n, j in sorted(yfirst.items())]
+        y_last_clocks = [self.clock((n, j)) for n, j in sorted(ylast.items())]
+        ty1 = np.minimum.reduce(y_first_clocks)  # T(∩⇓Y)
+        ty2 = np.maximum.reduce(y_last_clocks)  # T(∪⇓Y)
+        if relation in (Relation.R1, Relation.R1P):
+            return all(ty1[m] >= xlast[m] for m in nx)
+        if relation is Relation.R2:
+            return all(ty2[m] >= xlast[m] for m in nx)
+        if relation is Relation.R3:
+            return any(ty1[m] >= xfirst[m] for m in nx)
+        if relation in (Relation.R4, Relation.R4P):
+            return any(ty2[m] >= xfirst[m] for m in nx)
+        if relation is Relation.R2P:
+            return any(
+                all(c[m] >= xlast[m] for m in nx) for c in y_last_clocks
+            )
+        if relation is Relation.R3P:
+            return all(
+                any(c[m] >= xfirst[m] for m in nx) for c in y_first_clocks
+            )
+        raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
+
+    def holds(
+        self,
+        spec: Union[str, Relation, RelationSpec],
+        x_name: str,
+        y_name: str,
+    ) -> bool:
+        """Evaluate a relation between two *closed* intervals online.
+
+        Semantically identical to the offline engines (for disjoint
+        intervals), but uses only forward clocks.
+        """
+        if isinstance(spec, str):
+            spec = parse_spec(spec)
+        x = self._closed(x_name)
+        y = self._closed(y_name)
+        if isinstance(spec, RelationSpec):
+            xf, xl = self._proxy_bounds(x, spec.proxy_x)
+            yf, yl = self._proxy_bounds(y, spec.proxy_y)
+            return self._eval_base(spec.relation, xf, xl, yf, yl)
+        return self._eval_base(spec, x.first, x.last, y.first, y.last)
+
+    def _atom_eval(self, atom: Atom) -> bool:
+        return self.holds(atom.spec, atom.left, atom.right)
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def to_execution(self) -> Execution:
+        """Finalise the observed trace into an offline execution."""
+        return self._builder.execute()

@@ -1,0 +1,304 @@
+"""Synchronization-condition specification language.
+
+Real-time applications express their synchronization requirements as
+boolean combinations of the 32 relations over named nonatomic events —
+e.g. *"the track must be fully confirmed before any interceptor
+launches, and the two launches must not causally interfere"*:
+
+.. code-block:: text
+
+    R1(U,L)(track, launch1) and R1(U,L)(track, launch2)
+        and not R4(launch1, launch2) and not R4(launch2, launch1)
+
+This module defines the condition AST and a small recursive-descent
+parser for the textual syntax:
+
+.. code-block:: text
+
+    expr    := implies
+    implies := or ( '->' or )?
+    or      := and ( 'or' and )*
+    and     := unary ( 'and' unary )*
+    unary   := 'not' unary | '(' expr ')' | atom
+    atom    := RELATION [ '(' PROXY ',' PROXY ')' ] '(' NAME ',' NAME ')'
+    RELATION := 'R1' | "R1'" | ... | "R4'"
+    PROXY    := 'L' | 'U'
+
+A bare ``RELATION(X, Y)`` applies the base relation to the full
+intervals; with a proxy clause it names a 32-family member.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple, Union
+
+from ..core.relations import Relation, RelationSpec, parse_spec
+
+__all__ = [
+    "Condition",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "parse_condition",
+    "ParseError",
+]
+
+
+class ParseError(ValueError):
+    """Raised on malformed condition syntax."""
+
+
+class Condition(abc.ABC):
+    """A boolean synchronization condition over named intervals."""
+
+    @abc.abstractmethod
+    def names(self) -> FrozenSet[str]:
+        """All interval names the condition mentions."""
+
+    @abc.abstractmethod
+    def evaluate(self, atom_eval) -> bool:
+        """Evaluate given ``atom_eval(atom) -> bool``."""
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Condition):
+    """One relation applied to two named intervals."""
+
+    spec: Union[Relation, RelationSpec]
+    left: str
+    right: str
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset((self.left, self.right))
+
+    def evaluate(self, atom_eval) -> bool:
+        return atom_eval(self)
+
+    def __str__(self) -> str:
+        spec = self.spec.display if hasattr(self.spec, "display") else str(self.spec)
+        return f"{spec}({self.left},{self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Condition):
+    """Logical negation."""
+
+    operand: Condition
+
+    def names(self) -> FrozenSet[str]:
+        return self.operand.names()
+
+    def evaluate(self, atom_eval) -> bool:
+        return not self.operand.evaluate(atom_eval)
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Condition):
+    """Logical conjunction."""
+
+    operands: Tuple[Condition, ...]
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset().union(*(c.names() for c in self.operands))
+
+    def evaluate(self, atom_eval) -> bool:
+        return all(c.evaluate(atom_eval) for c in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Condition):
+    """Logical disjunction."""
+
+    operands: Tuple[Condition, ...]
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset().union(*(c.names() for c in self.operands))
+
+    def evaluate(self, atom_eval) -> bool:
+        return any(c.evaluate(atom_eval) for c in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Implies(Condition):
+    """Logical implication (``a -> b``)."""
+
+    antecedent: Condition
+    consequent: Condition
+
+    def names(self) -> FrozenSet[str]:
+        return self.antecedent.names() | self.consequent.names()
+
+    def evaluate(self, atom_eval) -> bool:
+        return (not self.antecedent.evaluate(atom_eval)) or self.consequent.evaluate(
+            atom_eval
+        )
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+# ----------------------------------------------------------------------
+# tokenizer / parser
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<rel>R[1-4]')|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<arrow>->)|(?P<punct>[(),]))"
+)
+
+_KEYWORDS = {"and", "or", "not"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character at {text[pos:pos + 10]!r}")
+            break
+        pos = m.end()
+        if m.group("rel"):
+            tokens.append(("rel", m.group("rel")))
+        elif m.group("word"):
+            w = m.group("word")
+            if w in _KEYWORDS:
+                tokens.append((w, w))
+            elif re.fullmatch(r"R[1-4]", w):
+                tokens.append(("rel", w))
+            else:
+                tokens.append(("name", w))
+        elif m.group("arrow"):
+            tokens.append(("->", "->"))
+        else:
+            tokens.append((m.group("punct"), m.group("punct")))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> str:
+        tok = self.advance()
+        if tok[0] != kind:
+            raise ParseError(f"expected {kind!r}, got {tok[1]!r}")
+        return tok[1]
+
+    # grammar -----------------------------------------------------------
+    def parse(self) -> Condition:
+        cond = self.implies()
+        if self.peek()[0] != "eof":
+            raise ParseError(f"trailing input at {self.peek()[1]!r}")
+        return cond
+
+    def implies(self) -> Condition:
+        left = self.or_expr()
+        if self.peek()[0] == "->":
+            self.advance()
+            return Implies(left, self.or_expr())
+        return left
+
+    def or_expr(self) -> Condition:
+        parts = [self.and_expr()]
+        while self.peek()[0] == "or":
+            self.advance()
+            parts.append(self.and_expr())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def and_expr(self) -> Condition:
+        parts = [self.unary()]
+        while self.peek()[0] == "and":
+            self.advance()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def unary(self) -> Condition:
+        kind, _ = self.peek()
+        if kind == "not":
+            self.advance()
+            return Not(self.unary())
+        if kind == "(":
+            self.advance()
+            inner = self.implies()
+            self.expect(")")
+            return inner
+        return self.atom()
+
+    def atom(self) -> Condition:
+        rel_text = self.expect("rel")
+        self.expect("(")
+        first = self.advance()
+        # Either a proxy clause "(L,U)(X,Y)" or directly "(X,Y)".
+        if first[0] == "name" and first[1] in ("L", "U"):
+            # could still be an interval literally named L/U; disambiguate
+            # by the shape: proxy clause is followed by ',' PROXY ')' '('.
+            save = self.pos
+            if (
+                self.peek()[0] == ","
+                and self.tokens[self.pos + 1][1] in ("L", "U")
+                and self.tokens[self.pos + 2][0] == ")"
+                and self.tokens[self.pos + 3][0] == "("
+            ):
+                self.advance()  # ','
+                proxy_y = self.advance()[1]
+                self.expect(")")
+                self.expect("(")
+                left = self.expect("name")
+                self.expect(",")
+                right = self.expect("name")
+                self.expect(")")
+                spec = parse_spec(f"{rel_text}({first[1]},{proxy_y})")
+                return Atom(spec, left, right)
+            self.pos = save
+        if first[0] != "name":
+            raise ParseError(f"expected interval name, got {first[1]!r}")
+        left = first[1]
+        self.expect(",")
+        right = self.expect("name")
+        self.expect(")")
+        return Atom(parse_spec(rel_text), left, right)
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a condition expression (see module docstring for syntax).
+
+    Raises
+    ------
+    ParseError
+        On malformed input.
+    """
+    return _Parser(text).parse()

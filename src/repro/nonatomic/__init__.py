@@ -1,0 +1,24 @@
+"""Nonatomic poset events, their node sets, proxies, and selection."""
+
+from .event import NonatomicEvent
+from .proxies import Proxy, ProxyDefinition, ProxyUndefinedError, proxy_of
+from .selection import (
+    by_label,
+    by_label_prefix,
+    by_window,
+    random_disjoint_pair,
+    random_interval,
+)
+
+__all__ = [
+    "NonatomicEvent",
+    "Proxy",
+    "ProxyDefinition",
+    "ProxyUndefinedError",
+    "proxy_of",
+    "by_label",
+    "by_label_prefix",
+    "by_window",
+    "random_interval",
+    "random_disjoint_pair",
+]

@@ -1,0 +1,23 @@
+"""Physical-time analysis and combined causal+temporal constraints."""
+
+from .constraints import RealTimeChecker, TimedConstraint, TimedReport
+from .timing import (
+    IntervalSpan,
+    JitterStats,
+    UntimedEventError,
+    interval_span,
+    latency,
+    periodic_jitter,
+)
+
+__all__ = [
+    "IntervalSpan",
+    "interval_span",
+    "latency",
+    "JitterStats",
+    "periodic_jitter",
+    "UntimedEventError",
+    "TimedConstraint",
+    "TimedReport",
+    "RealTimeChecker",
+]

@@ -1,0 +1,139 @@
+"""Combined causal + temporal constraints.
+
+A real-time synchronization requirement has two halves: the *causal*
+half ("the actuation is caused by this round's samples" — a relation
+condition) and the *temporal* half ("and happens within 50 ms").  A
+:class:`TimedConstraint` bundles both; :class:`RealTimeChecker`
+evaluates sets of them over a trace and reports which half failed —
+the distinction an engineer needs when debugging (a causal failure is
+a logic bug; a temporal one is a scheduling/latency bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..core.evaluator import SynchronizationAnalyzer
+from ..monitor.predicates import Condition, parse_condition
+from ..nonatomic.event import NonatomicEvent
+from .timing import latency
+
+__all__ = ["TimedConstraint", "TimedReport", "RealTimeChecker"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimedConstraint:
+    """One requirement between two named intervals.
+
+    Parameters
+    ----------
+    name:
+        Report label.
+    causal:
+        A relation condition (text or AST) over interval names; may be
+        None for purely temporal constraints.
+    source, target:
+        Interval names the temporal bound applies to.
+    max_latency / min_latency:
+        Inclusive bounds on ``latency(source, target, anchor)``; either
+        may be None.
+    anchor:
+        Measurement anchors, per :func:`repro.realtime.timing.latency`.
+    """
+
+    name: str
+    source: str
+    target: str
+    causal: Optional[Union[str, Condition]] = None
+    max_latency: Optional[float] = None
+    min_latency: Optional[float] = None
+    anchor: Tuple[str, str] = ("end", "start")
+
+
+@dataclass(frozen=True, slots=True)
+class TimedReport:
+    """Outcome of one timed constraint."""
+
+    constraint: TimedConstraint
+    causal_ok: bool
+    temporal_ok: bool
+    measured_latency: Optional[float]
+
+    @property
+    def passed(self) -> bool:
+        """Both halves hold."""
+        return self.causal_ok and self.temporal_ok
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        lat = (
+            f"{self.measured_latency:.3f}"
+            if self.measured_latency is not None
+            else "n/a"
+        )
+        return (
+            f"[{status}] {self.constraint.name}: causal={self.causal_ok} "
+            f"temporal={self.temporal_ok} (latency={lat})"
+        )
+
+
+class RealTimeChecker:
+    """Evaluate timed constraints over named intervals.
+
+    Parameters
+    ----------
+    analyzer:
+        Relation evaluator for the causal halves.
+    """
+
+    def __init__(self, analyzer: SynchronizationAnalyzer) -> None:
+        self.analyzer = analyzer
+
+    def check(
+        self,
+        constraint: TimedConstraint,
+        bindings: Mapping[str, NonatomicEvent],
+    ) -> TimedReport:
+        """Evaluate one constraint against bound intervals."""
+        from ..monitor.checker import ConditionChecker
+
+        causal_ok = True
+        if constraint.causal is not None:
+            cond = (
+                parse_condition(constraint.causal)
+                if isinstance(constraint.causal, str)
+                else constraint.causal
+            )
+            causal_ok = ConditionChecker(self.analyzer).check(
+                cond, bindings
+            ).passed
+
+        measured: Optional[float] = None
+        temporal_ok = True
+        if constraint.max_latency is not None or constraint.min_latency is not None:
+            measured = latency(
+                bindings[constraint.source],
+                bindings[constraint.target],
+                anchor=constraint.anchor,
+            )
+            if constraint.max_latency is not None:
+                temporal_ok = temporal_ok and measured <= constraint.max_latency
+            if constraint.min_latency is not None:
+                temporal_ok = temporal_ok and measured >= constraint.min_latency
+        return TimedReport(
+            constraint=constraint,
+            causal_ok=causal_ok,
+            temporal_ok=temporal_ok,
+            measured_latency=measured,
+        )
+
+    def check_all(
+        self,
+        constraints: Mapping[str, TimedConstraint],
+        bindings: Mapping[str, NonatomicEvent],
+    ) -> Dict[str, TimedReport]:
+        """Evaluate a named set of constraints against shared bindings."""
+        return {
+            name: self.check(c, bindings) for name, c in constraints.items()
+        }

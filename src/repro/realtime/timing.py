@@ -1,0 +1,132 @@
+"""Physical-time analysis of nonatomic events.
+
+The relations of the paper are *causal*; real-time applications pair
+them with *temporal* constraints on the physical timestamps the trace
+records ("the actuation must follow the sample causally **and** within
+50 ms").  This module provides the timing side:
+
+* :func:`interval_span` — first/last physical timestamps of an
+  interval's component events;
+* :func:`latency` — elapsed time between two intervals, measured
+  between configurable anchors (start/end of each);
+* :func:`periodic_jitter` — period statistics of a recurring interval
+  family (process-control loops, media streams).
+
+Events without timestamps make these undefined —
+:class:`UntimedEventError` is raised rather than guessed around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..nonatomic.event import NonatomicEvent
+
+__all__ = [
+    "UntimedEventError",
+    "IntervalSpan",
+    "interval_span",
+    "latency",
+    "JitterStats",
+    "periodic_jitter",
+]
+
+
+class UntimedEventError(ValueError):
+    """Raised when a timing query touches an event with no timestamp."""
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalSpan:
+    """Physical extent of a nonatomic event."""
+
+    start: float  # earliest component timestamp
+    end: float  # latest component timestamp
+
+    @property
+    def duration(self) -> float:
+        """``end - start`` (0 for instantaneous intervals)."""
+        return self.end - self.start
+
+
+def interval_span(x: NonatomicEvent) -> IntervalSpan:
+    """The physical time span of ``x``'s component events.
+
+    Raises
+    ------
+    UntimedEventError
+        If any component event lacks a timestamp.
+    """
+    times: List[float] = []
+    for eid in x.ids:
+        t = x.execution.event(eid).time
+        if t is None:
+            raise UntimedEventError(
+                f"event {eid} of interval {x.name or ''} has no timestamp"
+            )
+        times.append(t)
+    return IntervalSpan(start=min(times), end=max(times))
+
+
+def latency(
+    x: NonatomicEvent,
+    y: NonatomicEvent,
+    anchor: Tuple[str, str] = ("end", "start"),
+) -> float:
+    """Elapsed physical time from ``x`` to ``y``.
+
+    ``anchor`` picks the measurement points: ``("end", "start")`` (the
+    default) is the classic response-time reading — from X's last
+    event to Y's first.  Negative results mean Y's anchor lies before
+    X's in physical time (temporal overlap or reordering).
+    """
+    sx, sy = interval_span(x), interval_span(y)
+    points = {
+        "start": (sx.start, sy.start),
+        "end": (sx.end, sy.end),
+    }
+    if anchor[0] not in points or anchor[1] not in points:
+        raise ValueError(f"anchors must be 'start' or 'end', got {anchor!r}")
+    from_t = sx.start if anchor[0] == "start" else sx.end
+    to_t = sy.start if anchor[1] == "start" else sy.end
+    return to_t - from_t
+
+
+@dataclass(frozen=True, slots=True)
+class JitterStats:
+    """Period statistics of a recurring interval family."""
+
+    periods: Tuple[float, ...]  # successive start-to-start gaps
+    mean: float
+    stdev: float
+    min: float
+    max: float
+
+    @property
+    def jitter(self) -> float:
+        """Peak-to-peak period variation (``max - min``)."""
+        return self.max - self.min
+
+
+def periodic_jitter(intervals: Sequence[NonatomicEvent]) -> JitterStats:
+    """Start-to-start period statistics over ``intervals`` in order.
+
+    Raises
+    ------
+    ValueError
+        With fewer than two intervals.
+    """
+    if len(intervals) < 2:
+        raise ValueError("need at least two intervals to measure a period")
+    starts = [interval_span(iv).start for iv in intervals]
+    gaps = np.diff(np.asarray(starts, dtype=float))
+    return JitterStats(
+        periods=tuple(float(g) for g in gaps),
+        mean=float(gaps.mean()),
+        stdev=float(gaps.std()),
+        min=float(gaps.min()),
+        max=float(gaps.max()),
+    )

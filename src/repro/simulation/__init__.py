@@ -1,0 +1,54 @@
+"""Distributed-execution simulator and workload generators."""
+
+from .engine import SimulationResult, Simulator, simulate
+from .network import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
+from .process import Context, FunctionProcess, Process
+from .scenarios import Figure1, Figure2, Figure3, figure1, figure2, figure3
+from .workloads import (
+    barrier_trace,
+    primary_backup_trace,
+    scatter_gather_trace,
+    broadcast_trace,
+    client_server_trace,
+    layered_trace,
+    pipeline_trace,
+    random_execution,
+    random_trace,
+    ring_trace,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "Network",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Process",
+    "FunctionProcess",
+    "Context",
+    "random_trace",
+    "random_execution",
+    "ring_trace",
+    "pipeline_trace",
+    "broadcast_trace",
+    "client_server_trace",
+    "barrier_trace",
+    "layered_trace",
+    "scatter_gather_trace",
+    "primary_backup_trace",
+    "Figure1",
+    "Figure2",
+    "Figure3",
+    "figure1",
+    "figure2",
+    "figure3",
+]

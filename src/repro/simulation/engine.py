@@ -1,0 +1,220 @@
+"""Discrete-event message-passing simulator.
+
+Produces the *recorded traces of distributed computations* that the
+paper's Problem 4 takes as input.  The engine is a classic
+priority-queue discrete-event loop:
+
+* processes react to start / message / timer stimuli (:mod:`.process`);
+* the network decides delivery times and losses (:mod:`.network`);
+* every action appends an event (with its physical timestamp) to a
+  :class:`~repro.events.builder.TraceBuilder`, so the happened-before
+  structure falls out of the recorded send/receive pairs.
+
+Determinism: all randomness flows through one seeded
+``numpy.random.Generator``; equal seeds give identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events.builder import MessageHandle, TraceBuilder
+from ..events.event import EventId
+from ..events.poset import Execution
+from ..events.trace import Trace
+from .network import Network
+from .process import Context, Process
+
+__all__ = ["Simulator", "SimulationResult", "simulate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    trace: Trace
+    end_time: float
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    timers_fired: int
+
+    def execute(self) -> Execution:
+        """Analyse the trace (compute both timestamp structures)."""
+        return Execution(self.trace)
+
+
+@dataclass(order=True)
+class _Item:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    node: int = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    label: Optional[str] = field(compare=False, default=None)
+    src: int = field(compare=False, default=-1)
+    handle: Optional[MessageHandle] = field(compare=False, default=None)
+    tag: Any = field(compare=False, default=None)
+
+
+class Simulator:
+    """Run a set of :class:`Process` objects over a :class:`Network`.
+
+    Parameters
+    ----------
+    processes:
+        One process per node; node ``i`` runs ``processes[i]``.
+    network:
+        Message-delivery policy (default: FIFO, constant latency 1).
+    seed:
+        Seed for the simulation-wide random generator.
+    max_time:
+        Hard stop: no stimulus later than this is delivered.
+    max_events:
+        Hard stop on the number of recorded events (guards runaway
+        programs).
+    crash_times:
+        Optional crash-stop fault injection: ``{node: time}``.  From
+        its crash time onward a node receives no deliveries and no
+        timer callbacks (messages addressed to it are counted as
+        dropped), so it records no further events — the standard
+        crash-stop failure model.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        network: Network | None = None,
+        seed: int = 0,
+        max_time: float = float("inf"),
+        max_events: int = 1_000_000,
+        crash_times: dict[int, float] | None = None,
+    ) -> None:
+        if not processes:
+            raise ValueError("need at least one process")
+        self.processes: Tuple[Process, ...] = tuple(processes)
+        self.network = network if network is not None else Network()
+        self.rng = np.random.default_rng(seed)
+        self.max_time = float(max_time)
+        self.max_events = int(max_events)
+        self.crash_times = dict(crash_times or {})
+        for node in self.crash_times:
+            if not (0 <= node < len(self.processes)):
+                raise ValueError(f"crash_times names unknown node {node}")
+        self.now: float = 0.0
+        self.num_nodes = len(self.processes)
+        self._builder = TraceBuilder(self.num_nodes)
+        self._queue: List[_Item] = []
+        self._seq = itertools.count()
+        self._stop_requested = False
+        self._sent = 0
+        self._delivered = 0
+        self._dropped = 0
+        self._timers = 0
+
+    # ------------------------------------------------------------------
+    # recording hooks (called by Context)
+    # ------------------------------------------------------------------
+    def _check_budget(self) -> None:
+        total = sum(self._builder.count(i) for i in range(self.num_nodes))
+        if total >= self.max_events:
+            raise RuntimeError(
+                f"simulation exceeded max_events={self.max_events}; "
+                "likely an unbounded process program"
+            )
+
+    def _record_internal(self, node: int, label, payload) -> EventId:
+        self._check_budget()
+        return self._builder.internal(node, label=label, time=self.now,
+                                      payload=payload)
+
+    def _record_send(self, node: int, dst: int, payload, label) -> EventId:
+        if not (0 <= dst < self.num_nodes):
+            raise ValueError(f"send to unknown node {dst}")
+        self._check_budget()
+        handle = self._builder.send(node, label=label, time=self.now,
+                                    payload=payload)
+        self._sent += 1
+        deliver_at = self.network.delivery_time(self.rng, node, dst, self.now)
+        if deliver_at is None:
+            self._dropped += 1
+        else:
+            heapq.heappush(
+                self._queue,
+                _Item(deliver_at, next(self._seq), "deliver", dst,
+                      payload=payload, label=label, src=node, handle=handle),
+            )
+        return handle.send
+
+    def _schedule_timer(self, node: int, delay: float, tag) -> None:
+        if delay < 0:
+            raise ValueError("timer delay must be >= 0")
+        heapq.heappush(
+            self._queue,
+            _Item(self.now + delay, next(self._seq), "timer", node, tag=tag),
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute until quiescence, a stop request, or a limit."""
+        self.network.reset()
+        for node, proc in enumerate(self.processes):
+            crash_at = self.crash_times.get(node)
+            if crash_at is not None and crash_at <= 0.0:
+                continue  # crashed before start
+            proc.on_start(Context(self, node))
+            if self._stop_requested:
+                break
+        while self._queue and not self._stop_requested:
+            item = heapq.heappop(self._queue)
+            if item.time > self.max_time:
+                break
+            crash_at = self.crash_times.get(item.node)
+            if crash_at is not None and item.time >= crash_at:
+                if item.kind == "deliver":
+                    self._dropped += 1
+                continue  # crash-stop: the node no longer reacts
+            self.now = item.time
+            ctx = Context(self, item.node)
+            if item.kind == "deliver":
+                self._builder.recv(
+                    item.node, item.handle, label=item.label, time=self.now,
+                    payload=item.payload,
+                )
+                self._delivered += 1
+                self.processes[item.node].on_message(
+                    ctx, item.payload, item.label, item.src
+                )
+            else:  # timer
+                self._timers += 1
+                self.processes[item.node].on_timer(ctx, item.tag)
+        return SimulationResult(
+            trace=self._builder.build(),
+            end_time=self.now,
+            messages_sent=self._sent,
+            messages_delivered=self._delivered,
+            messages_dropped=self._dropped,
+            timers_fired=self._timers,
+        )
+
+
+def simulate(
+    processes: Sequence[Process],
+    network: Network | None = None,
+    seed: int = 0,
+    max_time: float = float("inf"),
+    max_events: int = 1_000_000,
+    crash_times: dict[int, float] | None = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        processes, network=network, seed=seed, max_time=max_time,
+        max_events=max_events, crash_times=crash_times,
+    ).run()

@@ -1,0 +1,119 @@
+"""Network models for the distributed-execution simulator.
+
+The simulator needs only one thing from the network: *when* (and
+whether) each message arrives.  A :class:`Network` combines a latency
+model with optional FIFO channel ordering and message loss.  Losses are
+legal in the event model — a send without a matching receive simply
+contributes no causality edge.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Network",
+]
+
+
+class LatencyModel(abc.ABC):
+    """Samples per-message network delay."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        """One delay draw for a ``src → dst`` message (must be > 0)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = float(delay)
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not (0 < low <= high):
+            raise ValueError("need 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delay with the given mean, plus a
+    floor so delays stay strictly positive."""
+
+    def __init__(self, mean: float = 1.0, floor: float = 1e-6) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self.mean = float(mean)
+        self.floor = float(floor)
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return self.floor + float(rng.exponential(self.mean))
+
+
+class Network:
+    """Message-delivery policy: latency + FIFO ordering + loss.
+
+    Parameters
+    ----------
+    latency:
+        The delay distribution (default: constant 1.0).
+    fifo:
+        If True, deliveries on each directed channel ``(src, dst)``
+        respect send order (delivery times are made monotone per
+        channel).
+    drop_prob:
+        Probability that a message is silently lost.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        fifo: bool = True,
+        drop_prob: float = 0.0,
+    ) -> None:
+        if not (0.0 <= drop_prob < 1.0):
+            raise ValueError("drop_prob must be in [0, 1)")
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.fifo = fifo
+        self.drop_prob = float(drop_prob)
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+
+    def reset(self) -> None:
+        """Clear per-channel FIFO state (called between simulations)."""
+        self._last_delivery.clear()
+
+    def delivery_time(
+        self, rng: np.random.Generator, src: int, dst: int, send_time: float
+    ) -> float | None:
+        """Delivery time of a message sent at ``send_time`` (or None if
+        dropped)."""
+        if self.drop_prob and rng.random() < self.drop_prob:
+            return None
+        t = send_time + self.latency.sample(rng, src, dst)
+        if self.fifo:
+            key = (src, dst)
+            prev = self._last_delivery.get(key, -np.inf)
+            if t <= prev:
+                t = np.nextafter(prev, np.inf)
+            self._last_delivery[key] = t
+        return t

@@ -1,0 +1,133 @@
+"""Process programming model for the simulator.
+
+A simulated node is a :class:`Process` subclass reacting to three
+stimuli — start, message delivery, timer expiry — through a
+:class:`Context` that records events into the trace and schedules
+further activity.  This mirrors the standard reactive model of
+distributed-algorithm simulators, which is all the paper's trace-based
+analysis needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..events.event import EventId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+__all__ = ["Context", "Process", "FunctionProcess"]
+
+
+class Context:
+    """Per-callback handle a process uses to act.
+
+    All actions record an event on the process's own node at the
+    current simulation time and return its :data:`EventId` (sends
+    return it too, so applications can collect event ids into nonatomic
+    events as they go).
+    """
+
+    __slots__ = ("_sim", "node")
+
+    def __init__(self, sim: "Simulator", node: int) -> None:
+        self._sim = sim
+        self.node = node
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._sim.now
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of simulated nodes."""
+        return self._sim.num_nodes
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The simulation-wide random generator (seeded, reproducible)."""
+        return self._sim.rng
+
+    def internal(self, label: Optional[str] = None, payload: Any = None) -> EventId:
+        """Record an internal event."""
+        return self._sim._record_internal(self.node, label, payload)
+
+    def send(
+        self,
+        dst: int,
+        payload: Any = None,
+        label: Optional[str] = None,
+    ) -> EventId:
+        """Record a send event and hand the message to the network."""
+        return self._sim._record_send(self.node, dst, payload, label)
+
+    def broadcast(
+        self, payload: Any = None, label: Optional[str] = None
+    ) -> list[EventId]:
+        """Send to every other node; returns the send event ids."""
+        return [
+            self.send(dst, payload=payload, label=label)
+            for dst in range(self.num_nodes)
+            if dst != self.node
+        ]
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        """Schedule an ``on_timer`` callback ``delay`` time units later."""
+        self._sim._schedule_timer(self.node, delay, tag)
+
+    def stop(self) -> None:
+        """Ask the simulator to stop after the current callback."""
+        self._sim._stop_requested = True
+
+
+class Process(abc.ABC):
+    """A reactive simulated node.
+
+    Subclass and override any of the three callbacks; each receives a
+    :class:`Context` bound to this node at the current time.
+    """
+
+    def on_start(self, ctx: Context) -> None:
+        """Called once at time 0 (node order)."""
+
+    def on_message(
+        self, ctx: Context, payload: Any, label: Optional[str], src: int
+    ) -> None:
+        """Called when a message addressed to this node is delivered.
+
+        The receive event has already been recorded; this hook performs
+        the node's *reaction* (which may record further events).
+        """
+
+    def on_timer(self, ctx: Context, tag: Any) -> None:
+        """Called when a timer set via :meth:`Context.set_timer` fires."""
+
+
+class FunctionProcess(Process):
+    """Adapter turning plain callables into a :class:`Process`.
+
+    Parameters are optional callables with the corresponding callback
+    signatures; missing ones default to no-ops.
+    """
+
+    def __init__(self, on_start=None, on_message=None, on_timer=None) -> None:
+        self._on_start = on_start
+        self._on_message = on_message
+        self._on_timer = on_timer
+
+    def on_start(self, ctx: Context) -> None:
+        if self._on_start:
+            self._on_start(ctx)
+
+    def on_message(self, ctx, payload, label, src) -> None:
+        if self._on_message:
+            self._on_message(ctx, payload, label, src)
+
+    def on_timer(self, ctx: Context, tag) -> None:
+        if self._on_timer:
+            self._on_timer(ctx, tag)

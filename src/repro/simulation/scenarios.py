@@ -1,0 +1,201 @@
+"""Scripted reconstructions of the paper's figures.
+
+The paper's three figures are drawings of small executions:
+
+* **Figure 1** — two poset events X and Y on overlapping node sets,
+  with their proxies ``L_X, U_X, L_Y, U_Y`` marked;
+* **Figure 2** — a poset X of 8 atomic events on 4 node time lines,
+  with the four cuts C1(X)–C4(X) and their surfaces drawn;
+* **Figure 3** — the same X, showing the four cuts of each proxy
+  ``L_X`` and ``U_X`` (8 cuts, 4 of which coincide with Figure 2's).
+
+The exact event placement in the published figures is decorative; what
+matters (and what the tests assert) is the *structure*: the containment
+``C1 ⊆ C2``, ``C3 ⊆ C4``, distinct surfaces on every node line, the
+proxy coincidences ``C1(L_X) = C1(X)``, ``C2(U_X) = C2(X)``,
+``C3(L_X) = C3(X)``, ``C4(U_X) = C4(X)``, and nontrivial cross-node
+causality through messages.  These scripted executions reproduce that
+structure faithfully and are used by the figure-regeneration example
+(``examples/paper_figures.py``) and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.cuts import Cut, CutQuadruple, cuts_of
+from ..events.builder import TraceBuilder
+from ..events.poset import Execution
+from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.proxies import Proxy, proxy_of
+
+__all__ = [
+    "Figure1",
+    "Figure2",
+    "Figure3",
+    "figure1",
+    "figure2",
+    "figure3",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Figure1:
+    """Figure 1's scenario: events X, Y and their four proxies."""
+
+    execution: Execution
+    x: NonatomicEvent
+    y: NonatomicEvent
+    lx: NonatomicEvent
+    ux: NonatomicEvent
+    ly: NonatomicEvent
+    uy: NonatomicEvent
+
+
+@dataclass(frozen=True, slots=True)
+class Figure2:
+    """Figure 2's scenario: an 8-event poset X on 4 nodes and its cuts."""
+
+    execution: Execution
+    x: NonatomicEvent
+    cuts: CutQuadruple
+
+
+@dataclass(frozen=True, slots=True)
+class Figure3:
+    """Figure 3's scenario: the 8 cuts of X's two proxies."""
+
+    execution: Execution
+    x: NonatomicEvent
+    lx: NonatomicEvent
+    ux: NonatomicEvent
+    cuts_x: CutQuadruple
+    cuts_lx: CutQuadruple
+    cuts_ux: CutQuadruple
+
+
+def figure1() -> Figure1:
+    """Reconstruct Figure 1: poset events X and Y with their proxies.
+
+    X spans nodes {0, 1, 2} and Y spans nodes {1, 2, 3}; a message from
+    X's region into Y's region makes some (but not all) of the 32
+    relations hold, so the pair exercises a nontrivial slice of the
+    hierarchy.
+    """
+    b = TraceBuilder(4)
+    t = iter(range(1, 100))
+
+    # X's region: two events per node on nodes 0-2, stitched by messages.
+    x_ids = []
+    x_ids.append(b.internal(0, label="x", time=next(t)))
+    m01 = b.send(0, time=next(t))
+    x_ids.append(b.recv(1, m01, label="x", time=next(t)))
+    x_ids.append(b.internal(2, label="x", time=next(t)))
+    x_ids.append(b.internal(1, label="x", time=next(t)))
+    m20 = b.send(2, time=next(t))
+    x_ids.append(b.recv(0, m20, label="x", time=next(t)))
+    x_ids.append(b.internal(2, label="x", time=next(t)))
+
+    # bridge: X's region communicates towards Y's region
+    bridge = b.send(1, time=next(t))
+
+    # Y's region: two events per node on nodes 1-3.
+    y_ids = []
+    y_ids.append(b.recv(3, bridge, label="y", time=next(t)))
+    y_ids.append(b.internal(1, label="y", time=next(t)))
+    m32 = b.send(3, time=next(t))
+    y_ids.append(b.recv(2, m32, label="y", time=next(t)))
+    y_ids.append(b.internal(3, label="y", time=next(t)))
+    y_ids.append(b.internal(2, label="y", time=next(t)))
+    m13 = b.send(1, time=next(t))
+    y_ids.append(b.recv(3, m13, label="y", time=next(t)))
+
+    ex = b.execute()
+    x = NonatomicEvent(ex, x_ids, name="X")
+    y = NonatomicEvent(ex, y_ids, name="Y")
+    return Figure1(
+        execution=ex,
+        x=x,
+        y=y,
+        lx=proxy_of(x, Proxy.L),
+        ux=proxy_of(x, Proxy.U),
+        ly=proxy_of(y, Proxy.L),
+        uy=proxy_of(y, Proxy.U),
+    )
+
+
+def figure2() -> Figure2:
+    """Reconstruct Figure 2: an 8-event poset X on 4 node lines.
+
+    X takes two events per node (the shaded circles of the figure).
+    A common-ancestor prefix (node 0 seeds every node) makes C1
+    nontrivial, cross-node messages inside X's region order its
+    components, and a gather/scatter suffix (through node 2) makes C4
+    finish before the ``⊤`` events — so all four cuts have distinct,
+    nontrivial surfaces, as drawn.
+    """
+    b = TraceBuilder(4)
+    t = iter(range(1, 200))
+    x_ids = []
+
+    # --- common-ancestor prefix: node 0 seeds every node ------------
+    a1 = b.send(0, time=next(t))                      # (0,1) -> node 1
+    a2 = b.send(0, time=next(t))                      # (0,2) -> node 2
+    a3 = b.send(0, time=next(t))                      # (0,3) -> node 3
+    b.recv(1, a1, time=next(t))                       # (1,1)
+    b.recv(2, a2, time=next(t))                       # (2,1)
+    b.recv(3, a3, time=next(t))                       # (3,1)
+
+    # --- X's 8 events, stitched with causality ----------------------
+    x_ids.append(b.internal(0, label="x", time=next(t)))    # (0,4)
+    m_b = b.send(0, time=next(t))                            # (0,5) -> node 1
+    x_ids.append(b.recv(1, m_b, label="x", time=next(t)))    # (1,2)
+    x_ids.append(b.internal(2, label="x", time=next(t)))     # (2,2)
+    x_ids.append(b.internal(3, label="x", time=next(t)))     # (3,2)
+    m_c = b.send(3, time=next(t))                             # (3,3) -> node 2
+    x_ids.append(b.recv(2, m_c, label="x", time=next(t)))     # (2,3)
+    x_ids.append(b.internal(1, label="x", time=next(t)))      # (1,3)
+    x_ids.append(b.internal(0, label="x", time=next(t)))      # (0,6)
+    x_ids.append(b.internal(3, label="x", time=next(t)))      # (3,4)
+
+    # --- common-descendant suffix: gather at node 2, scatter --------
+    g0 = b.send(0, time=next(t))                      # (0,7) -> node 2
+    g1 = b.send(1, time=next(t))                      # (1,4) -> node 2
+    g3 = b.send(3, time=next(t))                      # (3,5) -> node 2
+    b.recv(2, g0, time=next(t))                       # (2,4)
+    b.recv(2, g1, time=next(t))                       # (2,5)
+    b.recv(2, g3, time=next(t))                       # (2,6)
+    s0 = b.send(2, time=next(t))                      # (2,7) -> node 0
+    s1 = b.send(2, time=next(t))                      # (2,8) -> node 1
+    s3 = b.send(2, time=next(t))                      # (2,9) -> node 3
+    b.recv(0, s0, time=next(t))                       # (0,8)
+    b.recv(1, s1, time=next(t))                       # (1,5)
+    b.recv(3, s3, time=next(t))                       # (3,6)
+    b.internal(1, time=next(t))                       # (1,6)
+
+    ex = b.execute()
+    x = NonatomicEvent(ex, x_ids, name="X")
+    assert len(x) == 8 and x.width == 4
+    return Figure2(execution=ex, x=x, cuts=cuts_of(x))
+
+
+def figure3() -> Figure3:
+    """Reconstruct Figure 3: the cuts of proxies ``L_X`` and ``U_X``.
+
+    Uses Figure 2's execution and X.  The returned quadruples satisfy
+    the coincidences noted in Section 2.5: C1/C3 of ``L_X`` equal
+    C1/C3 of X, and C2/C4 of ``U_X`` equal C2/C4 of X.
+    """
+    fig2 = figure2()
+    lx = proxy_of(fig2.x, Proxy.L)
+    ux = proxy_of(fig2.x, Proxy.U)
+    return Figure3(
+        execution=fig2.execution,
+        x=fig2.x,
+        lx=lx,
+        ux=ux,
+        cuts_x=fig2.cuts,
+        cuts_lx=cuts_of(lx),
+        cuts_ux=cuts_of(ux),
+    )

@@ -1,0 +1,436 @@
+"""Workload generators: parameterised families of execution traces.
+
+These build traces directly through :class:`TraceBuilder` (no simulator
+loop), which makes them fast enough for the complexity sweeps of the
+benchmark harness while still exercising every communication structure
+the paper's motivating applications exhibit:
+
+* :func:`random_trace` — unstructured peer-to-peer chatter with a
+  tunable message rate (the default property-test/benchmark workload);
+* :func:`ring_trace` — token circulation (mutual-exclusion style);
+* :func:`pipeline_trace` — items flowing through consecutive stages
+  (multimedia/stream processing style);
+* :func:`broadcast_trace` — root-initiated fan-out rounds with acks
+  (coordination/command style);
+* :func:`client_server_trace` — request/response against one server;
+* :func:`barrier_trace` — coordinator barriers separating phases
+  (iterative real-time control style);
+* :func:`layered_trace` — periodic sensor → controller → actuator
+  rounds (industrial process-control style).
+
+All generators stamp events with a synthetic physical ``time`` (a
+global step counter) so that time-window selection works, and all are
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..events.builder import MessageHandle, TraceBuilder
+from ..events.poset import Execution
+from ..events.trace import Trace
+
+__all__ = [
+    "random_trace",
+    "random_execution",
+    "ring_trace",
+    "pipeline_trace",
+    "broadcast_trace",
+    "client_server_trace",
+    "barrier_trace",
+    "layered_trace",
+    "scatter_gather_trace",
+    "primary_backup_trace",
+]
+
+
+def _rng_of(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def random_trace(
+    num_nodes: int,
+    events_per_node: int = 20,
+    msg_prob: float = 0.3,
+    seed: int | np.random.Generator = 0,
+    min_events_per_node: int = 1,
+) -> Trace:
+    """Unstructured random execution.
+
+    Nodes take turns (uniformly at random) performing steps until every
+    node has ``events_per_node`` events.  Each step is, with probability
+    ``msg_prob``, a send to a random other node (delivered at a later
+    step, preserving acyclicity and rough FIFO order); with probability
+    ``msg_prob`` a delivery of the oldest in-flight message addressed to
+    the node (if any); otherwise an internal event.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``|P|``.
+    events_per_node:
+        Target ``k_i`` for every node (capped, so the trace shape is
+        exactly ``num_nodes × events_per_node`` when
+        ``min_events_per_node <= events_per_node``).
+    msg_prob:
+        Communication intensity in ``[0, 1)``.
+    seed:
+        Integer seed or an existing generator.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if events_per_node < min_events_per_node:
+        raise ValueError("events_per_node must be >= min_events_per_node")
+    rng = _rng_of(seed)
+    b = TraceBuilder(num_nodes)
+    in_flight: dict[int, List[MessageHandle]] = {i: [] for i in range(num_nodes)}
+    step = 0
+    active = list(range(num_nodes))
+    while active:
+        node = active[int(rng.integers(0, len(active)))]
+        step += 1
+        t = float(step)
+        r = rng.random()
+        if r < msg_prob and num_nodes > 1:
+            dst_choices = [d for d in range(num_nodes) if d != node]
+            dst = dst_choices[int(rng.integers(0, len(dst_choices)))]
+            in_flight[dst].append(b.send(node, time=t))
+        elif r < 2 * msg_prob and in_flight[node]:
+            b.recv(node, in_flight[node].pop(0), time=t)
+        else:
+            b.internal(node, time=t)
+        if b.count(node) >= events_per_node:
+            active.remove(node)
+    return b.build()
+
+
+def random_execution(
+    num_nodes: int,
+    events_per_node: int = 20,
+    msg_prob: float = 0.3,
+    seed: int | np.random.Generator = 0,
+) -> Execution:
+    """:func:`random_trace`, analysed."""
+    return Execution(
+        random_trace(num_nodes, events_per_node, msg_prob, seed)
+    )
+
+
+def ring_trace(num_nodes: int, rounds: int = 3, work_per_hop: int = 1) -> Trace:
+    """A token circulating around the ring ``0 → 1 → ... → 0``.
+
+    Each hop performs ``work_per_hop`` internal events (labelled
+    ``"work"``) before forwarding; the token send/receive events are
+    labelled ``"token"``.  The classic total-order backbone workload.
+    """
+    if num_nodes < 2:
+        raise ValueError("ring needs >= 2 nodes")
+    b = TraceBuilder(num_nodes)
+    t = 0.0
+    handle = None
+    for rnd in range(rounds):
+        for node in range(num_nodes):
+            if handle is not None:
+                t += 1.0
+                b.recv(node, handle, label="token", time=t)
+            for _ in range(work_per_hop):
+                t += 1.0
+                b.internal(node, label="work", time=t)
+            t += 1.0
+            handle = b.send(node, label="token", time=t)
+    # final hand-back to node 0 closes the last round
+    t += 1.0
+    b.recv(0, handle, label="token", time=t)
+    return b.build()
+
+
+def pipeline_trace(num_stages: int, items: int = 5, work_per_item: int = 1) -> Trace:
+    """Items flowing through a linear pipeline of stages.
+
+    Item ``j`` enters at stage 0, is processed (``work_per_item``
+    internal events labelled ``f"item{j}"``) and forwarded until it
+    leaves stage ``num_stages - 1``.  Stages interleave items in FIFO
+    order, so consecutive items' processing intervals overlap — the
+    structure behind the paper's stream-synchronisation examples.
+    """
+    if num_stages < 2:
+        raise ValueError("pipeline needs >= 2 stages")
+    b = TraceBuilder(num_stages)
+    t = 0.0
+    # per-stage queue of (item, handle) awaiting receive
+    inbox: List[List[tuple[int, MessageHandle]]] = [[] for _ in range(num_stages)]
+    for j in range(items):
+        t += 1.0
+        for _ in range(work_per_item):
+            b.internal(0, label=f"item{j}", time=t)
+            t += 1.0
+        inbox[1].append((j, b.send(0, label=f"item{j}", time=t)))
+        # drain downstream stages breadth-first so items interleave
+        for stage in range(1, num_stages):
+            while inbox[stage]:
+                item, h = inbox[stage].pop(0)
+                t += 1.0
+                b.recv(stage, h, label=f"item{item}", time=t)
+                for _ in range(work_per_item):
+                    t += 1.0
+                    b.internal(stage, label=f"item{item}", time=t)
+                if stage + 1 < num_stages:
+                    t += 1.0
+                    inbox[stage + 1].append(
+                        (item, b.send(stage, label=f"item{item}", time=t))
+                    )
+    return b.build()
+
+
+def broadcast_trace(num_nodes: int, rounds: int = 2, root: int = 0) -> Trace:
+    """Fan-out/fan-in rounds: root broadcasts, everyone acknowledges.
+
+    Round ``r`` events are labelled ``f"bcast{r}"`` / ``f"ack{r}"``.
+    Each full round is a nonatomic event spanning all nodes, ordered
+    R1-before the next round — a canonical strong-synchronisation
+    workload.
+    """
+    if num_nodes < 2:
+        raise ValueError("broadcast needs >= 2 nodes")
+    if not (0 <= root < num_nodes):
+        raise ValueError("root out of range")
+    b = TraceBuilder(num_nodes)
+    t = 0.0
+    for rnd in range(rounds):
+        sends = {}
+        for dst in range(num_nodes):
+            if dst == root:
+                continue
+            t += 1.0
+            sends[dst] = b.send(root, label=f"bcast{rnd}", time=t)
+        acks = {}
+        for dst in range(num_nodes):
+            if dst == root:
+                continue
+            t += 1.0
+            b.recv(dst, sends[dst], label=f"bcast{rnd}", time=t)
+            t += 1.0
+            acks[dst] = b.send(dst, label=f"ack{rnd}", time=t)
+        for dst in range(num_nodes):
+            if dst == root:
+                continue
+            t += 1.0
+            b.recv(root, acks[dst], label=f"ack{rnd}", time=t)
+    return b.build()
+
+
+def client_server_trace(
+    num_clients: int,
+    requests_per_client: int = 3,
+    seed: int | np.random.Generator = 0,
+) -> Trace:
+    """Clients issuing requests against a single server (node 0).
+
+    Requests from different clients interleave at the server in a
+    random (seeded) order; each request is ``req`` → server ``handle``
+    → ``resp`` → client ``done``.  Labels carry client and sequence
+    number (e.g. ``"req:c2#1"``).
+    """
+    if num_clients < 1:
+        raise ValueError("need >= 1 client")
+    rng = _rng_of(seed)
+    num_nodes = num_clients + 1
+    b = TraceBuilder(num_nodes)
+    t = 0.0
+    remaining = {c: requests_per_client for c in range(1, num_nodes)}
+    awaiting: dict[int, MessageHandle] = {}
+    while remaining or awaiting:
+        # choose: issue a new request or serve a pending one
+        issuers = [c for c, n in remaining.items() if n > 0 and c not in awaiting]
+        serve = list(awaiting)
+        if issuers and (not serve or rng.random() < 0.5):
+            c = issuers[int(rng.integers(0, len(issuers)))]
+            seq = requests_per_client - remaining[c] + 1
+            t += 1.0
+            awaiting[c] = b.send(c, label=f"req:c{c}#{seq}", time=t)
+            remaining[c] -= 1
+            if remaining[c] == 0:
+                del remaining[c]
+        elif serve:
+            c = serve[int(rng.integers(0, len(serve)))]
+            h = awaiting.pop(c)
+            t += 1.0
+            b.recv(0, h, label=f"handle:c{c}", time=t)
+            t += 1.0
+            resp = b.send(0, label=f"resp:c{c}", time=t)
+            t += 1.0
+            b.recv(c, resp, label=f"done:c{c}", time=t)
+    return b.build()
+
+
+def barrier_trace(num_nodes: int, phases: int = 3, work_per_phase: int = 2,
+                  coordinator: int = 0) -> Trace:
+    """Coordinator-based barrier separating computation phases.
+
+    Each phase: every node does ``work_per_phase`` internal events
+    (labelled ``f"phase{p}"``), reports to the coordinator, and waits
+    for the release before starting the next phase.  Phase ``p``'s
+    events are R1-before phase ``p+1``'s — the workload behind the
+    paper's strongest relation.
+    """
+    if num_nodes < 2:
+        raise ValueError("barrier needs >= 2 nodes")
+    b = TraceBuilder(num_nodes)
+    t = 0.0
+    for phase in range(phases):
+        arrive = {}
+        for node in range(num_nodes):
+            for _ in range(work_per_phase):
+                t += 1.0
+                b.internal(node, label=f"phase{phase}", time=t)
+            if node != coordinator:
+                t += 1.0
+                arrive[node] = b.send(node, label=f"arrive{phase}", time=t)
+        for node, h in arrive.items():
+            t += 1.0
+            b.recv(coordinator, h, label=f"arrive{phase}", time=t)
+        release = {}
+        for node in range(num_nodes):
+            if node != coordinator:
+                t += 1.0
+                release[node] = b.send(coordinator, label=f"release{phase}", time=t)
+        for node, h in release.items():
+            t += 1.0
+            b.recv(node, h, label=f"release{phase}", time=t)
+    return b.build()
+
+
+def layered_trace(
+    num_sensors: int = 3,
+    num_actuators: int = 2,
+    periods: int = 4,
+) -> Trace:
+    """Periodic sensor → controller → actuator control rounds.
+
+    Node layout: sensors ``0..S-1``, controller ``S``, actuators
+    ``S+1..S+A``.  Each period: sensors sample (``sample{p}``) and
+    report; the controller fuses (``fuse{p}``) and commands; actuators
+    apply (``apply{p}``) and acknowledge; the controller collects the
+    acks before commanding the next period (closing the control loop
+    causally, so consecutive actuation rounds are R1-ordered).  The
+    industrial-process-control workload of the paper's introduction.
+    """
+    if num_sensors < 1 or num_actuators < 1:
+        raise ValueError("need >= 1 sensor and >= 1 actuator")
+    S, A = num_sensors, num_actuators
+    ctrl = S
+    b = TraceBuilder(S + 1 + A)
+    t = 0.0
+    for p in range(periods):
+        reports = []
+        for s in range(S):
+            t += 1.0
+            b.internal(s, label=f"sample{p}", time=t)
+            t += 1.0
+            reports.append(b.send(s, label=f"report{p}", time=t))
+        for h in reports:
+            t += 1.0
+            b.recv(ctrl, h, label=f"report{p}", time=t)
+        t += 1.0
+        b.internal(ctrl, label=f"fuse{p}", time=t)
+        cmds = []
+        for a in range(A):
+            t += 1.0
+            cmds.append((a, b.send(ctrl, label=f"cmd{p}", time=t)))
+        acks = []
+        for a, h in cmds:
+            t += 1.0
+            b.recv(ctrl + 1 + a, h, label=f"cmd{p}", time=t)
+            t += 1.0
+            b.internal(ctrl + 1 + a, label=f"apply{p}", time=t)
+            t += 1.0
+            acks.append(b.send(ctrl + 1 + a, label=f"ack{p}", time=t))
+        for h in acks:
+            t += 1.0
+            b.recv(ctrl, h, label=f"ack{p}", time=t)
+    return b.build()
+
+
+def scatter_gather_trace(
+    num_workers: int,
+    jobs: int = 3,
+    work_per_task: int = 2,
+    straggler: Optional[int] = None,
+) -> Trace:
+    """Map-reduce style scatter/gather jobs against one coordinator.
+
+    Node 0 scatters job ``j`` to every worker (``scatter{j}``), workers
+    compute (``map{j}``) and reply (``reduce{j}``), and the coordinator
+    closes the job (``done{j}``) after gathering all replies — so job
+    ``j``'s map phase is R1-before ``done{j}`` and R2'-before job
+    ``j+1``'s scatter.  ``straggler`` (a worker index) doubles that
+    worker's compute events, stretching the gather without changing the
+    causal shape.
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    b = TraceBuilder(num_workers + 1)
+    t = 0.0
+    for j in range(jobs):
+        handles = []
+        for w in range(1, num_workers + 1):
+            t += 1.0
+            handles.append((w, b.send(0, label=f"scatter{j}", time=t)))
+        replies = []
+        for w, h in handles:
+            t += 1.0
+            b.recv(w, h, label=f"scatter{j}", time=t)
+            reps = work_per_task * (2 if straggler == w - 1 else 1)
+            for _ in range(reps):
+                t += 1.0
+                b.internal(w, label=f"map{j}", time=t)
+            t += 1.0
+            replies.append(b.send(w, label=f"reduce{j}", time=t))
+        for h in replies:
+            t += 1.0
+            b.recv(0, h, label=f"reduce{j}", time=t)
+        t += 1.0
+        b.internal(0, label=f"done{j}", time=t)
+    return b.build()
+
+
+def primary_backup_trace(
+    num_backups: int,
+    updates: int = 4,
+    sync: bool = True,
+) -> Trace:
+    """Primary-backup replication of a sequence of updates.
+
+    Node 0 is the primary; nodes ``1..B`` are backups.  Each update
+    ``u`` is applied at the primary (``apply{u}``), replicated to every
+    backup (``repl{u}``), and — in ``sync`` mode — acknowledged before
+    the next update is accepted, making update ``u``'s replication
+    R1-before update ``u+1``'s application.  In async mode the primary
+    streams on without waiting, so consecutive updates only satisfy the
+    weaker per-backup ordering (R2, via FIFO replication), not R1.
+    """
+    if num_backups < 1:
+        raise ValueError("need at least one backup")
+    b = TraceBuilder(num_backups + 1)
+    t = 0.0
+    for u in range(updates):
+        t += 1.0
+        b.internal(0, label=f"apply{u}", time=t)
+        sends = []
+        for bk in range(1, num_backups + 1):
+            t += 1.0
+            sends.append((bk, b.send(0, label=f"repl{u}", time=t)))
+        acks = []
+        for bk, h in sends:
+            t += 1.0
+            b.recv(bk, h, label=f"repl{u}", time=t)
+            if sync:
+                t += 1.0
+                acks.append(b.send(bk, label=f"ack{u}", time=t))
+        for h in acks:
+            t += 1.0
+            b.recv(0, h, label=f"ack{u}", time=t)
+    return b.build()

@@ -1,0 +1,5 @@
+"""ASCII space-time visualisation."""
+
+from .spacetime import render, render_cut_table
+
+__all__ = ["render", "render_cut_table"]

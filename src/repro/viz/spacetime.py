@@ -1,0 +1,117 @@
+"""ASCII space-time diagrams with cut overlays.
+
+Regenerates the paper's figures textually: node time lines with events,
+interval membership markers, and cut surfaces.  The renderer is
+deterministic and width-bounded, so diagrams are usable in docs, test
+failure output and example scripts.
+
+Legend::
+
+    .  internal event          s  send event        r  receive event
+    X  event in the highlighted interval (uppercase of its marker)
+    |  cut surface sits immediately after this position
+
+Each cut is drawn as its own annotation row per node, labelled on the
+left; surfaces at ``⊥`` (before the first event) and ``⊤`` (after the
+last) render at the margins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..core.cuts import Cut
+from ..events.event import EventKind
+from ..events.poset import Execution
+from ..nonatomic.event import NonatomicEvent
+
+__all__ = ["render", "render_cut_table"]
+
+_KIND_CHAR = {
+    EventKind.INTERNAL: ".",
+    EventKind.SEND: "s",
+    EventKind.RECV: "r",
+}
+
+
+def render(
+    execution: Execution,
+    intervals: Optional[Mapping[str, NonatomicEvent]] = None,
+    cuts: Optional[Mapping[str, Cut]] = None,
+    show_messages: bool = True,
+    cell_width: int = 2,
+) -> str:
+    """Render an execution as an ASCII space-time diagram.
+
+    Parameters
+    ----------
+    execution:
+        The execution to draw.
+    intervals:
+        Named intervals; member events are drawn as the uppercase first
+        letter of the interval's name (falling back to ``X``).
+    cuts:
+        Named cuts; each adds one annotation row per node with a ``|``
+        marking its surface position.
+    show_messages:
+        Append a message list (``(0,3) -> (1,2)``) below the diagram.
+    cell_width:
+        Horizontal width per event slot (>= 2).
+    """
+    if cell_width < 2:
+        raise ValueError("cell_width must be >= 2")
+    intervals = dict(intervals or {})
+    cuts = dict(cuts or {})
+    member_char: Dict[tuple, str] = {}
+    for name, iv in intervals.items():
+        ch = (name or "X")[0].upper()
+        for eid in iv.ids:
+            member_char[eid] = ch
+
+    max_k = max(execution.lengths, default=0)
+    name_w = max(
+        [len(f"P{i}") for i in range(execution.num_nodes)]
+        + [len(label) for label in cuts]
+        + [2]
+    )
+    lines = []
+    header = " " * (name_w + 2) + "".join(
+        str(j).ljust(cell_width) for j in range(1, max_k + 1)
+    )
+    lines.append(header.rstrip())
+    for i in range(execution.num_nodes):
+        row = [f"P{i}".ljust(name_w), ": "]
+        for j in range(1, execution.num_real(i) + 1):
+            ev = execution.event((i, j))
+            ch = member_char.get((i, j)) or _KIND_CHAR.get(ev.kind, "?")
+            row.append(ch.ljust(cell_width))
+        lines.append("".join(row).rstrip())
+        for label, cut in cuts.items():
+            pos = int(cut.vector[i])
+            marks = [" "] * (max_k + 1)
+            col = min(pos, max_k)  # ⊤ renders at the right margin
+            marks[col] = "|"
+            ann = (
+                label.ljust(name_w)
+                + "  "
+                + "".join(m.ljust(cell_width) for m in marks)
+            )
+            lines.append(ann.rstrip())
+    if show_messages and execution.trace.messages:
+        lines.append("")
+        lines.append("messages:")
+        for msg in execution.trace.messages:
+            lines.append(f"  {msg.send} -> {msg.recv}")
+    return "\n".join(lines)
+
+
+def render_cut_table(cuts: Mapping[str, Cut]) -> str:
+    """Tabulate cut timestamp vectors (one row per cut)."""
+    if not cuts:
+        return "(no cuts)"
+    width = max(len(label) for label in cuts)
+    lines = []
+    for label, cut in cuts.items():
+        vec = " ".join(f"{int(v):3d}" for v in cut.vector)
+        lines.append(f"{label.ljust(width)}  [{vec} ]")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.builder import TraceBuilder
+from repro.events.poset import Execution
+from repro.simulation.workloads import random_execution
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that sample."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chain_exec() -> Execution:
+    """Three totally ordered events on one node: a1 < a2 < a3."""
+    b = TraceBuilder(1)
+    for _ in range(3):
+        b.internal(0)
+    return b.execute()
+
+
+@pytest.fixture
+def concurrent_exec() -> Execution:
+    """Two nodes, two events each, no messages — all cross pairs concurrent."""
+    b = TraceBuilder(2)
+    b.internal(0)
+    b.internal(0)
+    b.internal(1)
+    b.internal(1)
+    return b.execute()
+
+
+@pytest.fixture
+def message_exec() -> Execution:
+    """Classic two-node execution::
+
+        P0:  a1   a2(send)   a3
+        P1:  b1   b2(recv)   b3
+
+    with the message a2 -> b2, so a1,a2 precede b2,b3 and everything
+    else cross-node is concurrent.
+    """
+    b = TraceBuilder(2)
+    b.internal(0)  # (0,1)
+    m = b.send(0)  # (0,2)
+    b.internal(1)  # (1,1)
+    b.recv(1, m)   # (1,2)
+    b.internal(0)  # (0,3)
+    b.internal(1)  # (1,3)
+    return b.execute()
+
+
+@pytest.fixture
+def diamond_exec() -> Execution:
+    """Four nodes: 0 fans out to 1 and 2, which both fan in to 3."""
+    b = TraceBuilder(4)
+    m1 = b.send(0)   # (0,1) -> 1
+    m2 = b.send(0)   # (0,2) -> 2
+    b.recv(1, m1)    # (1,1)
+    b.recv(2, m2)    # (2,1)
+    m3 = b.send(1)   # (1,2) -> 3
+    m4 = b.send(2)   # (2,2) -> 3
+    b.recv(3, m3)    # (3,1)
+    b.recv(3, m4)    # (3,2)
+    b.internal(3)    # (3,3)
+    return b.execute()
+
+
+@pytest.fixture
+def medium_exec() -> Execution:
+    """A 6-node, ~120-event random execution for integration tests."""
+    return random_execution(6, events_per_node=20, msg_prob=0.35, seed=99)

@@ -1,0 +1,97 @@
+"""Tests for complexity accounting and scaling fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    fit_power_law,
+    measure_comparisons,
+    predicted_comparisons,
+    worst_case_comparisons,
+)
+from repro.core.linear import LinearEvaluator
+from repro.core.polynomial import PolynomialEvaluator
+from repro.core.relations import BASE_RELATIONS, Relation
+from repro.nonatomic.selection import random_disjoint_pair
+from repro.simulation.workloads import random_execution
+
+
+class TestPredictedComparisons:
+    def test_linear_table(self):
+        assert predicted_comparisons(Relation.R1, 3, 5) == 3
+        assert predicted_comparisons(Relation.R2, 3, 5) == 3
+        assert predicted_comparisons(Relation.R2P, 3, 5) == 5
+        assert predicted_comparisons(Relation.R3, 3, 5) == 3
+        assert predicted_comparisons(Relation.R3P, 3, 5) == 5
+        assert predicted_comparisons(Relation.R4, 3, 5) == 3
+
+    def test_polynomial_table(self):
+        for rel in BASE_RELATIONS:
+            assert predicted_comparisons(rel, 3, 5, "polynomial") == 15
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            predicted_comparisons(Relation.R1, 2, 2, "naive")
+
+    def test_worst_case_table(self):
+        table = worst_case_comparisons(4, 2)
+        assert table[Relation.R1] == 2
+        assert table[Relation.R3] == 4
+        assert len(table) == 8
+
+
+class TestMeasureComparisons:
+    def test_counts_collected(self, rng):
+        ex = random_execution(5, events_per_node=10, msg_prob=0.3, seed=0)
+        pairs = [random_disjoint_pair(ex, rng) for _ in range(5)]
+        counts = measure_comparisons(
+            lambda e, c: LinearEvaluator(e, counter=c), ex, pairs
+        )
+        assert set(counts) == set(BASE_RELATIONS)
+        assert all(len(v) == 5 for v in counts.values())
+        assert all(c >= 1 for v in counts.values() for c in v)
+
+    def test_linear_within_predicted(self, rng):
+        ex = random_execution(6, events_per_node=8, msg_prob=0.3, seed=1)
+        pairs = [random_disjoint_pair(ex, rng) for _ in range(8)]
+        counts = measure_comparisons(
+            lambda e, c: LinearEvaluator(e, counter=c), ex, pairs
+        )
+        for rel, values in counts.items():
+            for (x, y), v in zip(pairs, values):
+                assert v <= predicted_comparisons(rel, x.width, y.width)
+
+    def test_polynomial_within_budget(self, rng):
+        ex = random_execution(5, events_per_node=8, msg_prob=0.3, seed=2)
+        pairs = [random_disjoint_pair(ex, rng) for _ in range(5)]
+        counts = measure_comparisons(
+            lambda e, c: PolynomialEvaluator(e, counter=c), ex, pairs
+        )
+        for rel, values in counts.items():
+            for (x, y), v in zip(pairs, values):
+                assert v <= x.width * y.width
+
+
+class TestFitPowerLaw:
+    def test_linear_data(self):
+        ns = [2, 4, 8, 16, 32]
+        b, a = fit_power_law(ns, [3 * n for n in ns])
+        assert b == pytest.approx(1.0, abs=0.01)
+        assert a == pytest.approx(3.0, rel=0.05)
+
+    def test_quadratic_data(self):
+        ns = [2, 4, 8, 16, 32]
+        b, _a = fit_power_law(ns, [n * n for n in ns])
+        assert b == pytest.approx(2.0, abs=0.01)
+
+    def test_constant_data(self):
+        b, _ = fit_power_law([1, 2, 4, 8], [5, 5, 5, 5])
+        assert b == pytest.approx(0.0, abs=0.01)
+
+    def test_zero_counts_clamped(self):
+        b, _ = fit_power_law([1, 2, 4], [0, 0, 0])
+        assert b == pytest.approx(0.0, abs=0.01)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])

@@ -1,0 +1,144 @@
+"""Tests for the application layers (mutex, multimedia, air defence,
+process control)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.airdefense import air_defense_scenario
+from repro.apps.multimedia import StreamSyncChecker, stream_trace
+from repro.apps.mutex import MutualExclusionChecker, token_mutex_trace
+from repro.apps.process_control import control_loop
+
+
+class TestMutex:
+    def test_correct_run_is_serialised(self):
+        ex, occs = token_mutex_trace(4, occupancies=5, replicas=2, seed=3)
+        assert len(occs) == 5
+        assert MutualExclusionChecker(ex).check() == []
+
+    def test_violation_detected(self):
+        ex, _ = token_mutex_trace(4, occupancies=4, replicas=2,
+                                  violate=True, seed=3)
+        violations = MutualExclusionChecker(ex).check()
+        assert violations
+        names = {v.first.name for v in violations} | {
+            v.second.name for v in violations
+        }
+        assert "cs:3" in names  # the raced occupancy is implicated
+
+    def test_engines_agree_on_verdict(self):
+        for violate in (False, True):
+            ex, _ = token_mutex_trace(3, occupancies=3, violate=violate, seed=1)
+            verdicts = {
+                engine: bool(MutualExclusionChecker(ex, engine=engine).check())
+                for engine in ("naive", "polynomial", "linear")
+            }
+            assert len(set(verdicts.values())) == 1
+
+    def test_replicated_occupancies_span_nodes(self):
+        ex, occs = token_mutex_trace(4, occupancies=3, replicas=3, seed=0)
+        assert all(occ.width >= 2 for occ in occs.values())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            token_mutex_trace(1)
+        with pytest.raises(ValueError):
+            token_mutex_trace(3, replicas=5)
+
+    def test_deterministic(self):
+        a = token_mutex_trace(4, occupancies=4, seed=9)[0].trace
+        b = token_mutex_trace(4, occupancies=4, seed=9)[0].trace
+        assert a == b
+
+
+class TestMultimedia:
+    def test_in_order_stream_passes(self):
+        ex, units = stream_trace(3, units=6, disorder=0, seed=2)
+        assert StreamSyncChecker(ex).check_intra_stream(units, "video") == []
+
+    def test_disorder_violates(self):
+        ex, units = stream_trace(3, units=8, disorder=3, seed=2)
+        violations = StreamSyncChecker(ex).check_intra_stream(units, "video")
+        assert violations
+
+    def test_larger_lag_tolerates_disorder(self):
+        ex, units = stream_trace(3, units=8, disorder=1, seed=4)
+        ck = StreamSyncChecker(ex)
+        lag1 = ck.check_intra_stream(units, "video", lag=1)
+        lag4 = ck.check_intra_stream(units, "video", lag=4)
+        assert len(lag4) <= len(lag1)
+        assert lag4 == []
+
+    def test_units_span_all_sinks(self):
+        _ex, units = stream_trace(4, units=3, seed=0)
+        assert all(u.width == 4 for u in units.values())
+
+    def test_inter_stream_sync(self):
+        ex, units = stream_trace(2, units=4, streams=("audio", "video"),
+                                 disorder=0, seed=1)
+        ck = StreamSyncChecker(ex)
+        assert ck.check_inter_stream(units, "audio", "video") == []
+
+    def test_lag_validation(self):
+        ex, units = stream_trace(2, units=2, seed=0)
+        with pytest.raises(ValueError):
+            StreamSyncChecker(ex).check_intra_stream(units, "video", lag=0)
+
+
+class TestAirDefense:
+    def test_nominal_run_safe(self):
+        sc = air_defense_scenario()
+        assert sc.all_safe()
+
+    def test_reports_cover_all_conditions(self):
+        sc = air_defense_scenario(num_batteries=2)
+        reports = sc.check()
+        assert len(reports) == 1 + 2 * 2  # detection + 2 per battery
+
+    def test_premature_launch_detected(self):
+        sc = air_defense_scenario(premature_battery=0)
+        reports = sc.check()
+        assert not reports["launch0-after-confirmation"].passed
+        assert reports["launch1-after-confirmation"].passed
+
+    def test_intervals_structure(self):
+        sc = air_defense_scenario(num_radars=3, plots_per_radar=2)
+        assert sc.detection.width == 3
+        assert len(sc.detection) == 6
+        assert sc.confirmation.width == 1
+
+    def test_quorum_parameter(self):
+        sc = air_defense_scenario(num_radars=4, quorum=2)
+        assert sc.all_safe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            air_defense_scenario(num_radars=0)
+
+    def test_unreachable_quorum_rejected(self):
+        with pytest.raises(ValueError, match="never be reached"):
+            air_defense_scenario(num_radars=2, plots_per_radar=1, quorum=5)
+
+
+class TestProcessControl:
+    def test_nominal_loop_safe(self):
+        assert control_loop(periods=3).all_safe()
+
+    def test_conditions_enumerated(self):
+        loop = control_loop(periods=3)
+        conds = loop.conditions()
+        assert len(conds) == 3 + 2 * 2
+
+    def test_bindings_complete(self):
+        loop = control_loop(periods=2)
+        names = set(loop.bindings())
+        assert names == {"sample0", "sample1", "apply0", "apply1"}
+
+    def test_interval_widths(self):
+        loop = control_loop(num_sensors=3, num_actuators=2, periods=2)
+        assert all(s.width == 3 for s in loop.samples)
+        assert all(a.width == 2 for a in loop.applies)
+
+    def test_engines_agree(self):
+        loop = control_loop(periods=2)
+        assert loop.all_safe("naive") == loop.all_safe("linear")

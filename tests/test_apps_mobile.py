@@ -1,0 +1,74 @@
+"""Tests for the mobile-computing handoff application."""
+
+import pytest
+
+from repro.apps.mobile import roaming_scenario
+from repro.core.evaluator import SynchronizationAnalyzer
+
+
+class TestNominalRoaming:
+    def test_safe(self):
+        assert roaming_scenario().all_safe()
+
+    def test_interval_structure(self):
+        sc = roaming_scenario(num_stations=4)
+        assert len(sc.handoffs) == 3
+        assert len(sc.reroutes) == 3
+        assert len(sc.epochs) == 4
+        # each handoff spans old station + new station
+        for k, h in enumerate(sc.handoffs):
+            assert set(h.node_set) == {k + 1, k + 2}
+        # reroutes live on the home agent
+        for r in sc.reroutes:
+            assert r.node_set == (0,)
+
+    def test_conditions_enumerated(self):
+        sc = roaming_scenario(num_stations=3)
+        conds = sc.conditions()
+        # 1 serialisation + 2 reroute-gates + 3 setup-gates
+        assert len(conds) == 1 + 2 + 3
+
+    def test_more_data_still_safe(self):
+        assert roaming_scenario(num_stations=4, data_per_epoch=4).all_safe()
+
+    def test_engines_agree(self):
+        sc = roaming_scenario()
+        assert sc.all_safe("naive") == sc.all_safe("linear") is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roaming_scenario(num_stations=1)
+
+
+class TestPrematureDataFault:
+    def test_detected(self):
+        sc = roaming_scenario(premature_data=True)
+        assert not sc.all_safe()
+
+    def test_only_last_reroute_gate_fails(self):
+        sc = roaming_scenario(num_stations=3, premature_data=True)
+        reports = sc.check()
+        failing = [n for n, r in reports.items() if not r.passed]
+        assert failing == ["epoch2-after-reroute1"]
+
+    def test_serialisation_unaffected(self):
+        sc = roaming_scenario(num_stations=4, premature_data=True)
+        reports = sc.check()
+        for name, rep in reports.items():
+            if "serialised" in name:
+                assert rep.passed, name
+
+    def test_setup_continuity_unaffected(self):
+        sc = roaming_scenario(premature_data=True)
+        reports = sc.check()
+        for name, rep in reports.items():
+            if "after-setup" in name:
+                assert rep.passed, name
+
+
+class TestStrongestRelations:
+    def test_consecutive_handoffs_fully_ordered(self):
+        sc = roaming_scenario(num_stations=3)
+        an = SynchronizationAnalyzer(sc.execution)
+        top = an.strongest(sc.handoffs[0], sc.handoffs[1])
+        assert any(str(s) == "R1(U,L)" for s in top)

@@ -1,0 +1,187 @@
+"""Property tests for the axiom system (composition, asymmetry).
+
+Every law in :mod:`repro.core.axioms` is semantically verified on
+random executions with three pairwise-disjoint intervals.  A wrong
+composition entry (too strong) or a wrong asymmetry claim would be
+found by hypothesis within a few hundred instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.axioms import (
+    COMPOSITION_TABLE,
+    MUTUALLY_EXCLUSIVE_WITH_CONVERSE,
+    compose,
+    converse_compatible,
+)
+from repro.core.hierarchy import implies
+from repro.core.linear import LinearEvaluator
+from repro.core.relations import BASE_RELATIONS, Relation
+from repro.events.builder import TraceBuilder
+from repro.nonatomic.event import NonatomicEvent
+
+from .strategies import executions
+
+
+_CANONICAL = (
+    Relation.R1,
+    Relation.R2,
+    Relation.R2P,
+    Relation.R3,
+    Relation.R3P,
+    Relation.R4,
+)
+
+
+@st.composite
+def execution_with_triple(draw):
+    """An execution with three pairwise-disjoint non-empty intervals."""
+    ex = draw(executions(max_nodes=4, max_ops=30))
+    ids = sorted(ex.iter_ids())
+    if len(ids) < 3:
+        b = TraceBuilder(ex.num_nodes)
+        for ev in ex.trace.iter_events():
+            b.internal(ev.node)
+        while sum(b.count(i) for i in range(ex.num_nodes)) < 3:
+            b.internal(0)
+        ex = b.execute()
+        ids = sorted(ex.iter_ids())
+    # random 3-way partition of a random subset
+    picks = draw(
+        st.lists(st.integers(0, len(ids) - 1), min_size=3,
+                 max_size=min(len(ids), 12), unique=True)
+    )
+    if len(picks) < 3:
+        picks = [0, 1, 2]
+    assignment = [draw(st.integers(0, 2)) for _ in picks]
+    # force non-empty groups
+    assignment[0], assignment[1], assignment[2] = 0, 1, 2
+    groups = {0: [], 1: [], 2: []}
+    for pos, grp in zip(picks, assignment):
+        groups[grp].append(ids[pos])
+    x = NonatomicEvent(ex, groups[0], name="X")
+    y = NonatomicEvent(ex, groups[1], name="Y")
+    z = NonatomicEvent(ex, groups[2], name="Z")
+    return ex, x, y, z
+
+
+class TestCompositionTable:
+    def test_table_complete(self):
+        assert len(COMPOSITION_TABLE) == 36
+        for a in _CANONICAL:
+            for b in _CANONICAL:
+                assert (a, b) in COMPOSITION_TABLE
+
+    def test_synonyms_canonicalised(self):
+        assert compose(Relation.R1P, Relation.R4P) == compose(
+            Relation.R1, Relation.R4
+        )
+
+    @settings(max_examples=250, deadline=None)
+    @given(data=execution_with_triple())
+    def test_composition_soundness(self, data):
+        """If a(X,Y) and b(Y,Z) hold, compose(a, b) holds on (X,Z)."""
+        ex, x, y, z = data
+        lin = LinearEvaluator(ex)
+        holds_xy = {r: lin.evaluate(r, x, y) for r in _CANONICAL}
+        holds_yz = {r: lin.evaluate(r, y, z) for r in _CANONICAL}
+        for a in _CANONICAL:
+            if not holds_xy[a]:
+                continue
+            for b in _CANONICAL:
+                if not holds_yz[b]:
+                    continue
+                c = compose(a, b)
+                if c is not None:
+                    assert lin.evaluate(c, x, z), (a, b, c)
+
+    def test_r1_row_is_maximal_somewhere(self, diamond_exec):
+        """Spot maximality: R1∘R2 guarantees R2' but not R1/R3/R2 in
+        general — exhibit an instance separating them."""
+        # X = {(0,1)}, Y = {(1,1),(2,1)}, Z = {(1,2),(2,2)}
+        x = NonatomicEvent(diamond_exec, [(0, 1)])
+        y = NonatomicEvent(diamond_exec, [(1, 1), (2, 1)])
+        z = NonatomicEvent(diamond_exec, [(1, 2), (2, 2)])
+        lin = LinearEvaluator(diamond_exec)
+        assert lin.evaluate(Relation.R1, x, y)
+        assert lin.evaluate(Relation.R2, y, z)
+        got = compose(Relation.R1, Relation.R2)
+        assert got is Relation.R2P
+        assert lin.evaluate(Relation.R2P, x, z)
+
+    def test_none_entries_genuinely_unprovable(self):
+        """For each None entry, exhibit an instance where the premises
+        hold but even R4(X, Z) fails — so no relation is guaranteed."""
+        # Build: y* above X; y' below Z; X, Z concurrent; Y = {y*, y'}.
+        b = TraceBuilder(4)
+        x1 = b.internal(0)             # X on node 0
+        m = b.send(0)
+        ystar = b.recv(1, m)           # y* ≻ x1
+        yprime = b.internal(2)         # y' (concurrent with everything so far)
+        m2 = b.send(2)
+        z1 = b.recv(3, m2)             # z1 ≻ y'
+        ex = b.execute()
+        x = NonatomicEvent(ex, [x1])
+        y = NonatomicEvent(ex, [ystar, yprime])
+        z = NonatomicEvent(ex, [z1])
+        lin = LinearEvaluator(ex)
+        assert lin.evaluate(Relation.R2P, x, y)  # y* above all x
+        assert lin.evaluate(Relation.R3, y, z)   # y' below all z
+        assert not lin.evaluate(Relation.R4, x, z)
+        assert compose(Relation.R2P, Relation.R3) is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=execution_with_triple())
+    def test_composition_consistent_with_hierarchy(self, data):
+        """compose(a', b') for weaker premises never claims a stronger
+        conclusion than compose(a, b) — monotonicity of the table."""
+        for a in _CANONICAL:
+            for b in _CANONICAL:
+                c = compose(a, b)
+                if c is None:
+                    continue
+                for a2 in _CANONICAL:
+                    if implies(a, a2):
+                        c2 = compose(a2, b)
+                        # weaker premise: conclusion must be implied by c
+                        if c2 is not None:
+                            assert implies(c, c2), (a, a2, b, c, c2)
+
+
+class TestConverseLaws:
+    def test_classification(self):
+        assert not converse_compatible(Relation.R1)
+        assert not converse_compatible(Relation.R2)
+        assert not converse_compatible(Relation.R2P)
+        assert not converse_compatible(Relation.R3)
+        assert not converse_compatible(Relation.R3P)
+        assert converse_compatible(Relation.R4)
+        assert converse_compatible(Relation.R4P)
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=execution_with_triple())
+    def test_asymmetry_soundness(self, data):
+        ex, x, y, _z = data
+        lin = LinearEvaluator(ex)
+        for rel in MUTUALLY_EXCLUSIVE_WITH_CONVERSE:
+            if lin.evaluate(rel, x, y):
+                assert not lin.evaluate(rel, y, x), rel
+
+    def test_r4_both_ways_possible(self, concurrent_exec):
+        """R4 is genuinely converse-compatible: exhibit an instance."""
+        b = TraceBuilder(2)
+        x1 = b.internal(0)
+        m1 = b.send(0)
+        y1 = b.recv(1, m1)
+        y2 = b.internal(1)
+        m2 = b.send(1)
+        x2 = b.recv(0, m2)
+        ex = b.execute()
+        x = NonatomicEvent(ex, [x1, x2])
+        y = NonatomicEvent(ex, [y1, y2])
+        lin = LinearEvaluator(ex)
+        assert lin.evaluate(Relation.R4, x, y)
+        assert lin.evaluate(Relation.R4, y, x)

@@ -1,0 +1,88 @@
+"""Unit tests for TraceBuilder."""
+
+import pytest
+
+from repro.events.builder import TraceBuilder
+from repro.events.event import EventKind
+
+
+class TestBuilderBasics:
+    def test_needs_positive_nodes(self):
+        with pytest.raises(ValueError):
+            TraceBuilder(0)
+
+    def test_ids_sequential_per_node(self):
+        b = TraceBuilder(2)
+        assert b.internal(0) == (0, 1)
+        assert b.internal(1) == (1, 1)
+        assert b.internal(0) == (0, 2)
+
+    def test_count_and_last_id(self):
+        b = TraceBuilder(1)
+        assert b.count(0) == 0
+        assert b.last_id(0) is None
+        b.internal(0)
+        assert b.count(0) == 1
+        assert b.last_id(0) == (0, 1)
+
+    def test_unknown_node_rejected(self):
+        b = TraceBuilder(1)
+        with pytest.raises(ValueError, match="no such node"):
+            b.internal(3)
+
+    def test_event_metadata_recorded(self):
+        b = TraceBuilder(1)
+        b.internal(0, label="boot", time=1.5, payload={"k": 1})
+        ev = b.build().event((0, 1))
+        assert ev.label == "boot"
+        assert ev.time == 1.5
+        assert ev.payload == {"k": 1}
+
+
+class TestBuilderMessaging:
+    def test_send_recv_roundtrip(self):
+        b = TraceBuilder(2)
+        h = b.send(0)
+        r = b.recv(1, h)
+        tr = b.build()
+        assert tr.event(h.send).kind is EventKind.SEND
+        assert tr.event(r).kind is EventKind.RECV
+        assert tr.send_of(r) == h.send
+
+    def test_double_receive_rejected(self):
+        b = TraceBuilder(2)
+        h = b.send(0)
+        b.recv(1, h)
+        with pytest.raises(ValueError, match="already received"):
+            b.recv(1, h)
+
+    def test_message_convenience(self):
+        b = TraceBuilder(2)
+        s, r = b.message(0, 1, label="m")
+        tr = b.build()
+        assert tr.recv_of(s) == r
+        assert tr.event(s).label == "m"
+
+    def test_unreceived_send_survives_build(self):
+        b = TraceBuilder(2)
+        h = b.send(0)
+        tr = b.build()
+        assert tr.recv_of(h.send) is None
+
+
+class TestBuilderFinalisation:
+    def test_build_is_snapshot(self):
+        b = TraceBuilder(1)
+        b.internal(0)
+        t1 = b.build()
+        b.internal(0)
+        t2 = b.build()
+        assert t1.total_events == 1
+        assert t2.total_events == 2
+
+    def test_execute_returns_execution(self):
+        b = TraceBuilder(2)
+        h = b.send(0)
+        b.recv(1, h)
+        ex = b.execute()
+        assert ex.precedes((0, 1), (1, 1))

@@ -1,0 +1,82 @@
+"""Tests for the offline condition checker."""
+
+import pytest
+
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.monitor.checker import ConditionChecker
+from repro.monitor.predicates import parse_condition
+from repro.nonatomic.event import NonatomicEvent
+
+
+@pytest.fixture
+def checker_env(message_exec):
+    an = SynchronizationAnalyzer(message_exec)
+    checker = ConditionChecker(an)
+    bindings = {
+        "X": NonatomicEvent(message_exec, [(0, 1), (0, 2)], name="X"),
+        "Y": NonatomicEvent(message_exec, [(1, 2), (1, 3)], name="Y"),
+        "Z": NonatomicEvent(message_exec, [(1, 1)], name="Z"),
+    }
+    return checker, bindings
+
+
+class TestCheck:
+    def test_passing_condition(self, checker_env):
+        checker, bindings = checker_env
+        report = checker.check("R1(X, Y) and R4(X, Y)", bindings)
+        assert report.passed
+        assert len(report.atoms) == 2
+        assert report.failing_atoms == ()
+
+    def test_failing_condition_reports_atoms(self, checker_env):
+        checker, bindings = checker_env
+        report = checker.check("R1(X, Y) and R1(Y, X)", bindings)
+        assert not report.passed
+        failing = [str(a.atom) for a in report.failing_atoms]
+        assert failing == ["R1(Y,X)"]
+
+    def test_textual_and_ast_agree(self, checker_env):
+        checker, bindings = checker_env
+        text = "R1(X,Y) -> not R4(Y,X)"
+        assert (
+            checker.check(text, bindings).passed
+            == checker.check(parse_condition(text), bindings).passed
+        )
+
+    def test_unbound_name_raises(self, checker_env):
+        checker, bindings = checker_env
+        with pytest.raises(KeyError, match="unbound"):
+            checker.check("R1(X, W)", bindings)
+
+    def test_atoms_deduplicated(self, checker_env):
+        checker, bindings = checker_env
+        report = checker.check("R4(X,Y) and (R4(X,Y) or R4(X,Y))", bindings)
+        assert len(report.atoms) == 1
+
+    def test_short_circuit_skips_atoms(self, checker_env):
+        """`or` short-circuits, so later atoms are never evaluated."""
+        checker, bindings = checker_env
+        report = checker.check("R4(X,Y) or R1(Y,X)", bindings)
+        assert report.passed
+        assert [str(a.atom) for a in report.atoms] == ["R4(X,Y)"]
+
+    def test_concurrent_intervals(self, checker_env):
+        checker, bindings = checker_env
+        # Z = {b1} is concurrent with X's node-0 events
+        report = checker.check("not R4(X, Z) and not R4(Z, X)", bindings)
+        assert report.passed
+
+
+class TestCheckAll:
+    def test_named_reports(self, checker_env):
+        checker, bindings = checker_env
+        reports = checker.check_all(
+            {"order": "R1(X,Y)", "reverse": "R1(Y,X)"}, bindings
+        )
+        assert reports["order"].passed
+        assert not reports["reverse"].passed
+
+    def test_report_str(self, checker_env):
+        checker, bindings = checker_env
+        text = str(checker.check("R1(X,Y)", bindings))
+        assert "PASS" in text and "R1(X,Y)" in text

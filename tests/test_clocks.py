@@ -1,0 +1,150 @@
+"""Tests for forward and reverse vector clocks (Definitions 13 and 14).
+
+The ground truth is the transitive closure of the covering digraph
+(networkx): ``T(e)[i]`` must equal the number of node-``i`` events
+``≼ e``, and ``T^R(e)[i]`` the number ``≽ e`` — checked exhaustively on
+fixed posets and property-based on random ones.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.events.builder import TraceBuilder
+from repro.events.clocks import (
+    CyclicTraceError,
+    compute_forward_clocks,
+    compute_reverse_clocks,
+)
+from repro.events.event import Event, EventKind
+from repro.events.poset import Execution
+from repro.events.trace import Message, Trace
+
+from .strategies import executions
+
+
+def closure_counts(ex: Execution):
+    """Oracle: per-event (T, T^R) via explicit transitive closure."""
+    g = ex.to_networkx()
+    tc = nx.transitive_closure_dag(g)
+    fwd, rev = {}, {}
+    ids = list(ex.iter_ids())
+    for e in ids:
+        below = {e} | set(tc.predecessors(e))
+        above = {e} | set(tc.successors(e))
+        fwd[e] = [
+            sum(1 for (n, _j) in below if n == i) for i in range(ex.num_nodes)
+        ]
+        rev[e] = [
+            sum(1 for (n, _j) in above if n == i) for i in range(ex.num_nodes)
+        ]
+    return fwd, rev
+
+
+class TestForwardClocks:
+    def test_single_chain(self, chain_exec):
+        for j in range(1, 4):
+            assert list(chain_exec.clock((0, j))) == [j]
+
+    def test_message_exec(self, message_exec):
+        # b2 = (1,2) receives from a2 = (0,2)
+        assert list(message_exec.clock((1, 2))) == [2, 2]
+        assert list(message_exec.clock((1, 1))) == [0, 1]
+        assert list(message_exec.clock((0, 3))) == [3, 0]
+
+    def test_diamond(self, diamond_exec):
+        # (3,2) has everything except (3,3) in its past
+        assert list(diamond_exec.clock((3, 2))) == [2, 2, 2, 2]
+        # (3,1) received from (1,2), whose past on node 0 is only (0,1)
+        assert list(diamond_exec.clock((3, 1))) == [1, 2, 0, 1]
+
+    def test_matrices_read_only(self, message_exec):
+        with pytest.raises(ValueError):
+            message_exec.clock_matrix(0)[0, 0] = 99
+
+    @settings(max_examples=60, deadline=None)
+    @given(ex=executions())
+    def test_matches_transitive_closure(self, ex):
+        fwd, _rev = closure_counts(ex)
+        for eid in ex.iter_ids():
+            assert list(ex.clock(eid)) == fwd[eid], eid
+
+
+class TestReverseClocks:
+    def test_single_chain(self, chain_exec):
+        assert list(chain_exec.rclock((0, 1))) == [3]
+        assert list(chain_exec.rclock((0, 3))) == [1]
+
+    def test_message_exec(self, message_exec):
+        # a2 = (0,2): future on node 1 is b2, b3
+        assert list(message_exec.rclock((0, 2))) == [2, 2]
+        # b3 = (1,3): nothing after it except itself
+        assert list(message_exec.rclock((1, 3))) == [0, 1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(ex=executions())
+    def test_matches_transitive_closure(self, ex):
+        _fwd, rev = closure_counts(ex)
+        for eid in ex.iter_ids():
+            assert list(ex.rclock(eid)) == rev[eid], eid
+
+    @settings(max_examples=40, deadline=None)
+    @given(ex=executions())
+    def test_duality_with_forward(self, ex):
+        """e ≼ e'  ⟺  e' counts in T^R(e) at its node."""
+        ids = list(ex.iter_ids())
+        for a in ids:
+            for b in ids:
+                fwd_says = bool(ex.clock(b)[a[0]] >= a[1])
+                k = ex.num_real(b[0])
+                rev_says = bool(k - ex.rclock(a)[b[0]] < b[1])
+                assert fwd_says == rev_says, (a, b)
+
+
+class TestCycleDetection:
+    def test_two_message_cycle(self):
+        # (0,1) sends to (1,1); (1,... ) — build a crossing that cycles:
+        # recv on node 0 of a message sent by node 1 *after* node 1
+        # received from node 0's later send.
+        events = [
+            [Event(0, 1, kind=EventKind.RECV), Event(0, 2, kind=EventKind.SEND)],
+            [Event(1, 1, kind=EventKind.RECV), Event(1, 2, kind=EventKind.SEND)],
+        ]
+        msgs = [Message((0, 2), (1, 1)), Message((1, 2), (0, 1))]
+        trace = Trace(events, msgs)
+        with pytest.raises(CyclicTraceError):
+            Execution(trace)
+
+    def test_error_mentions_stuck_events(self):
+        events = [
+            [Event(0, 1, kind=EventKind.RECV), Event(0, 2, kind=EventKind.SEND)],
+            [Event(1, 1, kind=EventKind.RECV), Event(1, 2, kind=EventKind.SEND)],
+        ]
+        msgs = [Message((0, 2), (1, 1)), Message((1, 2), (0, 1))]
+        with pytest.raises(CyclicTraceError, match="stuck"):
+            compute_forward_clocks(Trace(events, msgs))
+
+
+class TestClockFunctions:
+    def test_forward_shapes(self, message_exec):
+        mats = compute_forward_clocks(message_exec.trace)
+        assert [m.shape for m in mats] == [(3, 2), (3, 2)]
+
+    def test_reverse_shapes(self, message_exec):
+        mats = compute_reverse_clocks(message_exec.trace)
+        assert [m.shape for m in mats] == [(3, 2), (3, 2)]
+
+    def test_empty_node_ok(self):
+        b = TraceBuilder(3)
+        b.internal(0)
+        ex = b.execute()
+        assert list(ex.clock((0, 1))) == [1, 0, 0]
+        assert ex.num_real(1) == 0
+
+    def test_own_component_is_index(self, medium_exec):
+        for eid in medium_exec.iter_ids():
+            assert medium_exec.clock(eid)[eid[0]] == eid[1]
+            # reverse: own component counts self + local successors
+            k = medium_exec.num_real(eid[0])
+            assert medium_exec.rclock(eid)[eid[0]] == k - eid[1] + 1

@@ -1,0 +1,18 @@
+"""Doctests embedded in documentation-bearing docstrings must stay true."""
+
+import doctest
+
+import repro
+import repro.core.evaluator
+
+
+class TestDoctests:
+    def test_package_quickstart(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted >= 1
+        assert results.failed == 0
+
+    def test_evaluator_example(self):
+        results = doctest.testmod(repro.core.evaluator, verbose=False)
+        assert results.attempted >= 1
+        assert results.failed == 0

@@ -1,0 +1,170 @@
+"""Experiment E-T1: Table 1's evaluation conditions are exact.
+
+The central correctness property of the reproduction: for disjoint
+nonatomic events on random executions, the naive (definition-level),
+polynomial (per-node extrema) and linear (cut-timestamp) engines agree
+on all 8 base relations and all 32 family relations — with and without
+the Key-Idea-2 node restriction.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.linear import LinearEvaluator
+from repro.core.naive import NaiveEvaluator
+from repro.core.polynomial import PolynomialEvaluator
+from repro.core.relations import BASE_RELATIONS, FAMILY32, Relation
+from repro.nonatomic.event import NonatomicEvent
+from repro.simulation.workloads import (
+    barrier_trace,
+    broadcast_trace,
+    pipeline_trace,
+    random_execution,
+    ring_trace,
+)
+from repro.events.poset import Execution
+from repro.nonatomic.selection import random_disjoint_pair
+
+from .strategies import execution_with_pair
+
+
+def engines(ex):
+    return (
+        NaiveEvaluator(ex),
+        PolynomialEvaluator(ex),
+        LinearEvaluator(ex),
+        LinearEvaluator(ex, node_restriction=False),
+    )
+
+
+class TestBaseRelationEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_engines_agree_base(self, pair):
+        ex, x, y = pair
+        naive, poly, lin, lin_full = engines(ex)
+        for rel in BASE_RELATIONS:
+            expected = naive.evaluate(rel, x, y)
+            assert poly.evaluate(rel, x, y) == expected, rel
+            assert lin.evaluate(rel, x, y) == expected, rel
+            assert lin_full.evaluate(rel, x, y) == expected, rel
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_engines_agree_reversed_args(self, pair):
+        """Same property with X and Y swapped (asymmetric relations)."""
+        ex, x, y = pair
+        naive, _poly, lin, _ = engines(ex)
+        for rel in BASE_RELATIONS:
+            assert lin.evaluate(rel, y, x) == naive.evaluate(rel, y, x), rel
+
+
+class TestFamily32Equivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_engines_agree_family(self, pair):
+        ex, x, y = pair
+        naive, poly, lin, lin_full = engines(ex)
+        for spec in FAMILY32:
+            expected = naive.evaluate_spec(spec, x, y)
+            assert poly.evaluate_spec(spec, x, y) == expected, spec
+            assert lin.evaluate_spec(spec, x, y) == expected, spec
+            assert lin_full.evaluate_spec(spec, x, y) == expected, spec
+
+
+class TestStructuredWorkloads:
+    """Equivalence on every structured workload family (seeded sweeps)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_workload(self, seed, rng):
+        ex = random_execution(5, events_per_node=12, msg_prob=0.4, seed=seed)
+        self._check(ex, rng)
+
+    @pytest.mark.parametrize(
+        "trace_fn",
+        [
+            lambda: ring_trace(5, rounds=2),
+            lambda: pipeline_trace(4, items=4),
+            lambda: broadcast_trace(5, rounds=2),
+            lambda: barrier_trace(4, phases=2),
+        ],
+        ids=["ring", "pipeline", "broadcast", "barrier"],
+    )
+    def test_structured_workload(self, trace_fn, rng):
+        self._check(Execution(trace_fn()), rng)
+
+    @staticmethod
+    def _check(ex, rng):
+        naive, poly, lin, lin_full = engines(ex)
+        for _ in range(15):
+            x, y = random_disjoint_pair(ex, rng, events_per_node=3)
+            for rel in BASE_RELATIONS:
+                expected = naive.evaluate(rel, x, y)
+                assert poly.evaluate(rel, x, y) == expected
+                assert lin.evaluate(rel, x, y) == expected
+                assert lin_full.evaluate(rel, x, y) == expected
+
+
+class TestKnownInstances:
+    """Hand-checked truth tables on the fixture executions."""
+
+    def test_fully_ordered(self, message_exec):
+        x = NonatomicEvent(message_exec, [(0, 1), (0, 2)])
+        y = NonatomicEvent(message_exec, [(1, 2), (1, 3)])
+        lin = LinearEvaluator(message_exec)
+        for rel in BASE_RELATIONS:
+            assert lin.evaluate(rel, x, y), rel  # all hold when X < Y
+
+    def test_fully_concurrent(self, concurrent_exec):
+        x = NonatomicEvent(concurrent_exec, [(0, 1), (0, 2)])
+        y = NonatomicEvent(concurrent_exec, [(1, 1), (1, 2)])
+        lin = LinearEvaluator(concurrent_exec)
+        for rel in BASE_RELATIONS:
+            assert not lin.evaluate(rel, x, y), rel
+
+    def test_partial_overlap_truth_table(self, message_exec):
+        # X = {a1, b1}, Y = {a3, b2}; the message a2 -> b2 makes b2 a
+        # common upper bound of X, and a1 a common lower bound of Y,
+        # but b1 never precedes a3 so R1 fails.
+        x = NonatomicEvent(message_exec, [(0, 1), (1, 1)])
+        y = NonatomicEvent(message_exec, [(0, 3), (1, 2)])
+        lin = LinearEvaluator(message_exec)
+        assert not lin.evaluate(Relation.R1, x, y)  # b1 not< a3
+        assert lin.evaluate(Relation.R2, x, y)  # a1<a3, b1<b2
+        assert lin.evaluate(Relation.R2P, x, y)  # b2 above all of X
+        assert lin.evaluate(Relation.R3, x, y)  # a1 below all of Y
+        assert lin.evaluate(Relation.R3P, x, y)  # a3>a1, b2>b1
+        assert lin.evaluate(Relation.R4, x, y)
+
+    def test_r2_r2p_differ_on_posets(self, diamond_exec):
+        """The paper's point: R2' and R2 differ for poset events."""
+        x = NonatomicEvent(diamond_exec, [(1, 1), (2, 1)])
+        y = NonatomicEvent(diamond_exec, [(1, 2), (2, 2)])
+        lin = LinearEvaluator(diamond_exec)
+        # every x precedes its own node's later y (R2)...
+        assert lin.evaluate(Relation.R2, x, y)
+        # ...but no single y is above both branches (R2')
+        assert not lin.evaluate(Relation.R2P, x, y)
+
+    def test_r3_r3p_differ_on_posets(self, diamond_exec):
+        x = NonatomicEvent(diamond_exec, [(1, 2), (2, 2)])
+        y = NonatomicEvent(diamond_exec, [(3, 1), (3, 2)])
+        lin = LinearEvaluator(diamond_exec)
+        # (3,1) receives only from (1,2): not all of Y is above (2,2)…
+        assert lin.evaluate(Relation.R3, x, y)  # (1,2) < both Y events
+        assert lin.evaluate(Relation.R3P, x, y)
+        x2 = NonatomicEvent(diamond_exec, [(1, 1), (2, 1)])
+        y2 = NonatomicEvent(diamond_exec, [(1, 2), (2, 2)])
+        assert not lin.evaluate(Relation.R3, x2, y2)
+        assert lin.evaluate(Relation.R3P, x2, y2)
+
+    def test_synonyms_agree(self, medium_exec, rng):
+        lin = LinearEvaluator(medium_exec)
+        for _ in range(25):
+            x, y = random_disjoint_pair(medium_exec, rng)
+            assert lin.evaluate(Relation.R1, x, y) == lin.evaluate(
+                Relation.R1P, x, y
+            )
+            assert lin.evaluate(Relation.R4, x, y) == lin.evaluate(
+                Relation.R4P, x, y
+            )

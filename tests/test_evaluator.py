@@ -1,0 +1,127 @@
+"""Tests for the SynchronizationAnalyzer facade (Problem 4 API)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.evaluator import ENGINES, SynchronizationAnalyzer
+from repro.core.relations import FAMILY32, Relation, RelationSpec
+from repro.nonatomic.event import NonatomicEvent
+from repro.nonatomic.proxies import Proxy
+
+from .strategies import execution_with_pair
+
+
+class TestConstruction:
+    def test_engine_registry(self):
+        assert set(ENGINES) == {"naive", "polynomial", "linear"}
+
+    def test_unknown_engine(self, message_exec):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SynchronizationAnalyzer(message_exec, engine="quantum")
+
+    def test_interval_helper(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec)
+        x = an.interval([(0, 1)], name="X")
+        assert isinstance(x, NonatomicEvent)
+        assert x.name == "X"
+
+
+class TestHolds:
+    @pytest.fixture
+    def analyzer(self, message_exec):
+        return SynchronizationAnalyzer(message_exec)
+
+    @pytest.fixture
+    def xy(self, message_exec):
+        x = NonatomicEvent(message_exec, [(0, 1), (0, 2)])
+        y = NonatomicEvent(message_exec, [(1, 2), (1, 3)])
+        return x, y
+
+    def test_base_by_enum(self, analyzer, xy):
+        assert analyzer.holds(Relation.R1, *xy)
+
+    def test_base_by_string(self, analyzer, xy):
+        assert analyzer.holds("R1", *xy)
+        assert analyzer.holds("R2'", *xy)
+
+    def test_spec_by_string(self, analyzer, xy):
+        assert analyzer.holds("R1(U,L)", *xy)
+
+    def test_spec_by_object(self, analyzer, xy):
+        assert analyzer.holds(RelationSpec(Relation.R1, Proxy.U, Proxy.L), *xy)
+
+    def test_bad_string(self, analyzer, xy):
+        with pytest.raises(ValueError):
+            analyzer.holds("R9", *xy)
+
+    def test_disjointness_enforced(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec)
+        x = NonatomicEvent(message_exec, [(0, 1)])
+        y = NonatomicEvent(message_exec, [(0, 1), (1, 1)])
+        with pytest.raises(ValueError, match="share atomic events"):
+            an.holds("R4", x, y)
+
+    def test_disjointness_opt_out(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec, check_disjoint=False)
+        x = NonatomicEvent(message_exec, [(0, 1)])
+        y = NonatomicEvent(message_exec, [(0, 1), (1, 1)])
+        assert isinstance(an.holds("R4", x, y), bool)
+
+
+class TestBatchEvaluation:
+    def test_base_relations_shape(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec)
+        x = an.interval([(0, 1)])
+        y = an.interval([(1, 2)])
+        results = an.base_relations(x, y)
+        assert len(results) == 8
+        assert all(results.values())  # x < y
+
+    def test_all_relations_shape(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec)
+        x = an.interval([(0, 1)])
+        y = an.interval([(1, 2)])
+        results = an.all_relations(x, y)
+        assert len(results) == 32
+        assert set(results) == set(FAMILY32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_prune_equivalence(self, pair):
+        ex, x, y = pair
+        an = SynchronizationAnalyzer(ex)
+        assert an.all_relations(x, y) == an.all_relations(x, y, prune=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_engines_agree_through_facade(self, pair):
+        ex, x, y = pair
+        results = [
+            SynchronizationAnalyzer(ex, engine=e).all_relations(x, y)
+            for e in ENGINES
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_strongest(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec)
+        x = an.interval([(0, 1)])
+        y = an.interval([(1, 2)])
+        top = an.strongest(x, y)
+        assert RelationSpec(Relation.R1, Proxy.U, Proxy.L) in top
+
+
+class TestCounting:
+    def test_counter_off_by_default(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec)
+        assert an.counter is None
+        assert an.comparisons == 0
+
+    def test_counter_accumulates(self, message_exec):
+        an = SynchronizationAnalyzer(message_exec, counted=True)
+        x = an.interval([(0, 1)])
+        y = an.interval([(1, 2)])
+        an.holds("R1", x, y)
+        first = an.comparisons
+        assert first >= 1
+        an.holds("R2", x, y)
+        assert an.comparisons > first

@@ -1,0 +1,69 @@
+"""Unit tests for the Event value type."""
+
+import pytest
+
+from repro.events.event import Event, EventKind, bottom_id, is_real_id
+
+
+class TestEventKind:
+    def test_dummy_kinds(self):
+        assert EventKind.BOTTOM.is_dummy
+        assert EventKind.TOP.is_dummy
+
+    def test_real_kinds(self):
+        assert not EventKind.INTERNAL.is_dummy
+        assert not EventKind.SEND.is_dummy
+        assert not EventKind.RECV.is_dummy
+
+    def test_round_trip_values(self):
+        for kind in EventKind:
+            assert EventKind(kind.value) is kind
+
+
+class TestEvent:
+    def test_eid(self):
+        ev = Event(node=2, index=5)
+        assert ev.eid == (2, 5)
+
+    def test_defaults(self):
+        ev = Event(node=0, index=1)
+        assert ev.kind is EventKind.INTERNAL
+        assert ev.label is None
+        assert ev.time is None
+        assert ev.payload is None
+
+    def test_is_real_and_dummy(self):
+        assert Event(0, 1).is_real
+        assert not Event(0, 1).is_dummy
+        assert Event(0, 0, kind=EventKind.BOTTOM).is_dummy
+        assert not Event(0, 0, kind=EventKind.BOTTOM).is_real
+
+    def test_frozen(self):
+        ev = Event(0, 1)
+        with pytest.raises(AttributeError):
+            ev.node = 3  # type: ignore[misc]
+
+    def test_equality_ignores_payload(self):
+        a = Event(0, 1, payload={"x": 1})
+        b = Event(0, 1, payload={"x": 2})
+        assert a == b
+
+    def test_equality_respects_label(self):
+        assert Event(0, 1, label="a") != Event(0, 1, label="b")
+
+    def test_str_contains_coordinates(self):
+        assert "e(1,2)" in str(Event(1, 2))
+        assert ":cs" in str(Event(1, 2, label="cs"))
+
+
+class TestIdHelpers:
+    def test_bottom_id(self):
+        assert bottom_id(3) == (3, 0)
+
+    @pytest.mark.parametrize(
+        "eid,k,expected",
+        [((0, 0), 5, False), ((0, 1), 5, True), ((0, 5), 5, True),
+         ((0, 6), 5, False)],
+    )
+    def test_is_real_id(self, eid, k, expected):
+        assert is_real_id(eid, k) is expected

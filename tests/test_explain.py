@@ -1,0 +1,114 @@
+"""Tests for the explainable evaluation API."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.explain import Explanation, explain
+from repro.core.linear import LinearEvaluator
+from repro.core.relations import BASE_RELATIONS, FAMILY32, Relation
+
+from .strategies import execution_with_pair
+
+
+class TestVerdictAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_matches_linear_engine_base(self, pair):
+        ex, x, y = pair
+        lin = LinearEvaluator(ex)
+        for rel in BASE_RELATIONS:
+            assert explain(rel, x, y).holds == lin.evaluate(rel, x, y), rel
+
+    @settings(max_examples=30, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_matches_linear_engine_family(self, pair):
+        ex, x, y = pair
+        lin = LinearEvaluator(ex)
+        for spec in FAMILY32[::3]:
+            assert explain(spec, x, y).holds == lin.evaluate_spec(
+                spec, x, y
+            ), spec
+
+    def test_string_spec(self, message_exec):
+        from repro.nonatomic.event import NonatomicEvent
+
+        x = NonatomicEvent(message_exec, [(0, 1)])
+        y = NonatomicEvent(message_exec, [(1, 2)])
+        assert explain("R1", x, y).holds
+        assert explain("R1(U,L)", x, y).holds
+
+
+class TestEvidence:
+    @pytest.fixture
+    def xy(self, message_exec):
+        from repro.nonatomic.event import NonatomicEvent
+
+        x = NonatomicEvent(message_exec, [(0, 1), (0, 2)], name="X")
+        y = NonatomicEvent(message_exec, [(1, 2), (1, 3)], name="Y")
+        return x, y
+
+    def test_positive_universal_scans_everything(self, message_exec, xy):
+        x, y = xy
+        e = explain(Relation.R2, x, y)
+        assert e.holds
+        assert e.mode == "forall-x"
+        assert len(e.comparisons) == x.width
+        assert e.witness_node is None  # no short-circuit
+        assert all(c.satisfied for c in e.comparisons)
+
+    def test_negative_universal_names_witness(self, message_exec, xy):
+        x, y = xy
+        e = explain(Relation.R1, y, x)  # Y before X fails
+        assert not e.holds
+        assert e.witness_node is not None
+        assert not e.comparisons[-1].satisfied
+
+    def test_positive_existential_names_witness(self, message_exec, xy):
+        x, y = xy
+        e = explain(Relation.R4, x, y)
+        assert e.holds
+        assert e.mode == "exists"
+        assert e.witness_node is not None
+        assert e.comparisons[-1].satisfied
+
+    def test_negative_existential_scans_everything(self, message_exec, xy):
+        x, y = xy
+        e = explain(Relation.R4, y, x)
+        assert not e.holds
+        assert e.witness_node is None
+        assert len(e.comparisons) == len(e.scanned_nodes)
+
+    def test_cut_pair_names(self, message_exec, xy):
+        x, y = xy
+        assert explain(Relation.R3, x, y).cut_pair == ("∩⇓Y", "∩⇑X")
+        assert explain(Relation.R2P, x, y).cut_pair == ("∪⇓Y", "∪⇑X")
+
+    def test_scanned_nodes_respect_anchoring(self, message_exec, xy):
+        x, y = xy
+        assert explain(Relation.R3, x, y).scanned_nodes == x.node_set
+        assert explain(Relation.R2P, x, y).scanned_nodes == y.node_set
+
+    def test_str_rendering(self, message_exec, xy):
+        x, y = xy
+        text = str(explain(Relation.R1, x, y))
+        assert "R1(X, Y) holds" in text
+        assert "node 0" in text
+
+    def test_comparison_str(self, message_exec, xy):
+        x, y = xy
+        e = explain(Relation.R1, x, y)
+        assert ">=" in str(e.comparisons[0])
+
+
+class TestComparisonBudget:
+    @settings(max_examples=50, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_never_more_than_theorem20(self, pair):
+        from repro.analysis.complexity import predicted_comparisons
+
+        ex, x, y = pair
+        for rel in BASE_RELATIONS:
+            e = explain(rel, x, y)
+            assert len(e.comparisons) <= predicted_comparisons(
+                rel, x.width, y.width
+            ), rel

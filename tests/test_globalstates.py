@@ -1,0 +1,174 @@
+"""Tests for the consistent-global-state lattice and predicate detection."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.events.builder import TraceBuilder
+from repro.globalstates.detection import (
+    definitely,
+    possibly,
+    possibly_conjunctive,
+)
+from repro.globalstates.lattice import GlobalStateLattice
+
+from .strategies import executions
+
+
+def brute_force_states(ex):
+    """All consistent states by filtering the full product (oracle)."""
+    lattice = GlobalStateLattice(ex)
+    ranges = [range(k + 1) for k in ex.lengths]
+    return {
+        state
+        for state in itertools.product(*ranges)
+        if lattice.is_consistent(state)
+    }
+
+
+class TestLattice:
+    def test_bottom_top(self, message_exec):
+        lat = GlobalStateLattice(message_exec)
+        assert lat.bottom == (0, 0)
+        assert lat.top == (3, 3)
+        assert lat.is_consistent(lat.bottom)
+        assert lat.is_consistent(lat.top)
+
+    def test_orphan_receive_inconsistent(self, message_exec):
+        lat = GlobalStateLattice(message_exec)
+        # (1,2) receives from (0,2): state (1, 2) would orphan it
+        assert not lat.is_consistent((1, 2))
+        assert lat.is_consistent((2, 2))
+
+    def test_out_of_range_inconsistent(self, message_exec):
+        lat = GlobalStateLattice(message_exec)
+        assert not lat.is_consistent((4, 0))
+        assert not lat.is_consistent((-1, 0))
+
+    def test_enabled_advances(self, message_exec):
+        lat = GlobalStateLattice(message_exec)
+        # from (1, 1): node 0 can advance; node 1's next is the receive
+        # of (0,2) which has not been sent yet
+        assert lat.enabled_advances((1, 1)) == [0]
+        assert set(lat.enabled_advances((2, 1))) == {0, 1}
+
+    def test_successors(self, message_exec):
+        lat = GlobalStateLattice(message_exec)
+        succs = lat.successors((2, 1))
+        assert set(succs) == {(3, 1), (2, 2)}
+
+    @settings(max_examples=40, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=12))
+    def test_enumeration_matches_brute_force(self, ex):
+        lat = GlobalStateLattice(ex)
+        assert set(lat.iter_states()) == brute_force_states(ex)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=12))
+    def test_meet_join_closed(self, ex):
+        lat = GlobalStateLattice(ex)
+        states = sorted(lat.iter_states())
+        sample = states[:: max(1, len(states) // 8)]
+        for a in sample:
+            for b in sample:
+                assert lat.is_consistent(lat.meet(a, b)), (a, b)
+                assert lat.is_consistent(lat.join(a, b)), (a, b)
+
+    def test_count_independent_chains(self, concurrent_exec):
+        # two independent 2-event chains: (2+1)^2 states
+        assert GlobalStateLattice(concurrent_exec).count() == 9
+
+    def test_count_totally_ordered(self, chain_exec):
+        assert GlobalStateLattice(chain_exec).count() == 4
+
+    def test_limit_guard(self, medium_exec):
+        lat = GlobalStateLattice(medium_exec, limit=50)
+        with pytest.raises(RuntimeError, match="limit"):
+            lat.count()
+
+    def test_to_cut(self, message_exec):
+        lat = GlobalStateLattice(message_exec)
+        cut = lat.to_cut((2, 1))
+        assert cut.is_downward_closed()
+
+
+class TestPossiblyDefinitely:
+    def test_possibly_trivial(self, message_exec):
+        assert possibly(message_exec, lambda s: s == (0, 0)) == (0, 0)
+
+    def test_possibly_finds_least_level(self, message_exec):
+        hit = possibly(message_exec, lambda s: s[0] >= 1 and s[1] >= 1)
+        assert hit == (1, 1)
+
+    def test_possibly_none(self, message_exec):
+        # node 1 at event 2 requires node 0 past 2: (0, 2) impossible
+        assert possibly(message_exec, lambda s: s == (0, 2)) is None
+
+    def test_definitely_unavoidable_state(self, chain_exec):
+        # every observation of a single chain passes through (2,)
+        assert definitely(chain_exec, lambda s: s == (2,))
+
+    def test_definitely_avoidable(self, concurrent_exec):
+        # (1, 0) can be bypassed by advancing node 1 first
+        assert not definitely(concurrent_exec, lambda s: s == (1, 0))
+
+    def test_definitely_synchronisation_point(self, message_exec):
+        # after the receive, node 1's count >= 2 forces node 0's >= 2
+        assert definitely(
+            message_exec, lambda s: s[1] >= 2 and s[0] >= 2 or s[1] < 2
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=10))
+    def test_definitely_implies_possibly(self, ex):
+        # pick a simple predicate family: node 0 executed >= t events
+        for t in range(ex.num_real(0) + 1):
+            pred = lambda s, t=t: s[0] >= t
+            if definitely(ex, pred):
+                assert possibly(ex, pred) is not None
+
+
+class TestConjunctiveFastPath:
+    @staticmethod
+    def _conj_predicate(locals_):
+        def phi(state):
+            return all(p(n, state[n]) for n, p in locals_.items())
+
+        return phi
+
+    def test_simple_rendezvous(self, message_exec):
+        locals_ = {
+            0: lambda n, i: i >= 2,
+            1: lambda n, i: i >= 2,
+        }
+        least = possibly_conjunctive(message_exec, locals_)
+        assert least == (2, 2)
+
+    def test_unsatisfiable(self, message_exec):
+        locals_ = {0: lambda n, i: False}
+        assert possibly_conjunctive(message_exec, locals_) is None
+
+    def test_empty_constraint(self, message_exec):
+        assert possibly_conjunctive(message_exec, {}) == (0, 0)
+
+    def test_unconstrained_nodes_minimised(self, diamond_exec):
+        # require node 3 past its first receive; nodes 0-2 free
+        least = possibly_conjunctive(diamond_exec, {3: lambda n, i: i >= 1})
+        assert least is not None
+        assert least[3] == 1
+        # the receive (3,1) needs (1,2)'s past: node0 >= 1, node1 >= 2
+        assert least[1] == 2 and least[0] == 1 and least[2] == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=12))
+    def test_matches_lattice_sweep(self, ex):
+        """GW fast path == Cooper–Marzullo sweep on threshold locals."""
+        locals_ = {
+            n: (lambda n_, i, t=max(1, ex.num_real(n) // 2): i >= t)
+            for n in range(ex.num_nodes)
+            if ex.num_real(n) > 0
+        }
+        fast = possibly_conjunctive(ex, locals_)
+        slow = possibly(ex, self._conj_predicate(locals_))
+        assert fast == slow

@@ -1,0 +1,87 @@
+"""Tests for the named synchronization idioms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import idioms
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.nonatomic.event import NonatomicEvent
+
+from .strategies import execution_with_pair
+
+
+@pytest.fixture
+def env(message_exec):
+    an = SynchronizationAnalyzer(message_exec)
+    x = NonatomicEvent(message_exec, [(0, 1), (0, 2)], name="X")
+    y = NonatomicEvent(message_exec, [(1, 2), (1, 3)], name="Y")
+    z = NonatomicEvent(message_exec, [(1, 1)], name="Z")
+    return an, x, y, z
+
+
+class TestIdioms:
+    def test_wholly_before(self, env):
+        an, x, y, z = env
+        assert idioms.wholly_before(an, x, y)
+        assert not idioms.wholly_before(an, y, x)
+
+    def test_ends_before_starts(self, env):
+        an, x, y, _ = env
+        assert idioms.ends_before_starts(an, x, y)
+
+    def test_influences(self, env):
+        an, x, y, z = env
+        assert idioms.influences(an, x, y)
+        assert not idioms.influences(an, x, z)
+
+    def test_independent(self, env):
+        an, x, y, z = env
+        assert idioms.independent(an, x, z)
+        assert not idioms.independent(an, x, y)
+
+    def test_covered_and_triggered(self, env):
+        an, x, y, _ = env
+        assert idioms.covered_by(an, x, y)
+        assert idioms.triggered_by_some(an, x, y)
+
+    def test_common_cause_effect(self, env):
+        an, x, y, _ = env
+        assert idioms.has_common_effect(an, x, y)
+        assert idioms.has_common_cause(an, x, y)
+
+    def test_serialised(self, env):
+        an, x, y, z = env
+        assert idioms.serialised(an, x, y)
+        assert not idioms.serialised(an, x, z)  # concurrent, not ordered
+
+
+class TestIdiomsConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_idioms_match_documented_specs(self, pair):
+        ex, x, y = pair
+        an = SynchronizationAnalyzer(ex)
+        assert idioms.wholly_before(an, x, y) == an.holds("R1", x, y)
+        assert idioms.influences(an, x, y) == an.holds("R4", x, y)
+        assert idioms.covered_by(an, x, y) == an.holds("R2", x, y)
+        assert idioms.has_common_effect(an, x, y) == an.holds("R2'", x, y)
+        assert idioms.has_common_cause(an, x, y) == an.holds("R3", x, y)
+        assert idioms.triggered_by_some(an, x, y) == an.holds("R3'", x, y)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_independent_symmetric(self, pair):
+        ex, x, y = pair
+        an = SynchronizationAnalyzer(ex)
+        assert idioms.independent(an, x, y) == idioms.independent(an, y, x)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_wholly_before_implies_everything_forward(self, pair):
+        ex, x, y = pair
+        an = SynchronizationAnalyzer(ex)
+        if idioms.wholly_before(an, x, y):
+            assert idioms.influences(an, x, y)
+            assert idioms.covered_by(an, x, y)
+            assert idioms.serialised(an, x, y)
+            assert not idioms.independent(an, x, y)

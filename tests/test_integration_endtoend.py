@@ -1,0 +1,164 @@
+"""Capstone integration: one trace through every subsystem.
+
+Simulate a multi-phase distributed run, round-trip it through JSON,
+then drive the full analysis surface over the same intervals — offline
+engines, online monitor, condition checker, timed constraints, global
+states, interval graph, metrics and rendering — asserting the
+subsystems tell one consistent story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.intervalgraph import serialization_layers
+from repro.analysis.metrics import summarize
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.core.explain import explain
+from repro.core.relations import BASE_RELATIONS
+from repro.events.poset import Execution
+from repro.events.serialization import loads as trace_loads
+from repro.events.serialization import dumps as trace_dumps
+from repro.globalstates import GlobalStateLattice, possibly_conjunctive
+from repro.monitor.checker import ConditionChecker
+from repro.monitor.online import OnlineMonitor
+from repro.nonatomic.selection import by_label
+from repro.realtime import RealTimeChecker, TimedConstraint
+from repro.simulation.workloads import barrier_trace
+from repro.viz.spacetime import render
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A 4-node, 3-phase barrier execution, JSON round-tripped."""
+    trace = trace_loads(trace_dumps(barrier_trace(4, phases=3,
+                                                  work_per_phase=2)))
+    ex = Execution(trace)
+    phases = {p: by_label(ex, f"phase{p}", name=f"phase{p}") for p in range(3)}
+    return ex, phases
+
+
+class TestEndToEnd:
+    def test_round_trip_preserved_structure(self, world):
+        ex, phases = world
+        assert ex.num_nodes == 4
+        assert all(iv.width == 4 for iv in phases.values())
+
+    def test_offline_story(self, world):
+        ex, phases = world
+        an = SynchronizationAnalyzer(ex)
+        # phases totally ordered, strongest relation is R1(U,L)
+        assert an.holds("R1", phases[0], phases[1])
+        assert {str(s) for s in an.strongest(phases[0], phases[2])} == {
+            "R1(U,L)", "R1'(U,L)",
+        }
+
+    def test_condition_checker_agrees(self, world):
+        ex, phases = world
+        checker = ConditionChecker(SynchronizationAnalyzer(ex))
+        report = checker.check(
+            "R1(a, b) and R1(b, c) -> R1(a, c)",
+            {"a": phases[0], "b": phases[1], "c": phases[2]},
+        )
+        assert report.passed
+
+    def test_online_replays_to_same_verdicts(self, world):
+        ex, phases = world
+        # replay the trace into the online monitor
+        om = OnlineMonitor(ex.num_nodes)
+        pos = [0] * ex.num_nodes
+        handles = {}
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in range(ex.num_nodes):
+                while pos[node] < ex.num_real(node):
+                    ev = ex.trace.events_of(node)[pos[node]]
+                    send = ex.trace.send_of(ev.eid)
+                    if send is not None and send not in handles:
+                        break
+                    if ev.kind.name == "SEND":
+                        handles[ev.eid] = om.send(node, label=ev.label)
+                    elif ev.kind.name == "RECV":
+                        om.recv(node, handles[send], label=ev.label)
+                    else:
+                        om.internal(node, label=ev.label)
+                    pos[node] += 1
+                    progressed = True
+        for p, iv in phases.items():
+            for eid in sorted(iv.ids):
+                om.interval(f"phase{p}").add(eid)
+            om.close(f"phase{p}")
+        an = SynchronizationAnalyzer(ex)
+        for rel in BASE_RELATIONS:
+            assert om.holds(rel, "phase0", "phase1") == an.holds(
+                rel, phases[0], phases[1]
+            ), rel
+
+    def test_timed_constraints(self, world):
+        ex, phases = world
+        checker = RealTimeChecker(SynchronizationAnalyzer(ex))
+        report = checker.check(
+            TimedConstraint(
+                name="phase-gap", source="phase0", target="phase1",
+                causal="R1(phase0, phase1)", max_latency=100.0,
+            ),
+            {"phase0": phases[0], "phase1": phases[1]},
+        )
+        assert report.passed
+        assert report.measured_latency is not None
+
+    def test_globalstates_story(self, world):
+        ex, phases = world
+        # detect the barrier point: a consistent state where phase 0 is
+        # complete on every node it spans
+        locals_ = {
+            n: (lambda node, i, t=phases[0].last_at(n): i >= t)
+            for n in phases[0].node_set
+        }
+        least = possibly_conjunctive(ex, locals_)
+        assert least is not None
+        for n in phases[0].node_set:
+            assert least[n] >= phases[0].last_at(n)
+            # ...and the least such state predates phase 1's start there
+            assert least[n] < phases[1].first_at(n)
+
+    def test_interval_graph_layers(self, world):
+        _ex, phases = world
+        layers = serialization_layers(list(phases.values()))
+        assert layers == [["phase0"], ["phase1"], ["phase2"]]
+
+    def test_metrics_and_render(self, world):
+        ex, phases = world
+        m = summarize(ex)
+        assert m.num_nodes == 4
+        assert m.messages.lost == 0
+        out = render(ex, intervals={"A": phases[0]}, show_messages=False)
+        assert out.count("A") == len(phases[0])
+
+    def test_explain_consistent_with_holds(self, world):
+        ex, phases = world
+        an = SynchronizationAnalyzer(ex)
+        for rel in BASE_RELATIONS:
+            assert explain(rel, phases[0], phases[2]).holds == an.holds(
+                rel, phases[0], phases[2]
+            )
+
+    def test_lattice_contains_barrier_state(self, world):
+        ex, phases = world
+        lattice = GlobalStateLattice(ex, limit=500_000)
+        barrier_state = tuple(
+            phases[0].last_at(n) if n in phases[0].node_set else 0
+            for n in range(ex.num_nodes)
+        )
+        # completing phase 0 everywhere is not itself consistent unless
+        # the arrive/release messages are included; just assert the
+        # induced join with required pasts is consistent
+        state = barrier_state
+        if not lattice.is_consistent(state):
+            import numpy as np
+
+            vec = np.zeros(ex.num_nodes, dtype=int)
+            for n in phases[0].node_set:
+                vec = np.maximum(vec, ex.clock((n, phases[0].last_at(n))))
+            state = tuple(int(v) for v in vec)
+        assert lattice.is_consistent(state)

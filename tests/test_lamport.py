@@ -1,0 +1,70 @@
+"""Tests for scalar Lamport clocks (soundness, incompleteness)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.events.builder import TraceBuilder
+from repro.events.clocks import CyclicTraceError
+from repro.events.lamport import (
+    compute_lamport_clocks,
+    lamport_order_violations,
+)
+from repro.events.poset import Execution
+
+from .strategies import executions, traces
+
+
+class TestComputation:
+    def test_chain_is_sequential(self, chain_exec):
+        clocks = compute_lamport_clocks(chain_exec.trace)
+        assert [clocks[(0, j)] for j in (1, 2, 3)] == [1, 2, 3]
+
+    def test_receive_jumps(self, message_exec):
+        clocks = compute_lamport_clocks(message_exec.trace)
+        # recv (1,2) must exceed send (0,2)
+        assert clocks[(1, 2)] > clocks[(0, 2)]
+        assert clocks[(1, 2)] == max(clocks[(1, 1)], clocks[(0, 2)]) + 1
+
+    def test_cycle_detected(self):
+        from repro.events.event import Event, EventKind
+        from repro.events.trace import Message, Trace
+
+        events = [
+            [Event(0, 1, kind=EventKind.RECV), Event(0, 2, kind=EventKind.SEND)],
+            [Event(1, 1, kind=EventKind.RECV), Event(1, 2, kind=EventKind.SEND)],
+        ]
+        msgs = [Message((0, 2), (1, 1)), Message((1, 2), (0, 1))]
+        with pytest.raises(CyclicTraceError):
+            compute_lamport_clocks(Trace(events, msgs))
+
+
+class TestSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(ex=executions())
+    def test_precedence_implies_smaller_scalar(self, ex):
+        clocks = compute_lamport_clocks(ex.trace)
+        ids = sorted(clocks)
+        for a in ids:
+            for b in ids:
+                if ex.precedes(a, b):
+                    assert clocks[a] < clocks[b], (a, b)
+
+
+class TestIncompleteness:
+    def test_concurrent_events_can_be_ordered(self, message_exec):
+        """The scalar order lies on this trace — the reason relation
+        evaluation needs vectors."""
+        violations, checked = lamport_order_violations(message_exec.trace)
+        assert checked > 0
+        assert violations > 0
+
+    def test_no_lies_when_totally_ordered(self, chain_exec):
+        violations, _ = lamport_order_violations(chain_exec.trace)
+        assert violations == 0
+
+    def test_sampling(self, medium_exec):
+        v_s, n_s = lamport_order_violations(
+            medium_exec.trace, sample=500, seed=3
+        )
+        assert n_s == 500
+        assert v_s > 0  # random workloads always have concurrency

@@ -1,0 +1,90 @@
+"""Tests for the ≪ relation (Definition 7): four forms, edge cases."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cuts import (
+    Cut,
+    ll,
+    ll_form1,
+    ll_form3,
+    not_ll,
+    not_ll_form2,
+    not_ll_form4,
+)
+
+from .strategies import executions
+
+
+@st.composite
+def execution_with_two_cuts(draw):
+    ex = draw(executions(max_nodes=4, max_ops=20))
+    vecs = []
+    for _ in range(2):
+        vec = [
+            draw(st.integers(0, ex.num_real(i) + 1))
+            for i in range(ex.num_nodes)
+        ]
+        vecs.append(vec)
+    return ex, Cut(ex, vecs[0]), Cut(ex, vecs[1])
+
+
+class TestCanonicalForm:
+    def test_strictly_below(self, message_exec):
+        assert ll(Cut(message_exec, [1, 1]), Cut(message_exec, [2, 2]))
+
+    def test_equal_component_blocks(self, message_exec):
+        assert not ll(Cut(message_exec, [1, 1]), Cut(message_exec, [1, 2]))
+
+    def test_zero_components_ignored(self, message_exec):
+        assert ll(Cut(message_exec, [0, 1]), Cut(message_exec, [0, 2]))
+
+    def test_bottom_ll_anything_nonbottom(self, message_exec):
+        bottom = Cut(message_exec, [0, 0])
+        assert ll(bottom, Cut(message_exec, [1, 0]))
+
+    def test_nothing_ll_bottom(self, message_exec):
+        bottom = Cut(message_exec, [0, 0])
+        assert not ll(bottom, bottom)
+        assert not ll(Cut(message_exec, [1, 1]), bottom)
+
+    def test_not_ll_is_negation(self, message_exec):
+        a, b = Cut(message_exec, [1, 1]), Cut(message_exec, [2, 2])
+        assert ll(a, b) != not_ll(a, b)
+
+    def test_proper_subset_insufficient(self, message_exec):
+        """C ⊂ C' does not imply ≪: per-node strictness is required."""
+        a, b = Cut(message_exec, [1, 2]), Cut(message_exec, [2, 2])
+        assert a.issubset(b) and a != b
+        assert not ll(a, b)
+
+
+class TestFormEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(data=execution_with_two_cuts())
+    def test_all_four_forms_agree(self, data):
+        _ex, c, cp = data
+        expected = ll(c, cp)
+        assert ll_form1(c, cp) == expected
+        assert not_ll_form2(c, cp) == (not expected)
+        assert ll_form3(c, cp) == expected
+        assert not_ll_form4(c, cp) == (not expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=execution_with_two_cuts())
+    def test_irreflexive_except_bottom(self, data):
+        """≪ is irreflexive: a cut is never strictly inside itself."""
+        _ex, c, _cp = data
+        assert not ll(c, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=execution_with_two_cuts())
+    def test_semantics_surface_witness(self, data):
+        """≪̸(C, C') iff some surface event of C (beyond ⊥) equals or
+        happens locally after C's surface at that node — the reading
+        Section 2.2's transitive arguments rely on."""
+        _ex, c, cp = data
+        witness = any(
+            v >= 1 and v >= w for v, w in zip(c.vector, cp.vector)
+        ) or cp.is_bottom()
+        assert not_ll(c, cp) == witness

@@ -1,0 +1,172 @@
+"""Metamorphic properties of the relations.
+
+Beyond engine agreement, the relations obey decomposition laws that
+follow from their quantifier structure.  These give an independent
+correctness signal: the linear engine is checked against *algebra*, not
+against another implementation.
+
+Laws tested (X, X'', Y, Y'' disjoint from the opposite side):
+
+* union in the universal argument distributes conjunctively:
+  ``R1(X ∪ X'', Y) = R1(X, Y) ∧ R1(X'', Y)`` and dually for Y;
+* union in the existential argument distributes disjunctively:
+  ``R4(X ∪ X'', Y) = R4(X, Y) ∨ R4(X'', Y)``;
+* mixed forms: ``R2(X ∪ X'', Y) = R2(X, Y) ∧ R2(X'', Y)`` (universal
+  over x), ``R3(X ∪ X'', Y) = R3(X, Y) ∨ R3(X'', Y)`` (existential
+  over x), and dually on the Y side;
+* monotonicity: growing the existential side never falsifies a
+  relation; growing the universal side never validates one;
+* singleton coherence: on singletons, all eight relations collapse to
+  the atomic ``x ≺ y``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linear import LinearEvaluator
+from repro.core.relations import BASE_RELATIONS, Relation
+from repro.nonatomic.event import NonatomicEvent
+
+from .strategies import executions
+
+
+@st.composite
+def execution_with_split_pair(draw):
+    """Execution plus X, X'' (disjoint) and Y, all pairwise disjoint."""
+    ex = draw(executions(max_nodes=4, max_ops=30))
+    ids = sorted(ex.iter_ids())
+    if len(ids) < 3:
+        from repro.events.builder import TraceBuilder
+
+        b = TraceBuilder(ex.num_nodes)
+        for ev in ex.trace.iter_events():
+            b.internal(ev.node)
+        while sum(b.count(i) for i in range(ex.num_nodes)) < 3:
+            b.internal(0)
+        ex = b.execute()
+        ids = sorted(ex.iter_ids())
+    picks = draw(
+        st.lists(st.integers(0, len(ids) - 1), min_size=3,
+                 max_size=min(12, len(ids)), unique=True)
+    )
+    groups = {0: [], 1: [], 2: []}
+    for pos, p in enumerate(picks):
+        groups[pos % 3 if pos >= 3 else pos].append(ids[p])
+    x1 = NonatomicEvent(ex, groups[0])
+    x2 = NonatomicEvent(ex, groups[1])
+    y = NonatomicEvent(ex, groups[2])
+    union = NonatomicEvent(ex, sorted(x1.ids | x2.ids))
+    return ex, x1, x2, union, y
+
+
+class TestUnionLaws:
+    @settings(max_examples=120, deadline=None)
+    @given(data=execution_with_split_pair())
+    def test_x_side_distribution(self, data):
+        ex, x1, x2, union, y = data
+        lin = LinearEvaluator(ex)
+        # universal over x with per-x witnesses: conjunctive (two-way)
+        for rel in (Relation.R1, Relation.R1P, Relation.R2):
+            assert lin.evaluate(rel, union, y) == (
+                lin.evaluate(rel, x1, y) and lin.evaluate(rel, x2, y)
+            ), rel
+        # existential over x: disjunctive (two-way)
+        for rel in (Relation.R3, Relation.R4, Relation.R4P):
+            assert lin.evaluate(rel, union, y) == (
+                lin.evaluate(rel, x1, y) or lin.evaluate(rel, x2, y)
+            ), rel
+        # R2' needs ONE y above all of the union: only ⟹ holds
+        # (the parts may use different witnesses)
+        if lin.evaluate(Relation.R2P, union, y):
+            assert lin.evaluate(Relation.R2P, x1, y)
+            assert lin.evaluate(Relation.R2P, x2, y)
+        # R3' over the union mixes witnesses: only ⟸ holds
+        if lin.evaluate(Relation.R3P, x1, y) or lin.evaluate(
+            Relation.R3P, x2, y
+        ):
+            assert lin.evaluate(Relation.R3P, union, y)
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=execution_with_split_pair())
+    def test_y_side_distribution(self, data):
+        """Same laws with the roles swapped (union on the Y side)."""
+        ex, y1, y2, union, x = data
+        lin = LinearEvaluator(ex)
+        # universal over y with per-y witnesses: conjunctive (two-way)
+        for rel in (Relation.R1, Relation.R1P, Relation.R3P):
+            assert lin.evaluate(rel, x, union) == (
+                lin.evaluate(rel, x, y1) and lin.evaluate(rel, x, y2)
+            ), rel
+        # existential over y: disjunctive (two-way)
+        for rel in (Relation.R2P, Relation.R4, Relation.R4P):
+            assert lin.evaluate(rel, x, union) == (
+                lin.evaluate(rel, x, y1) or lin.evaluate(rel, x, y2)
+            ), rel
+        # R3 needs ONE x below all of the union: only ⟹ holds
+        if lin.evaluate(Relation.R3, x, union):
+            assert lin.evaluate(Relation.R3, x, y1)
+            assert lin.evaluate(Relation.R3, x, y2)
+        # R2 over the union mixes per-x witnesses: only ⟸ holds
+        if lin.evaluate(Relation.R2, x, y1) or lin.evaluate(
+            Relation.R2, x, y2
+        ):
+            assert lin.evaluate(Relation.R2, x, union)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=execution_with_split_pair())
+    def test_r2_r3p_mixed_laws(self, data):
+        """R2 distributes conjunctively over X but not simply over Y;
+        R3' distributes conjunctively over Y but not simply over X —
+        check the directions that do hold."""
+        ex, a, b, union, other = data
+        lin = LinearEvaluator(ex)
+        # R2 over X union: conjunctive (∀x binds first)
+        assert lin.evaluate(Relation.R2, union, other) == (
+            lin.evaluate(Relation.R2, a, other)
+            and lin.evaluate(Relation.R2, b, other)
+        )
+        # R3' over Y union: conjunctive (∀y binds first)
+        assert lin.evaluate(Relation.R3P, other, union) == (
+            lin.evaluate(Relation.R3P, other, a)
+            and lin.evaluate(Relation.R3P, other, b)
+        )
+
+
+class TestMonotonicity:
+    @settings(max_examples=80, deadline=None)
+    @given(data=execution_with_split_pair())
+    def test_growing_existential_y_preserves(self, data):
+        """If R2/R2'/R4 hold for Y, they hold for Y ∪ Y''."""
+        ex, y1, y2, union, x = data
+        lin = LinearEvaluator(ex)
+        for rel in (Relation.R2, Relation.R2P, Relation.R4):
+            if lin.evaluate(rel, x, y1):
+                assert lin.evaluate(rel, x, union), rel
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=execution_with_split_pair())
+    def test_growing_universal_x_preserves_falsity(self, data):
+        """If R1/R2 fail for X, they fail for X ∪ X''."""
+        ex, x1, x2, union, y = data
+        lin = LinearEvaluator(ex)
+        for rel in (Relation.R1, Relation.R2):
+            if not lin.evaluate(rel, x1, y):
+                assert not lin.evaluate(rel, union, y), rel
+
+
+class TestSingletonCoherence:
+    @settings(max_examples=60, deadline=None)
+    @given(ex=executions(max_nodes=4, max_ops=20))
+    def test_all_relations_collapse_to_precedence(self, ex):
+        lin = LinearEvaluator(ex)
+        ids = sorted(ex.iter_ids())
+        sample = ids[:: max(1, len(ids) // 6)]
+        for a in sample:
+            for b in sample:
+                if a == b:
+                    continue
+                x = NonatomicEvent(ex, [a])
+                y = NonatomicEvent(ex, [b])
+                expected = ex.precedes(a, b)
+                for rel in BASE_RELATIONS:
+                    assert lin.evaluate(rel, x, y) == expected, (rel, a, b)

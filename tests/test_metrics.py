@@ -1,0 +1,94 @@
+"""Tests for execution structural metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    concurrency_ratio,
+    critical_path,
+    message_stats,
+    summarize,
+)
+from repro.events.builder import TraceBuilder
+from repro.events.poset import Execution
+from repro.simulation.workloads import barrier_trace, random_trace, ring_trace
+
+
+class TestConcurrencyRatio:
+    def test_no_messages_fully_concurrent(self, concurrent_exec):
+        assert concurrency_ratio(concurrent_exec) == 1.0
+
+    def test_totally_ordered_ring(self):
+        ex = Execution(ring_trace(3, rounds=1, work_per_hop=1))
+        assert concurrency_ratio(ex) == 0.0
+
+    def test_single_node_defined(self, chain_exec):
+        # no cross-node pairs at all
+        assert concurrency_ratio(chain_exec) == 1.0
+
+    def test_partial(self, message_exec):
+        r = concurrency_ratio(message_exec)
+        assert 0.0 < r < 1.0
+
+    def test_sampling_close_to_exact(self):
+        ex = Execution(random_trace(4, events_per_node=12, msg_prob=0.3, seed=3))
+        exact = concurrency_ratio(ex)
+        sampled = concurrency_ratio(ex, sample=400, seed=1)
+        assert abs(exact - sampled) < 0.15
+
+
+class TestCriticalPath:
+    def test_chain(self, chain_exec):
+        length, path = critical_path(chain_exec)
+        assert length == 3
+        assert path == ((0, 1), (0, 2), (0, 3))
+
+    def test_diamond(self, diamond_exec):
+        length, path = critical_path(diamond_exec)
+        # e.g. (0,1)(0,2)(2,1)(2,2)(3,2)(3,3): fan-out + one branch + fan-in
+        assert length == 6
+        assert path[0][0] == 0 and path[-1] == (3, 3)
+
+    def test_concurrent_nodes(self, concurrent_exec):
+        length, _ = critical_path(concurrent_exec)
+        assert length == 2
+
+    def test_barrier_spans_phases(self):
+        ex = Execution(barrier_trace(3, phases=2, work_per_phase=1))
+        length, _ = critical_path(ex)
+        assert length >= 6  # work + arrive + release per phase, twice
+
+
+class TestMessageStats:
+    def test_counts(self, message_exec):
+        stats = message_stats(message_exec)
+        assert stats.sent == 1
+        assert stats.delivered == 1
+        assert stats.lost == 0
+        assert stats.channels == 1
+        assert stats.loss_rate == 0.0
+
+    def test_lost_message(self):
+        b = TraceBuilder(2)
+        b.send(0)  # never received
+        h = b.send(0)
+        b.recv(1, h)
+        stats = message_stats(b.execute())
+        assert stats.sent == 2
+        assert stats.lost == 1
+        assert stats.loss_rate == 0.5
+
+    def test_no_messages(self, concurrent_exec):
+        stats = message_stats(concurrent_exec)
+        assert stats.sent == 0
+        assert stats.loss_rate == 0.0
+
+
+class TestSummarize:
+    def test_bundle(self, message_exec):
+        m = summarize(message_exec)
+        assert m.num_nodes == 2
+        assert m.total_events == 6
+        assert m.messages.delivered == 1
+        assert 0 <= m.concurrency <= 1
+        assert m.critical_path_length == 4
+        assert "2 nodes" in str(m)

@@ -1,0 +1,95 @@
+"""Tests for network latency models and delivery policy."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    Network,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLatencyModels:
+    def test_constant(self, rng):
+        m = ConstantLatency(2.5)
+        assert m.sample(rng, 0, 1) == 2.5
+
+    def test_constant_positive(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0)
+
+    def test_uniform_bounds(self, rng):
+        m = UniformLatency(1.0, 3.0)
+        samples = [m.sample(rng, 0, 1) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert max(samples) - min(samples) > 0.5  # actually varies
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(0.0, 1.0)
+
+    def test_exponential_positive(self, rng):
+        m = ExponentialLatency(mean=0.5)
+        assert all(m.sample(rng, 0, 1) > 0 for _ in range(100))
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=-1)
+
+
+class TestNetwork:
+    def test_default_constant_fifo(self, rng):
+        net = Network()
+        t = net.delivery_time(rng, 0, 1, send_time=2.0)
+        assert t == 3.0
+
+    def test_fifo_monotone_per_channel(self, rng):
+        net = Network(UniformLatency(0.1, 5.0), fifo=True)
+        times = []
+        for k in range(50):
+            times.append(net.delivery_time(rng, 0, 1, send_time=float(k) * 0.01))
+        assert times == sorted(times)
+
+    def test_fifo_independent_channels(self, rng):
+        net = Network(ConstantLatency(1.0), fifo=True)
+        a = net.delivery_time(rng, 0, 1, send_time=10.0)
+        b = net.delivery_time(rng, 0, 2, send_time=0.0)
+        assert b < a  # different channel, unconstrained
+
+    def test_non_fifo_can_reorder(self):
+        rng = np.random.default_rng(3)
+        net = Network(UniformLatency(0.1, 5.0), fifo=False)
+        times = [
+            net.delivery_time(rng, 0, 1, send_time=float(k) * 0.01)
+            for k in range(50)
+        ]
+        assert times != sorted(times)
+
+    def test_drops(self):
+        rng = np.random.default_rng(1)
+        net = Network(drop_prob=0.5)
+        outcomes = [net.delivery_time(rng, 0, 1, 0.0) for _ in range(200)]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert 50 < dropped < 150
+
+    def test_drop_prob_validation(self):
+        with pytest.raises(ValueError):
+            Network(drop_prob=1.0)
+        with pytest.raises(ValueError):
+            Network(drop_prob=-0.1)
+
+    def test_reset_clears_fifo_state(self, rng):
+        net = Network(ConstantLatency(1.0), fifo=True)
+        net.delivery_time(rng, 0, 1, send_time=100.0)
+        net.reset()
+        t = net.delivery_time(rng, 0, 1, send_time=0.0)
+        assert t == 1.0

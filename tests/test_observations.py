@@ -1,0 +1,134 @@
+"""Tests for observations (linear extensions) of executions."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.globalstates.observations import (
+    count_observations,
+    is_observation,
+    observation_states,
+    sample_observation,
+)
+from repro.globalstates.detection import possibly
+from repro.globalstates.lattice import GlobalStateLattice
+
+from .strategies import executions
+
+
+class TestSampling:
+    @settings(max_examples=40, deadline=None)
+    @given(ex=executions(max_nodes=4, max_ops=18))
+    def test_samples_are_valid(self, ex):
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            order = sample_observation(ex, rng)
+            assert is_observation(ex, order)
+
+    def test_deterministic_given_seed(self, medium_exec):
+        a = sample_observation(medium_exec, np.random.default_rng(7))
+        b = sample_observation(medium_exec, np.random.default_rng(7))
+        assert a == b
+
+    def test_chain_has_one_observation(self, chain_exec):
+        order = sample_observation(chain_exec, np.random.default_rng(0))
+        assert order == [(0, 1), (0, 2), (0, 3)]
+
+
+class TestValidity:
+    def test_reordered_local_events_invalid(self, chain_exec):
+        assert not is_observation(chain_exec, [(0, 2), (0, 1), (0, 3)])
+
+    def test_receive_before_send_invalid(self, message_exec):
+        # (1,2) receives from (0,2): putting it before (0,2) is invalid
+        order = [(1, 1), (1, 2), (0, 1), (0, 2), (0, 3), (1, 3)]
+        assert not is_observation(message_exec, order)
+
+    def test_missing_event_invalid(self, message_exec):
+        order = [(0, 1), (0, 2), (0, 3), (1, 1), (1, 2)]
+        assert not is_observation(message_exec, order)
+
+    def test_duplicate_invalid(self, chain_exec):
+        assert not is_observation(chain_exec, [(0, 1), (0, 1), (0, 2)])
+
+    def test_valid_interleaving(self, message_exec):
+        order = [(1, 1), (0, 1), (0, 2), (1, 2), (1, 3), (0, 3)]
+        assert is_observation(message_exec, order)
+
+
+class TestStates:
+    def test_path_through_lattice(self, message_exec):
+        order = [(0, 1), (1, 1), (0, 2), (1, 2), (0, 3), (1, 3)]
+        path = observation_states(message_exec, order)
+        assert path[0] == (0, 0)
+        assert path[-1] == (3, 3)
+        assert len(path) == 7
+        lattice = GlobalStateLattice(message_exec)
+        assert all(lattice.is_consistent(s) for s in path)
+
+    def test_invalid_order_rejected(self, message_exec):
+        with pytest.raises(ValueError):
+            observation_states(message_exec, [(1, 2)])
+
+
+class TestCounting:
+    def test_chain(self, chain_exec):
+        assert count_observations(chain_exec) == 1
+
+    def test_independent_chains(self, concurrent_exec):
+        # interleavings of two 2-chains: C(4,2) = 6
+        assert count_observations(concurrent_exec) == 6
+
+    def test_message_constrains(self, message_exec):
+        # 6 events, one cross edge: fewer than C(6,3)=20 free interleavings
+        n = count_observations(message_exec)
+        assert 1 < n < 20
+
+    @settings(max_examples=20, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=8))
+    def test_matches_brute_force(self, ex):
+        ids = sorted(ex.iter_ids())
+        if len(ids) > 7:
+            return  # keep the factorial oracle tractable
+        brute = sum(
+            1
+            for perm in itertools.permutations(ids)
+            if is_observation(ex, list(perm))
+        )
+        assert count_observations(ex) == brute
+
+    @settings(max_examples=15, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=10))
+    def test_definitely_means_every_observation_hits(self, ex):
+        """Definitely(φ) ⟹ every sampled observation passes a φ-state."""
+        from repro.globalstates.detection import definitely
+
+        # φ: node 0 has executed at least one event (when it has any)
+        if ex.num_real(0) == 0:
+            return
+        pred = lambda s: s[0] >= 1
+        if definitely(ex, pred):
+            rng = np.random.default_rng(11)
+            for _ in range(5):
+                states = observation_states(
+                    ex, sample_observation(ex, rng)
+                )
+                assert any(pred(s) for s in states)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ex=executions(max_nodes=3, max_ops=10))
+    def test_possibly_iff_some_sampled_observation(self, ex):
+        """Possibly(φ) implies some observation hits φ — check that
+        sampled observations are consistent with the detector."""
+        target = tuple(min(1, k) for k in ex.lengths)
+        hit = possibly(ex, lambda s: s == target)
+        rng = np.random.default_rng(3)
+        sampled_hit = any(
+            target in observation_states(ex, sample_observation(ex, rng))
+            for _ in range(20)
+        )
+        if sampled_hit:
+            assert hit is not None

@@ -1,0 +1,145 @@
+"""Tests for the Execution poset: precedence, dummies, past/future sets."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.events.builder import TraceBuilder
+from repro.events.poset import Execution, Ordering
+
+from .strategies import executions
+
+
+class TestPrecedence:
+    def test_local_order(self, chain_exec):
+        assert chain_exec.precedes((0, 1), (0, 2))
+        assert chain_exec.precedes((0, 1), (0, 3))
+        assert not chain_exec.precedes((0, 2), (0, 1))
+
+    def test_irreflexive(self, chain_exec):
+        assert not chain_exec.precedes((0, 2), (0, 2))
+        assert chain_exec.leq((0, 2), (0, 2))
+
+    def test_cross_node_via_message(self, message_exec):
+        assert message_exec.precedes((0, 2), (1, 2))
+        assert message_exec.precedes((0, 1), (1, 3))
+        assert not message_exec.precedes((1, 2), (0, 2))
+
+    def test_concurrency(self, message_exec):
+        assert message_exec.concurrent((0, 3), (1, 1))
+        assert message_exec.concurrent((0, 1), (1, 1))
+        assert not message_exec.concurrent((0, 1), (0, 2))
+
+    def test_compare(self, message_exec):
+        assert message_exec.compare((0, 1), (1, 2)) == Ordering.BEFORE
+        assert message_exec.compare((1, 2), (0, 1)) == Ordering.AFTER
+        assert message_exec.compare((0, 1), (0, 1)) == Ordering.EQUAL
+        assert message_exec.compare((0, 3), (1, 3)) == Ordering.CONCURRENT
+
+    @settings(max_examples=40, deadline=None)
+    @given(ex=executions(max_nodes=4, max_ops=25))
+    def test_partial_order_axioms(self, ex):
+        ids = sorted(ex.iter_ids())
+        for a in ids:
+            assert ex.leq(a, a)
+            for b in ids:
+                if ex.leq(a, b) and ex.leq(b, a):
+                    assert a == b  # antisymmetry
+                for c in ids:
+                    if ex.leq(a, b) and ex.leq(b, c):
+                        assert ex.leq(a, c)  # transitivity
+
+
+class TestDummyEvents:
+    def test_bottom_precedes_real(self, message_exec):
+        assert message_exec.precedes((0, 0), (0, 1))
+        assert message_exec.precedes((0, 0), (1, 3))
+        assert message_exec.precedes((1, 0), (0, 1))
+
+    def test_real_precedes_top(self, message_exec):
+        top0 = (0, message_exec.top_index(0))
+        assert message_exec.precedes((1, 1), top0)
+        assert message_exec.precedes((0, 3), top0)
+
+    def test_bottom_precedes_top(self, message_exec):
+        assert message_exec.precedes((0, 0), (1, message_exec.top_index(1)))
+
+    def test_bottoms_incomparable(self, message_exec):
+        assert not message_exec.precedes((0, 0), (1, 0))
+        assert not message_exec.precedes((1, 0), (0, 0))
+        assert message_exec.leq((0, 0), (0, 0))
+
+    def test_tops_incomparable(self, message_exec):
+        t0 = (0, message_exec.top_index(0))
+        t1 = (1, message_exec.top_index(1))
+        assert not message_exec.precedes(t0, t1)
+        assert not message_exec.precedes(t1, t0)
+
+    def test_nothing_precedes_bottom(self, message_exec):
+        assert not message_exec.precedes((0, 1), (0, 0))
+
+    def test_top_precedes_nothing(self, message_exec):
+        t0 = (0, message_exec.top_index(0))
+        assert not message_exec.precedes(t0, (0, 1))
+
+
+class TestPastFutureSets:
+    def test_past_of_receive(self, message_exec):
+        assert message_exec.causal_past_ids((1, 2)) == {
+            (0, 1), (0, 2), (1, 1), (1, 2),
+        }
+
+    def test_future_of_send(self, message_exec):
+        assert message_exec.causal_future_ids((0, 2)) == {
+            (0, 2), (0, 3), (1, 2), (1, 3),
+        }
+
+    @settings(max_examples=30, deadline=None)
+    @given(ex=executions(max_nodes=4, max_ops=20))
+    def test_past_future_duality(self, ex):
+        ids = sorted(ex.iter_ids())
+        for e in ids:
+            past = ex.causal_past_ids(e)
+            for other in ids:
+                assert (other in past) == ex.leq(other, e)
+            future = ex.causal_future_ids(e)
+            for other in ids:
+                assert (other in future) == ex.leq(e, other)
+
+
+class TestStructure:
+    def test_check_id(self, message_exec):
+        message_exec.check_id((0, 1))
+        message_exec.check_id((0, 0), allow_dummy=True)
+        message_exec.check_id((0, 4), allow_dummy=True)
+        with pytest.raises(KeyError):
+            message_exec.check_id((0, 0))
+        with pytest.raises(KeyError):
+            message_exec.check_id((0, 4))
+        with pytest.raises(KeyError):
+            message_exec.check_id((9, 1))
+
+    def test_is_real_is_bottom_is_top(self, message_exec):
+        assert message_exec.is_real((0, 1))
+        assert not message_exec.is_real((0, 0))
+        assert message_exec.is_bottom((0, 0))
+        assert message_exec.is_top((0, 4))
+        assert not message_exec.is_top((0, 3))
+
+    def test_lengths_and_tops(self, message_exec):
+        assert message_exec.lengths == (3, 3)
+        assert message_exec.top_index(1) == 4
+
+    def test_networkx_roundtrip(self, diamond_exec):
+        g = diamond_exec.to_networkx()
+        assert g.number_of_nodes() == 9
+        # local edges + 4 message edges
+        assert g.has_edge((0, 1), (0, 2))
+        assert g.has_edge((1, 2), (3, 1))
+
+    def test_empty_node_has_no_reals(self):
+        b = TraceBuilder(2)
+        b.internal(0)
+        ex = b.execute()
+        assert ex.num_real(1) == 0
+        assert ex.top_index(1) == 1
+        assert ex.is_top((1, 1))

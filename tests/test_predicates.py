@@ -1,0 +1,131 @@
+"""Tests for the condition AST and parser."""
+
+import pytest
+
+from repro.core.relations import Relation, RelationSpec
+from repro.monitor.predicates import (
+    And,
+    Atom,
+    Implies,
+    Not,
+    Or,
+    ParseError,
+    parse_condition,
+)
+from repro.nonatomic.proxies import Proxy
+
+
+class TestParserAtoms:
+    def test_base_atom(self):
+        c = parse_condition("R1(X, Y)")
+        assert isinstance(c, Atom)
+        assert c.spec is Relation.R1
+        assert (c.left, c.right) == ("X", "Y")
+
+    def test_primed_atom(self):
+        c = parse_condition("R2'(track, launch)")
+        assert c.spec is Relation.R2P
+
+    def test_proxy_atom(self):
+        c = parse_condition("R1(U,L)(confirm, fire)")
+        assert c.spec == RelationSpec(Relation.R1, Proxy.U, Proxy.L)
+        assert (c.left, c.right) == ("confirm", "fire")
+
+    def test_intervals_named_L_U(self):
+        """Interval names L and U must not be mistaken for a proxy clause."""
+        c = parse_condition("R1(L, U)")
+        assert isinstance(c, Atom)
+        assert c.spec is Relation.R1
+        assert (c.left, c.right) == ("L", "U")
+
+    def test_proxy_clause_with_LU_intervals(self):
+        c = parse_condition("R1(L,U)(L, U)")
+        assert c.spec == RelationSpec(Relation.R1, Proxy.L, Proxy.U)
+        assert (c.left, c.right) == ("L", "U")
+
+
+class TestParserCombinators:
+    def test_not(self):
+        c = parse_condition("not R4(a, b)")
+        assert isinstance(c, Not)
+
+    def test_and_or_precedence(self):
+        c = parse_condition("R1(a,b) or R2(a,b) and R3(a,b)")
+        assert isinstance(c, Or)
+        assert isinstance(c.operands[1], And)
+
+    def test_parentheses(self):
+        c = parse_condition("(R1(a,b) or R2(a,b)) and R3(a,b)")
+        assert isinstance(c, And)
+        assert isinstance(c.operands[0], Or)
+
+    def test_implies(self):
+        c = parse_condition("R1(a,b) -> R2(a,b)")
+        assert isinstance(c, Implies)
+
+    def test_nested_not(self):
+        c = parse_condition("not not R4(a,b)")
+        assert isinstance(c, Not) and isinstance(c.operand, Not)
+
+    def test_names_collected(self):
+        c = parse_condition("R1(a,b) and not R2(c,d) -> R3(a,d)")
+        assert c.names() == {"a", "b", "c", "d"}
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "R1",
+            "R1(a)",
+            "R1(a, b) garbage",
+            "and R1(a,b)",
+            "R1(a,b) and",
+            "(R1(a,b)",
+            "R1(a,b) @",
+            "R7(a,b)",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_condition(text)
+
+
+class TestEvaluation:
+    @staticmethod
+    def make_eval(true_atoms):
+        def atom_eval(atom):
+            return str(atom) in true_atoms
+
+        return atom_eval
+
+    def test_boolean_semantics(self):
+        c = parse_condition("R1(a,b) and (R2(a,b) or not R3(a,b))")
+        ev = self.make_eval({"R1(a,b)", "R3(a,b)"})
+        assert not c.evaluate(ev)
+        ev2 = self.make_eval({"R1(a,b)", "R2(a,b)"})
+        assert c.evaluate(ev2)
+
+    def test_implies_semantics(self):
+        c = parse_condition("R1(a,b) -> R2(a,b)")
+        assert c.evaluate(self.make_eval(set()))  # F -> F = T
+        assert c.evaluate(self.make_eval({"R1(a,b)", "R2(a,b)"}))
+        assert not c.evaluate(self.make_eval({"R1(a,b)"}))
+
+    def test_operator_overloads(self):
+        a = Atom(Relation.R1, "x", "y")
+        b = Atom(Relation.R2, "x", "y")
+        both = a & b
+        either = a | b
+        neg = ~a
+        t = self.make_eval({"R1(x,y)"})
+        assert not both.evaluate(t)
+        assert either.evaluate(t)
+        assert not neg.evaluate(t)
+
+    def test_str_round_trip(self):
+        text = "(R1(U,L)(a,b) and not R4(b,a))"
+        c = parse_condition(text)
+        again = parse_condition(str(c))
+        assert str(again) == str(c)

@@ -1,0 +1,194 @@
+"""Tests for the physical-time layer (spans, latency, jitter, checker)."""
+
+import pytest
+
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.events.builder import TraceBuilder
+from repro.events.poset import Execution
+from repro.nonatomic.event import NonatomicEvent
+from repro.nonatomic.selection import by_label
+from repro.realtime.constraints import RealTimeChecker, TimedConstraint
+from repro.realtime.timing import (
+    UntimedEventError,
+    interval_span,
+    latency,
+    periodic_jitter,
+)
+from repro.simulation.workloads import layered_trace
+
+
+@pytest.fixture
+def timed_exec():
+    b = TraceBuilder(2)
+    b.internal(0, label="x", time=1.0)
+    m = b.send(0, label="x", time=2.0)
+    b.recv(1, m, label="y", time=5.0)
+    b.internal(1, label="y", time=7.0)
+    return b.execute()
+
+
+class TestIntervalSpan:
+    def test_span(self, timed_exec):
+        x = by_label(timed_exec, "x")
+        span = interval_span(x)
+        assert span.start == 1.0
+        assert span.end == 2.0
+        assert span.duration == 1.0
+
+    def test_instantaneous(self, timed_exec):
+        x = NonatomicEvent(timed_exec, [(0, 1)])
+        assert interval_span(x).duration == 0.0
+
+    def test_untimed_raises(self):
+        b = TraceBuilder(1)
+        b.internal(0)
+        ex = b.execute()
+        with pytest.raises(UntimedEventError):
+            interval_span(NonatomicEvent(ex, [(0, 1)]))
+
+
+class TestLatency:
+    def test_default_anchor(self, timed_exec):
+        x, y = by_label(timed_exec, "x"), by_label(timed_exec, "y")
+        assert latency(x, y) == 3.0  # end(x)=2 -> start(y)=5
+
+    def test_other_anchors(self, timed_exec):
+        x, y = by_label(timed_exec, "x"), by_label(timed_exec, "y")
+        assert latency(x, y, anchor=("start", "start")) == 4.0
+        assert latency(x, y, anchor=("end", "end")) == 5.0
+        assert latency(x, y, anchor=("start", "end")) == 6.0
+
+    def test_negative_when_overlapping(self, timed_exec):
+        x, y = by_label(timed_exec, "x"), by_label(timed_exec, "y")
+        assert latency(y, x) < 0
+
+    def test_bad_anchor(self, timed_exec):
+        x, y = by_label(timed_exec, "x"), by_label(timed_exec, "y")
+        with pytest.raises(ValueError, match="anchors"):
+            latency(x, y, anchor=("middle", "start"))
+
+
+class TestJitter:
+    def test_periodic_family(self):
+        ex = Execution(layered_trace(2, 1, periods=4))
+        samples = [by_label(ex, f"sample{p}") for p in range(4)]
+        stats = periodic_jitter(samples)
+        assert len(stats.periods) == 3
+        assert stats.min <= stats.mean <= stats.max
+        assert stats.jitter == stats.max - stats.min
+
+    def test_constant_period(self):
+        b = TraceBuilder(1)
+        for k in range(4):
+            b.internal(0, label=f"tick{k}", time=10.0 * k)
+        ex = b.execute()
+        ticks = [by_label(ex, f"tick{k}") for k in range(4)]
+        stats = periodic_jitter(ticks)
+        assert stats.mean == 10.0
+        assert stats.jitter == 0.0
+        assert stats.stdev == 0.0
+
+    def test_needs_two(self, timed_exec):
+        with pytest.raises(ValueError):
+            periodic_jitter([by_label(timed_exec, "x")])
+
+
+class TestRealTimeChecker:
+    @pytest.fixture
+    def env(self, timed_exec):
+        analyzer = SynchronizationAnalyzer(timed_exec)
+        checker = RealTimeChecker(analyzer)
+        bindings = {
+            "x": by_label(timed_exec, "x"),
+            "y": by_label(timed_exec, "y"),
+        }
+        return checker, bindings
+
+    def test_both_halves_pass(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(
+                name="deadline", source="x", target="y",
+                causal="R1(x, y)", max_latency=4.0,
+            ),
+            bindings,
+        )
+        assert report.passed
+        assert report.measured_latency == 3.0
+
+    def test_temporal_failure_isolated(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(
+                name="tight", source="x", target="y",
+                causal="R1(x, y)", max_latency=1.0,
+            ),
+            bindings,
+        )
+        assert report.causal_ok and not report.temporal_ok
+        assert not report.passed
+
+    def test_causal_failure_isolated(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(
+                name="reverse", source="x", target="y",
+                causal="R1(y, x)", max_latency=10.0,
+            ),
+            bindings,
+        )
+        assert not report.causal_ok and report.temporal_ok
+
+    def test_min_latency(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(
+                name="separation", source="x", target="y",
+                min_latency=2.0,
+            ),
+            bindings,
+        )
+        assert report.passed
+
+    def test_purely_temporal(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(name="t", source="x", target="y",
+                            max_latency=0.5),
+            bindings,
+        )
+        assert report.causal_ok  # vacuous
+        assert not report.temporal_ok
+
+    def test_purely_causal(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(name="c", source="x", target="y",
+                            causal="R4(x, y)"),
+            bindings,
+        )
+        assert report.passed
+        assert report.measured_latency is None
+
+    def test_check_all(self, env):
+        checker, bindings = env
+        reports = checker.check_all(
+            {
+                "a": TimedConstraint(name="a", source="x", target="y",
+                                     causal="R1(x, y)"),
+                "b": TimedConstraint(name="b", source="x", target="y",
+                                     max_latency=0.1),
+            },
+            bindings,
+        )
+        assert reports["a"].passed and not reports["b"].passed
+
+    def test_report_str(self, env):
+        checker, bindings = env
+        report = checker.check(
+            TimedConstraint(name="deadline", source="x", target="y",
+                            causal="R1(x, y)", max_latency=4.0),
+            bindings,
+        )
+        text = str(report)
+        assert "PASS" in text and "deadline" in text

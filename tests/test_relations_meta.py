@@ -1,0 +1,144 @@
+"""Tests for relation metadata, spec parsing and quantifier semantics."""
+
+import pytest
+
+from repro.core.counting import NULL_COUNTER, ComparisonCounter
+from repro.core.relations import (
+    BASE_RELATIONS,
+    FAMILY32,
+    Relation,
+    RelationSpec,
+    parse_spec,
+    quantifier_eval,
+)
+from repro.nonatomic.proxies import Proxy
+
+
+class TestRelationEnum:
+    def test_eight_relations(self):
+        assert len(BASE_RELATIONS) == 8
+
+    def test_display(self):
+        assert Relation.R2P.display == "R2'"
+        assert Relation.R1.display == "R1"
+
+    def test_quantifiers(self):
+        assert Relation.R2P.quantifiers == "∃y∀x"
+        assert Relation.R3.quantifiers == "∃x∀y"
+
+    def test_universal_family(self):
+        assert Relation.R1.is_universal_family
+        assert Relation.R2.is_universal_family
+        assert Relation.R3P.is_universal_family
+        assert not Relation.R4.is_universal_family
+        assert not Relation.R2P.is_universal_family
+
+    def test_synonyms(self):
+        assert Relation.R1.synonym is Relation.R1P
+        assert Relation.R4P.synonym is Relation.R4
+        assert Relation.R2.synonym is None
+
+
+class TestFamily32:
+    def test_size_and_uniqueness(self):
+        assert len(FAMILY32) == 32
+        assert len(set(FAMILY32)) == 32
+
+    def test_display(self):
+        spec = RelationSpec(Relation.R2P, Proxy.U, Proxy.L)
+        assert spec.display == "R2'(U,L)"
+        assert str(spec) == "R2'(U,L)"
+
+    def test_orderable(self):
+        assert sorted(FAMILY32)  # no TypeError
+
+
+class TestParseSpec:
+    @pytest.mark.parametrize("text", ["R1", "R2'", "R4'", " R3 "])
+    def test_base_forms(self, text):
+        assert isinstance(parse_spec(text), Relation)
+
+    @pytest.mark.parametrize(
+        "text,rel,px,py",
+        [
+            ("R1(L,U)", Relation.R1, Proxy.L, Proxy.U),
+            ("R2'(U,L)", Relation.R2P, Proxy.U, Proxy.L),
+            ("R4' ( U , U )", Relation.R4P, Proxy.U, Proxy.U),
+        ],
+    )
+    def test_spec_forms(self, text, rel, px, py):
+        spec = parse_spec(text)
+        assert spec == RelationSpec(rel, px, py)
+
+    @pytest.mark.parametrize(
+        "text", ["R9", "R1(X,Y)", "R1(L)", "", "hello", "R2''"]
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_spec(text)
+
+    def test_round_trip_all_32(self):
+        for spec in FAMILY32:
+            assert parse_spec(spec.display) == spec
+
+
+class TestQuantifierEval:
+    @staticmethod
+    def prec(a, b):
+        return a < b
+
+    def test_r1(self):
+        assert quantifier_eval(self.prec, Relation.R1, [1, 2], [3, 4])
+        assert not quantifier_eval(self.prec, Relation.R1, [1, 3], [2, 4])
+
+    def test_r2_vs_r2p(self):
+        # every x below some y, but no single y above all x
+        xs, ys = [1, 3], [2, 4]
+        assert quantifier_eval(self.prec, Relation.R2, xs, ys)
+        assert quantifier_eval(self.prec, Relation.R2P, xs, ys)  # y=4 works
+        # with ys=[2, 2] R2' fails if some x >= 2... use xs=[1,3], ys=[2,9]
+        assert quantifier_eval(self.prec, Relation.R2P, [1, 3], [4])
+
+    def test_r3_vs_r3p(self):
+        assert quantifier_eval(self.prec, Relation.R3, [0, 5], [1, 2])
+        assert not quantifier_eval(self.prec, Relation.R3, [3, 5], [1, 4])
+        assert not quantifier_eval(self.prec, Relation.R3P, [3, 5], [1, 4])
+        assert quantifier_eval(self.prec, Relation.R3P, [0, 3], [1, 4])
+
+    def test_r4(self):
+        assert quantifier_eval(self.prec, Relation.R4, [5, 1], [2, 0])
+        assert not quantifier_eval(self.prec, Relation.R4, [5, 6], [1, 2])
+
+    def test_empty_domains_follow_fo_convention(self):
+        assert quantifier_eval(self.prec, Relation.R1, [], [1])
+        assert quantifier_eval(self.prec, Relation.R2, [], [1])
+        assert not quantifier_eval(self.prec, Relation.R4, [], [1])
+        assert not quantifier_eval(self.prec, Relation.R2P, [1], [])
+        assert quantifier_eval(self.prec, Relation.R3P, [1], [])
+
+
+class TestComparisonCounter:
+    def test_add_and_total(self):
+        c = ComparisonCounter()
+        c.add()
+        c.add(3, category="setup")
+        assert c.total == 4
+        assert c.by_category == {"setup": 3}
+
+    def test_reset(self):
+        c = ComparisonCounter()
+        c.add(5, category="test")
+        c.reset()
+        assert c.total == 0
+        assert c.by_category == {}
+
+    def test_int_conversion(self):
+        c = ComparisonCounter()
+        c.add(7)
+        assert int(c) == 7
+        assert c.snapshot() == 7
+
+    def test_null_counter_ignores(self):
+        before = NULL_COUNTER.total
+        NULL_COUNTER.add(100)
+        assert NULL_COUNTER.total == before

@@ -1,0 +1,105 @@
+"""Experiments F-1/F-2/F-3: the paper-figure scenarios."""
+
+import pytest
+
+from repro.core.cuts import cut_C1, cut_C2, cut_C3, cut_C4
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.simulation.scenarios import figure1, figure2, figure3
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure1()
+
+    def test_node_sets_overlap(self, fig):
+        assert fig.x.node_set == (0, 1, 2)
+        assert fig.y.node_set == (1, 2, 3)
+
+    def test_proxies_are_per_node_extrema(self, fig):
+        assert fig.lx.ids == set(fig.x.first_ids())
+        assert fig.ux.ids == set(fig.x.last_ids())
+        assert fig.ly.ids == set(fig.y.first_ids())
+        assert fig.uy.ids == set(fig.y.last_ids())
+
+    def test_pair_is_nontrivial(self, fig):
+        """Some but not all of the 32 relations hold, as the figure's
+        partially-ordered X/Y suggest."""
+        an = SynchronizationAnalyzer(fig.execution)
+        results = an.all_relations(fig.x, fig.y)
+        assert any(results.values())
+        assert not all(results.values())
+
+    def test_bridge_gives_r4(self, fig):
+        an = SynchronizationAnalyzer(fig.execution)
+        assert an.holds("R4", fig.x, fig.y)
+        assert not an.holds("R1", fig.x, fig.y)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure2()
+
+    def test_eight_events_four_nodes(self, fig):
+        assert len(fig.x) == 8
+        assert fig.x.width == 4
+        assert all(len(fig.x.restrict(n)) == 2 for n in range(4))
+
+    def test_cut_containments(self, fig):
+        assert fig.cuts.c1.issubset(fig.cuts.c2)
+        assert fig.cuts.c3.issubset(fig.cuts.c4)
+
+    def test_cuts_nontrivial(self, fig):
+        """C1 is neither empty nor the whole prefix; C4 stops short of ⊤."""
+        ex = fig.execution
+        assert fig.cuts.c1.vector.any()
+        assert not all(
+            fig.cuts.c4.vector[i] == ex.num_real(i) + 1
+            for i in range(ex.num_nodes)
+        )
+
+    def test_surfaces_distinct(self, fig):
+        vecs = {tuple(map(int, c.vector)) for c in (
+            fig.cuts.c1, fig.cuts.c2, fig.cuts.c3, fig.cuts.c4,
+        )}
+        assert len(vecs) == 4
+
+    def test_past_cuts_downward_closed(self, fig):
+        assert fig.cuts.c1.is_downward_closed()
+        assert fig.cuts.c2.is_downward_closed()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure3()
+
+    def test_coincidences_of_section_2_5(self, fig):
+        """C1(L_X)=C1(X), C2(U_X)=C2(X), C3(L_X)=C3(X), C4(U_X)=C4(X)."""
+        assert fig.cuts_lx.c1 == fig.cuts_x.c1
+        assert fig.cuts_ux.c2 == fig.cuts_x.c2
+        assert fig.cuts_lx.c3 == fig.cuts_x.c3
+        assert fig.cuts_ux.c4 == fig.cuts_x.c4
+
+    def test_other_cuts_distinct(self, fig):
+        """The remaining four proxy cuts genuinely differ from X's."""
+        assert fig.cuts_ux.c1 != fig.cuts_x.c1
+        assert fig.cuts_lx.c2 != fig.cuts_x.c2
+        assert fig.cuts_ux.c3 != fig.cuts_x.c3
+        assert fig.cuts_lx.c4 != fig.cuts_x.c4
+
+    def test_proxy_cut_ordering(self, fig):
+        """L_X's cuts sit below U_X's (componentwise), since every L
+        event precedes its node's U event."""
+        assert fig.cuts_lx.c1.issubset(fig.cuts_ux.c1)
+        assert fig.cuts_lx.c2.issubset(fig.cuts_ux.c2)
+        assert fig.cuts_lx.c3.issubset(fig.cuts_ux.c3)
+        assert fig.cuts_lx.c4.issubset(fig.cuts_ux.c4)
+
+    def test_eight_cuts_total(self, fig):
+        all_cuts = [
+            fig.cuts_lx.c1, fig.cuts_lx.c2, fig.cuts_lx.c3, fig.cuts_lx.c4,
+            fig.cuts_ux.c1, fig.cuts_ux.c2, fig.cuts_ux.c3, fig.cuts_ux.c4,
+        ]
+        assert len(all_cuts) == 8

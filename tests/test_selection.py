@@ -1,0 +1,109 @@
+"""Tests for nonatomic-event selection from traces."""
+
+import numpy as np
+import pytest
+
+from repro.events.builder import TraceBuilder
+from repro.nonatomic.selection import (
+    by_label,
+    by_label_prefix,
+    by_window,
+    random_disjoint_pair,
+    random_interval,
+)
+from repro.simulation.workloads import random_execution
+
+
+@pytest.fixture
+def labelled_exec():
+    b = TraceBuilder(2)
+    b.internal(0, label="cs:1", time=1.0)
+    b.internal(0, label="other", time=2.0)
+    b.internal(1, label="cs:1", time=3.0)
+    b.internal(1, label="cs:2", time=4.0)
+    b.internal(0, time=5.0)
+    return b.execute()
+
+
+class TestByLabel:
+    def test_collects_all_nodes(self, labelled_exec):
+        x = by_label(labelled_exec, "cs:1")
+        assert x.ids == {(0, 1), (1, 1)}
+        assert x.name == "cs:1"
+
+    def test_missing_label_raises(self, labelled_exec):
+        with pytest.raises(ValueError, match="no events labelled"):
+            by_label(labelled_exec, "nope")
+
+    def test_custom_name(self, labelled_exec):
+        assert by_label(labelled_exec, "cs:1", name="occ").name == "occ"
+
+
+class TestByLabelPrefix:
+    def test_groups(self, labelled_exec):
+        groups = by_label_prefix(labelled_exec, "cs:")
+        assert set(groups) == {"cs:1", "cs:2"}
+        assert groups["cs:2"].ids == {(1, 2)}
+
+    def test_empty_prefix_matches_all_labelled(self, labelled_exec):
+        groups = by_label_prefix(labelled_exec, "")
+        assert set(groups) == {"cs:1", "cs:2", "other"}
+
+    def test_no_match_returns_empty(self, labelled_exec):
+        assert by_label_prefix(labelled_exec, "zz") == {}
+
+
+class TestByWindow:
+    def test_window(self, labelled_exec):
+        x = by_window(labelled_exec, 2.0, 4.0)
+        assert x.ids == {(0, 2), (1, 1), (1, 2)}
+
+    def test_node_filter(self, labelled_exec):
+        x = by_window(labelled_exec, 0.0, 10.0, nodes=[1])
+        assert x.ids == {(1, 1), (1, 2)}
+
+    def test_untimed_events_skipped(self):
+        b = TraceBuilder(1)
+        b.internal(0)  # no time
+        b.internal(0, time=1.0)
+        x = by_window(b.execute(), 0.0, 5.0)
+        assert x.ids == {(0, 2)}
+
+    def test_empty_window_raises(self, labelled_exec):
+        with pytest.raises(ValueError, match="no events in window"):
+            by_window(labelled_exec, 100.0, 200.0)
+
+
+class TestRandomSelection:
+    def test_interval_shape(self, rng):
+        ex = random_execution(5, events_per_node=10, seed=3)
+        x = random_interval(ex, rng, num_nodes=3, events_per_node=2)
+        assert x.width <= 3
+        assert all(
+            len(x.restrict(n)) <= 2 for n in x.node_set
+        )
+
+    def test_exclusion_respected(self, rng):
+        ex = random_execution(3, events_per_node=5, seed=3)
+        banned = [(0, j) for j in range(1, 6)]
+        x = random_interval(ex, rng, exclude=banned)
+        assert not (set(banned) & x.ids)
+
+    def test_disjoint_pair(self, rng):
+        ex = random_execution(4, events_per_node=8, seed=7)
+        for _ in range(20):
+            x, y = random_disjoint_pair(ex, rng)
+            assert x.is_disjoint(y)
+            assert len(x) >= 1 and len(y) >= 1
+
+    def test_reproducible(self):
+        ex = random_execution(4, events_per_node=8, seed=7)
+        a = random_interval(ex, np.random.default_rng(5))
+        b = random_interval(ex, np.random.default_rng(5))
+        assert a.ids == b.ids
+
+    def test_no_eligible_nodes_raises(self, rng):
+        ex = random_execution(2, events_per_node=3, seed=0)
+        everything = list(ex.iter_ids())
+        with pytest.raises(ValueError, match="no nodes"):
+            random_interval(ex, rng, exclude=everything)

@@ -1,0 +1,109 @@
+"""Tests for trace JSON (de)serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.events.serialization import (
+    dumps,
+    load,
+    loads,
+    save,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.events.trace import TraceError
+from repro.simulation.workloads import random_trace
+
+from .strategies import traces
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        tr = random_trace(3, events_per_node=8, msg_prob=0.4, seed=5)
+        assert loads(dumps(tr)) == tr
+
+    @settings(max_examples=40, deadline=None)
+    @given(tr=traces())
+    def test_property_round_trip(self, tr):
+        assert trace_from_dict(trace_to_dict(tr)) == tr
+
+    def test_file_round_trip(self, tmp_path):
+        tr = random_trace(2, events_per_node=5, seed=1)
+        path = tmp_path / "trace.json"
+        save(tr, str(path), indent=2)
+        assert load(str(path)) == tr
+
+    def test_metadata_preserved(self):
+        from repro.events.builder import TraceBuilder
+
+        b = TraceBuilder(1)
+        b.internal(0, label="boot", time=2.5, payload={"a": [1, 2]})
+        tr = b.build()
+        back = loads(dumps(tr))
+        ev = back.event((0, 1))
+        assert ev.label == "boot"
+        assert ev.time == 2.5
+        assert ev.payload == {"a": [1, 2]}
+
+    def test_unserialisable_payload_dropped(self):
+        from repro.events.builder import TraceBuilder
+
+        b = TraceBuilder(1)
+        b.internal(0, payload=object())
+        back = loads(dumps(b.build()))
+        assert back.event((0, 1)).payload is None
+
+
+class TestMalformedInput:
+    def test_bad_version(self):
+        with pytest.raises(TraceError, match="version"):
+            trace_from_dict({"version": 99})
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceError, match="malformed"):
+            trace_from_dict({"version": 1})
+
+    def test_node_count_mismatch(self):
+        with pytest.raises(TraceError, match="event lists"):
+            trace_from_dict(
+                {"version": 1, "num_nodes": 2, "events": [[]], "messages": []}
+            )
+
+    def test_unknown_kind(self):
+        data = {
+            "version": 1,
+            "num_nodes": 1,
+            "events": [[{"kind": "quantum"}]],
+            "messages": [],
+        }
+        with pytest.raises(TraceError, match="unknown event kind"):
+            trace_from_dict(data)
+
+    def test_malformed_message(self):
+        data = {
+            "version": 1,
+            "num_nodes": 1,
+            "events": [[{"kind": "send"}]],
+            "messages": [[[0, 1]]],
+        }
+        with pytest.raises(TraceError, match="malformed message"):
+            trace_from_dict(data)
+
+    def test_inconsistent_message_becomes_trace_error(self):
+        data = {
+            "version": 1,
+            "num_nodes": 1,
+            "events": [[{"kind": "send"}]],
+            "messages": [[[0, 1], [0, 9]]],
+        }
+        with pytest.raises(TraceError):
+            trace_from_dict(data)
+
+    def test_json_structure(self):
+        tr = random_trace(2, events_per_node=3, seed=0)
+        data = json.loads(dumps(tr))
+        assert data["version"] == 1
+        assert data["num_nodes"] == 2
+        assert len(data["events"]) == 2

@@ -1,0 +1,172 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.events.event import EventKind
+from repro.simulation.engine import Simulator, simulate
+from repro.simulation.network import ConstantLatency, Network, UniformLatency
+from repro.simulation.process import Context, FunctionProcess, Process
+
+
+class PingPong(Process):
+    def __init__(self, limit=4):
+        self.limit = limit
+
+    def on_start(self, ctx):
+        if ctx.node == 0:
+            ctx.send(1, payload=0, label="ping")
+
+    def on_message(self, ctx, payload, label, src):
+        if payload + 1 < self.limit:
+            ctx.send(src, payload=payload + 1, label="pong")
+
+
+class TestBasicRuns:
+    def test_quiescence(self):
+        res = simulate([PingPong(), PingPong()])
+        assert res.messages_sent == 4
+        assert res.messages_delivered == 4
+        assert res.trace.total_events == 8
+
+    def test_empty_processes_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator([])
+
+    def test_determinism(self):
+        a = simulate([PingPong(), PingPong()],
+                     network=Network(UniformLatency(0.5, 2.0)), seed=7)
+        b = simulate([PingPong(), PingPong()],
+                     network=Network(UniformLatency(0.5, 2.0)), seed=7)
+        assert a.trace == b.trace
+        assert a.end_time == b.end_time
+
+    def test_different_seed_differs(self):
+        mk = lambda s: simulate(
+            [PingPong(8), PingPong(8)],
+            network=Network(UniformLatency(0.1, 5.0), fifo=False), seed=s,
+        )
+        assert mk(1).end_time != mk(2).end_time
+
+    def test_event_times_recorded(self):
+        res = simulate([PingPong(), PingPong()], network=Network(ConstantLatency(2.0)))
+        recvs = [ev for ev in res.trace.iter_events() if ev.kind is EventKind.RECV]
+        assert all(ev.time is not None and ev.time > 0 for ev in recvs)
+
+    def test_causally_valid_trace(self):
+        res = simulate([PingPong(10), PingPong(10)],
+                       network=Network(UniformLatency(0.2, 3.0), fifo=False),
+                       seed=11)
+        res.execute()  # would raise on a cyclic trace
+
+
+class TestTimers:
+    def test_timer_fires_in_order(self):
+        fired = []
+
+        def on_start(ctx):
+            ctx.set_timer(2.0, tag="late")
+            ctx.set_timer(1.0, tag="early")
+
+        def on_timer(ctx, tag):
+            fired.append((ctx.now, tag))
+            ctx.internal(label=str(tag))
+
+        res = simulate([FunctionProcess(on_start=on_start, on_timer=on_timer)])
+        assert fired == [(1.0, "early"), (2.0, "late")]
+        assert res.timers_fired == 2
+
+    def test_negative_delay_rejected(self):
+        def on_start(ctx):
+            with pytest.raises(ValueError):
+                ctx.set_timer(-1.0)
+
+        simulate([FunctionProcess(on_start=on_start)])
+
+
+class TestLimitsAndFaults:
+    def test_max_time_stops(self):
+        class Endless(Process):
+            def on_start(self, ctx):
+                ctx.set_timer(1.0, tag=0)
+
+            def on_timer(self, ctx, tag):
+                ctx.internal()
+                ctx.set_timer(1.0, tag=tag + 1)
+
+        res = simulate([Endless()], max_time=10.5)
+        assert res.trace.total_events == 10
+
+    def test_max_events_guard(self):
+        class Bomb(Process):
+            def on_start(self, ctx):
+                while True:
+                    ctx.internal()
+
+        with pytest.raises(RuntimeError, match="max_events"):
+            simulate([Bomb()], max_events=100)
+
+    def test_stop_request(self):
+        class Stopper(Process):
+            def on_start(self, ctx):
+                ctx.internal()
+                ctx.stop()
+
+        res = simulate([Stopper(), PingPong()])
+        assert res.trace.total_events == 1
+
+    def test_dropped_messages_recorded(self):
+        res = simulate(
+            [PingPong(20), PingPong(20)],
+            network=Network(drop_prob=0.8),
+            seed=5,
+        )
+        assert res.messages_dropped >= 1
+        assert res.messages_sent == res.messages_delivered + res.messages_dropped
+
+    def test_send_to_unknown_node(self):
+        def on_start(ctx):
+            with pytest.raises(ValueError, match="unknown node"):
+                ctx.send(9)
+
+        simulate([FunctionProcess(on_start=on_start)])
+
+
+class TestContext:
+    def test_broadcast(self):
+        class Root(Process):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ids = ctx.broadcast(label="hello")
+                    assert len(ids) == 2
+
+        res = simulate([Root(), Root(), Root()])
+        assert res.messages_sent == 2
+        assert res.messages_delivered == 2
+
+    def test_context_properties(self):
+        seen = {}
+
+        def on_start(ctx):
+            seen["nodes"] = ctx.num_nodes
+            seen["now"] = ctx.now
+            seen["rng"] = ctx.rng is not None
+
+        simulate([FunctionProcess(on_start=on_start), FunctionProcess()])
+        assert seen == {"nodes": 2, "now": 0.0, "rng": True}
+
+    def test_fifo_delivery_order(self):
+        order = []
+
+        class Sender(Process):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    for k in range(5):
+                        ctx.send(1, payload=k)
+
+        class Receiver(Sender):
+            def on_message(self, ctx, payload, label, src):
+                order.append(payload)
+
+        simulate([Sender(), Receiver()],
+                 network=Network(UniformLatency(0.1, 5.0), fifo=True), seed=3)
+        assert order == [0, 1, 2, 3, 4]

@@ -1,0 +1,75 @@
+"""Experiment E-19: Theorem 19's restricted ``≪̸`` test.
+
+For the *anchored* cut pairs (union-like past of Y, intersection-like
+future of X — the R4 combination), the restricted scans over ``N_X``
+and over ``N_Y`` both decide ``≪̸(↓Y, X↑)`` and agree with the full
+``|P|`` scan, in at most ``min(|N_X|, |N_Y|)`` comparisons.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.counting import ComparisonCounter
+from repro.core.cuts import cut_C2, cut_C3, future_cut, not_ll, past_cut
+from repro.core.linear import not_ll_restricted
+
+from .strategies import execution_with_pair
+
+
+class TestRestrictedScanSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_nx_ny_full_agree_on_anchored_pair(self, pair):
+        ex, x, y = pair
+        past, fut = cut_C2(y), cut_C3(x)
+        full = not_ll_restricted(past, fut, range(ex.num_nodes))
+        assert not_ll_restricted(past, fut, x.node_set) == full
+        assert not_ll_restricted(past, fut, y.node_set) == full
+        assert not_ll(past, fut) == full
+
+    @settings(max_examples=80, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_singleton_cut_pairs(self, pair):
+        """For atomic ↓y / x↑ cuts the scan restricted to either
+        endpoint's node decides the test (the R1 decomposition)."""
+        ex, x, y = pair
+        for xe in x.first_ids():
+            for ye in y.last_ids():
+                past = past_cut(ex, ye)
+                fut = future_cut(ex, xe)
+                full = not_ll_restricted(past, fut, range(ex.num_nodes))
+                assert not_ll_restricted(past, fut, [xe[0]]) == full
+                assert not_ll_restricted(past, fut, [ye[0]]) == full
+
+
+class TestComparisonBudget:
+    @settings(max_examples=60, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_at_most_min_comparisons(self, pair):
+        _ex, x, y = pair
+        past, fut = cut_C2(y), cut_C3(x)
+        nodes = x.node_set if x.width <= y.width else y.node_set
+        counter = ComparisonCounter()
+        not_ll_restricted(past, fut, nodes, counter)
+        assert counter.total <= min(x.width, y.width)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=execution_with_pair())
+    def test_exactly_bound_when_false(self, pair):
+        """Without a witness the scan cannot short-circuit: it spends
+        exactly min(|N_X|, |N_Y|) comparisons."""
+        _ex, x, y = pair
+        past, fut = cut_C2(y), cut_C3(x)
+        nodes = x.node_set if x.width <= y.width else y.node_set
+        counter = ComparisonCounter()
+        result = not_ll_restricted(past, fut, nodes, counter)
+        if not result:
+            assert counter.total == min(x.width, y.width)
+
+    def test_counter_categories(self, message_exec):
+        from repro.nonatomic.event import NonatomicEvent
+
+        x = NonatomicEvent(message_exec, [(0, 1)])
+        y = NonatomicEvent(message_exec, [(1, 3)])
+        counter = ComparisonCounter()
+        not_ll_restricted(cut_C2(y), cut_C3(x), x.node_set, counter)
+        assert counter.by_category == {"test": counter.total}

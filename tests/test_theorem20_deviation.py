@@ -1,0 +1,147 @@
+"""Reproduction finding: Theorem 20's min() claim fails for R2' and R3.
+
+The paper places R2' and R3 in the ``min(|N_X|, |N_Y|)`` class, with
+the restricted ``≪̸`` scan justified by Key Idea 2.  This reproduction
+found concrete counterexamples: the scan is only sound on the side
+whose cut surface is *anchored* at that side's own component events
+(see ``repro.core.linear``'s module docstring for the anchoring rule).
+
+* For **R3** (test ``≪̸(∩⇓Y, ∩⇑X)``), the intersection past cut
+  ``∩⇓Y`` can be ``0`` at every node of ``N_Y`` (no common past there),
+  while the only violation witness sits at a node of ``N_X`` — so the
+  ``N_Y`` scan misses it.  This module pins the concrete regression
+  trace where that happens.
+* For **R2'** (test ``≪̸(∪⇓Y, ∪⇑X)``), dually, the union future cut
+  ``∪⇑X`` is unanchored at ``N_X``.
+
+The tests below (a) fix the concrete counterexample, (b) fuzz for the
+existence of mismatches on the *wrong* side (asserting our implementation
+does not rely on it), and (c) verify the sound sides always agree with
+the naive semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cuts import cut_C1, cut_C2, cut_C3, cut_C4
+from repro.core.linear import LinearEvaluator, not_ll_restricted
+from repro.core.naive import NaiveEvaluator
+from repro.core.relations import Relation
+from repro.events.builder import TraceBuilder
+from repro.nonatomic.event import NonatomicEvent
+from repro.nonatomic.selection import random_disjoint_pair
+from repro.simulation.workloads import random_execution
+
+
+@pytest.fixture(scope="module")
+def counterexample():
+    """Minimal hand-built instance where R3's N_Y-restricted scan fails.
+
+    Nodes 0, 1 host Y; node 2 hosts the single x.  A message from x
+    reaches both y's, so ``x ≺ y`` for every y (R3 holds), but the two
+    y's have *no common past* on nodes 0 and 1 (their mutual pasts are
+    empty there), so ``T(∩⇓Y)`` is zero at every node of N_Y and the
+    only ``≪̸`` witness lives at node 2 ∈ N_X.
+    """
+    b = TraceBuilder(3)
+    m1 = b.send(2)          # (2,1) -> node 0
+    m2 = b.send(2)          # (2,2) -> node 1
+    y0 = b.recv(0, m1)      # (0,1)
+    y1 = b.recv(1, m2)      # (1,1)
+    ex = b.execute()
+    x = NonatomicEvent(ex, [(2, 1)], name="X")
+    y = NonatomicEvent(ex, [y0, y1], name="Y")
+    return ex, x, y
+
+
+class TestR3Counterexample:
+    def test_r3_holds(self, counterexample):
+        ex, x, y = counterexample
+        assert NaiveEvaluator(ex).evaluate(Relation.R3, x, y)
+
+    def test_intersection_past_vanishes_on_ny(self, counterexample):
+        ex, x, y = counterexample
+        v = cut_C1(y).vector
+        assert all(v[i] == 0 for i in y.node_set)
+
+    def test_ny_scan_misses_witness(self, counterexample):
+        """The literal Theorem-19 scan over N_Y answers False — wrong."""
+        ex, x, y = counterexample
+        past, fut = cut_C1(y), cut_C3(x)
+        assert not not_ll_restricted(past, fut, y.node_set)
+
+    def test_nx_scan_finds_witness(self, counterexample):
+        ex, x, y = counterexample
+        past, fut = cut_C1(y), cut_C3(x)
+        assert not_ll_restricted(past, fut, x.node_set)
+
+    def test_linear_engine_answers_correctly(self, counterexample):
+        ex, x, y = counterexample
+        assert LinearEvaluator(ex).evaluate(Relation.R3, x, y)
+
+
+class TestR2PrimeDual:
+    @pytest.fixture(scope="class")
+    def dual(self):
+        """Mirror instance: X spans nodes 0, 1; the single y at node 2
+        follows both x's, but ∪⇑X is unanchored at N_X."""
+        b = TraceBuilder(3)
+        x0 = b.internal(0)      # (0,1)
+        m1 = b.send(0)          # (0,2) -> node 2
+        x1 = b.internal(1)      # (1,1)
+        m2 = b.send(1)          # (1,2) -> node 2
+        b.recv(2, m1)           # (2,1)
+        b.recv(2, m2)           # (2,2)
+        y0 = b.internal(2)      # (2,3)
+        ex = b.execute()
+        x = NonatomicEvent(ex, [x0, x1], name="X")
+        y = NonatomicEvent(ex, [y0], name="Y")
+        return ex, x, y
+
+    def test_r2p_holds(self, dual):
+        ex, x, y = dual
+        assert NaiveEvaluator(ex).evaluate(Relation.R2P, x, y)
+
+    def test_nx_scan_misses_witness(self, dual):
+        ex, x, y = dual
+        past, fut = cut_C2(y), cut_C4(x)
+        assert not not_ll_restricted(past, fut, x.node_set)
+
+    def test_ny_scan_finds_witness(self, dual):
+        ex, x, y = dual
+        past, fut = cut_C2(y), cut_C4(x)
+        assert not_ll_restricted(past, fut, y.node_set)
+
+    def test_linear_engine_answers_correctly(self, dual):
+        ex, x, y = dual
+        assert LinearEvaluator(ex).evaluate(Relation.R2P, x, y)
+
+
+class TestSoundSidesAlwaysAgree:
+    """Fuzz confirmation of the anchoring rule across many executions."""
+
+    def test_fuzz_sound_scans(self):
+        rng = np.random.default_rng(2024)
+        for rep in range(40):
+            ex = random_execution(
+                int(rng.integers(2, 6)),
+                events_per_node=int(rng.integers(3, 12)),
+                msg_prob=0.4,
+                seed=int(rng.integers(0, 10_000)),
+            )
+            naive = NaiveEvaluator(ex)
+            for _ in range(10):
+                try:
+                    x, y = random_disjoint_pair(ex, rng, events_per_node=3)
+                except ValueError:
+                    continue  # X consumed every event of a tiny execution
+                # R3 via N_X, R2' via N_Y, R4 via either
+                assert not_ll_restricted(
+                    cut_C1(y), cut_C3(x), x.node_set
+                ) == naive.evaluate(Relation.R3, x, y)
+                assert not_ll_restricted(
+                    cut_C2(y), cut_C4(x), y.node_set
+                ) == naive.evaluate(Relation.R2P, x, y)
+                r4 = naive.evaluate(Relation.R4, x, y)
+                assert not_ll_restricted(cut_C2(y), cut_C3(x), x.node_set) == r4
+                assert not_ll_restricted(cut_C2(y), cut_C3(x), y.node_set) == r4

@@ -1,0 +1,74 @@
+"""Tests for the ASCII space-time renderer."""
+
+import pytest
+
+from repro.core.cuts import Cut, cuts_of
+from repro.nonatomic.event import NonatomicEvent
+from repro.simulation.scenarios import figure2
+from repro.viz.spacetime import render, render_cut_table
+
+
+class TestRender:
+    def test_basic_rows(self, message_exec):
+        out = render(message_exec)
+        lines = out.splitlines()
+        assert any(line.startswith("P0") for line in lines)
+        assert any(line.startswith("P1") for line in lines)
+
+    def test_event_kind_glyphs(self, message_exec):
+        out = render(message_exec, show_messages=False)
+        p0 = next(l for l in out.splitlines() if l.startswith("P0"))
+        assert "s" in p0  # the send event
+        p1 = next(l for l in out.splitlines() if l.startswith("P1"))
+        assert "r" in p1
+
+    def test_interval_markers(self, message_exec):
+        x = NonatomicEvent(message_exec, [(0, 1)], name="alpha")
+        out = render(message_exec, intervals={"alpha": x}, show_messages=False)
+        p0 = next(l for l in out.splitlines() if l.startswith("P0"))
+        assert "A" in p0
+
+    def test_cut_annotation_rows(self, message_exec):
+        cut = Cut(message_exec, [2, 1])
+        out = render(message_exec, cuts={"C": cut}, show_messages=False)
+        c_rows = [l for l in out.splitlines() if l.startswith("C")]
+        assert len(c_rows) == 2  # one per node
+        assert all("|" in row for row in c_rows)
+
+    def test_messages_section(self, message_exec):
+        out = render(message_exec, show_messages=True)
+        assert "messages:" in out
+        assert "(0, 2) -> (1, 2)" in out
+
+    def test_cell_width_validation(self, message_exec):
+        with pytest.raises(ValueError):
+            render(message_exec, cell_width=1)
+
+    def test_figure2_renders_with_all_cuts(self):
+        fig = figure2()
+        q = fig.cuts
+        out = render(
+            fig.execution,
+            intervals={"X": fig.x},
+            cuts={"C1": q.c1, "C2": q.c2, "C3": q.c3, "C4": q.c4},
+        )
+        # 4 node rows + 4 cut rows per node
+        assert sum(1 for l in out.splitlines() if l.startswith("C1")) == 4
+        assert out.count("X") == 8  # the 8 component events
+
+    def test_deterministic(self, message_exec):
+        assert render(message_exec) == render(message_exec)
+
+
+class TestRenderCutTable:
+    def test_empty(self):
+        assert render_cut_table({}) == "(no cuts)"
+
+    def test_rows(self, message_exec):
+        table = render_cut_table(
+            {"C1": Cut(message_exec, [1, 0]), "C2": Cut(message_exec, [2, 3])}
+        )
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("C1")
+        assert "[" in lines[0] and "]" in lines[0]

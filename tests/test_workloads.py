@@ -1,0 +1,155 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.events.poset import Execution
+from repro.nonatomic.selection import by_label, by_label_prefix
+from repro.simulation.workloads import (
+    barrier_trace,
+    broadcast_trace,
+    client_server_trace,
+    layered_trace,
+    pipeline_trace,
+    random_execution,
+    random_trace,
+    ring_trace,
+)
+
+
+class TestRandomTrace:
+    def test_shape(self):
+        tr = random_trace(4, events_per_node=15, msg_prob=0.3, seed=1)
+        assert tr.num_nodes == 4
+        assert all(tr.num_real(i) == 15 for i in range(4))
+
+    def test_reproducible(self):
+        assert random_trace(3, 10, 0.4, seed=9) == random_trace(3, 10, 0.4, seed=9)
+        assert random_trace(3, 10, 0.4, seed=9) != random_trace(3, 10, 0.4, seed=10)
+
+    def test_acyclic(self):
+        Execution(random_trace(6, 30, 0.45, seed=2))  # no CyclicTraceError
+
+    def test_zero_msg_prob(self):
+        tr = random_trace(3, 5, msg_prob=0.0, seed=0)
+        assert len(tr.messages) == 0
+
+    def test_single_node(self):
+        tr = random_trace(1, 5, msg_prob=0.5, seed=0)
+        assert tr.num_nodes == 1 and tr.total_events == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_trace(0, 5)
+        with pytest.raises(ValueError):
+            random_trace(2, 0)
+
+    def test_random_execution_helper(self):
+        ex = random_execution(3, 5, seed=1)
+        assert isinstance(ex, Execution)
+
+
+class TestRing:
+    def test_structure(self):
+        ex = Execution(ring_trace(4, rounds=2, work_per_hop=1))
+        # token fully serialises the execution: hop k < hop k+1
+        work = by_label(ex, "work")
+        assert work.width == 4
+
+    def test_token_serialises(self):
+        ex = Execution(ring_trace(3, rounds=1))
+        # first node's work precedes last node's work through the token
+        assert ex.precedes((0, 1), (2, 2))
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            ring_trace(1)
+
+
+class TestPipeline:
+    def test_items_flow(self):
+        ex = Execution(pipeline_trace(3, items=3))
+        items = by_label_prefix(ex, "item")
+        assert set(items) == {"item0", "item1", "item2"}
+        # each item's interval spans all stages
+        assert all(iv.width == 3 for iv in items.values())
+
+    def test_item_order_preserved_per_stage(self):
+        ex = Execution(pipeline_trace(3, items=3))
+        items = by_label_prefix(ex, "item")
+        an = SynchronizationAnalyzer(ex)
+        # R2: each stage handles item k before item k+1
+        assert an.holds("R2", items["item0"], items["item1"])
+
+    def test_needs_two_stages(self):
+        with pytest.raises(ValueError):
+            pipeline_trace(1)
+
+
+class TestBroadcast:
+    def test_rounds_ordered(self):
+        ex = Execution(broadcast_trace(4, rounds=2))
+        an = SynchronizationAnalyzer(ex)
+        r0 = by_label_prefix(ex, "bcast0")["bcast0"]
+        r1 = by_label_prefix(ex, "bcast1")["bcast1"]
+        # the ack fan-in makes round 0 wholly precede round 1's sends
+        assert an.holds("R2", r0, r1)
+
+    def test_root_validation(self):
+        with pytest.raises(ValueError):
+            broadcast_trace(3, root=5)
+        with pytest.raises(ValueError):
+            broadcast_trace(1)
+
+
+class TestClientServer:
+    def test_all_requests_served(self):
+        tr = client_server_trace(3, requests_per_client=2, seed=4)
+        ex = Execution(tr)
+        served = by_label_prefix(ex, "handle:")
+        assert len(served) == 3  # one label per client
+        assert len(tr.messages) == 3 * 2 * 2  # req + resp per request
+
+    def test_request_precedes_response(self):
+        ex = Execution(client_server_trace(2, requests_per_client=1, seed=0))
+        req = by_label(ex, "req:c1#1")
+        done = by_label(ex, "done:c1")
+        assert SynchronizationAnalyzer(ex).holds("R1", req, done)
+
+
+class TestBarrier:
+    def test_phases_strongly_ordered(self):
+        ex = Execution(barrier_trace(4, phases=3, work_per_phase=2))
+        an = SynchronizationAnalyzer(ex)
+        p0 = by_label(ex, "phase0")
+        p1 = by_label(ex, "phase1")
+        p2 = by_label(ex, "phase2")
+        # the barrier makes R1 — the strongest relation — hold between
+        # consecutive phases: the canonical workload for it
+        assert an.holds("R1", p0, p1)
+        assert an.holds("R1", p1, p2)
+        assert an.holds("R1", p0, p2)
+
+    def test_same_phase_not_ordered(self):
+        ex = Execution(barrier_trace(3, phases=2))
+        an = SynchronizationAnalyzer(ex)
+        p0 = by_label(ex, "phase0")
+        p1 = by_label(ex, "phase1")
+        assert not an.holds("R1", p1, p0)
+
+
+class TestLayered:
+    def test_round_causality(self):
+        ex = Execution(layered_trace(2, 2, periods=2))
+        an = SynchronizationAnalyzer(ex)
+        s0 = by_label(ex, "sample0")
+        a0 = by_label(ex, "apply0")
+        assert an.holds("R1(U,L)", s0, a0)
+
+    def test_layout(self):
+        tr = layered_trace(3, 2, periods=1)
+        assert tr.num_nodes == 6  # 3 sensors + controller + 2 actuators
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layered_trace(0, 1)
