@@ -8,17 +8,25 @@ queries (Key Idea 1).  This module measures:
 * the one-time clock construction for the whole execution;
 * the one-time per-interval cut construction;
 * the per-query evaluation cost against many other intervals;
+* the :class:`~repro.core.context.CutCache` hit path vs a cold fold;
+* :meth:`SynchronizationAnalyzer.batch_holds` vs the scalar query loop
+  over a large interval batch (the planner's headline speedup);
 
 and prints the break-even query count.
 """
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.core.context import AnalysisContext, CutCache
 from repro.core.cuts import cuts_of
+from repro.core.evaluator import SynchronizationAnalyzer
 from repro.core.linear import LinearEvaluator
-from repro.core.relations import BASE_RELATIONS
+from repro.core.relations import BASE_RELATIONS, parse_spec
 from repro.events.poset import Execution
+from repro.nonatomic.event import NonatomicEvent
 from repro.simulation.workloads import random_trace
 
 from .conftest import fresh_intervals, make_pairs
@@ -26,6 +34,16 @@ from .conftest import fresh_intervals, make_pairs
 TRACE = random_trace(16, events_per_node=12, msg_prob=0.3, seed=21)
 EX = Execution(TRACE)
 PAIRS = make_pairs(EX, 30)
+
+
+def _disjoint_intervals(ex: Execution, k: int):
+    """Partition the execution's events into ``k`` disjoint intervals."""
+    ids = sorted(ex.iter_ids())
+    chunks = np.array_split(np.arange(len(ids)), k)
+    return [
+        NonatomicEvent(ex, [ids[i] for i in chunk], name=f"I{n}")
+        for n, chunk in enumerate(chunks)
+    ]
 
 
 def test_clock_setup(benchmark):
@@ -94,3 +112,81 @@ def test_amortization_report(benchmark):
     benchmark.extra_info["cut_setup_us"] = cut_setup * 1e6
     benchmark.extra_info["query_us"] = per_query * 1e6
     benchmark(lambda: ev.evaluate(BASE_RELATIONS[0], x0, y0))
+
+
+def test_cut_cache_hit_vs_cold(benchmark):
+    """CutCache: serving a memoized quadruple vs paying the fold."""
+    x, _y = PAIRS[0]
+
+    cold_reps = 200
+    t0 = time.perf_counter()
+    for _ in range(cold_reps):
+        cache = CutCache(EX)
+        cache.quadruple(fresh_intervals(x))
+    cold = (time.perf_counter() - t0) / cold_reps
+
+    warm_cache = CutCache(EX)
+    warm_cache.quadruple(x)
+    hit_reps = 2000
+    t0 = time.perf_counter()
+    for _ in range(hit_reps):
+        warm_cache.quadruple(fresh_intervals(x))
+    hit = (time.perf_counter() - t0) / hit_reps
+
+    print(
+        f"\ncut cache: cold miss {cold * 1e6:.1f} us/quadruple, "
+        f"hit {hit * 1e6:.2f} us/quadruple ({cold / hit:.0f}x)"
+    )
+    benchmark.extra_info["cold_miss_us"] = cold * 1e6
+    benchmark.extra_info["hit_us"] = hit * 1e6
+    benchmark.extra_info["hit_speedup"] = cold / hit
+    benchmark(lambda: warm_cache.quadruple(x))
+
+
+def test_batch_holds_vs_scalar_loop(benchmark):
+    """Planner speedup: batch_holds vs the scalar loop, k = 32 intervals.
+
+    All C(32, 2) ordered ``R1(U,L)`` queries over one execution; both
+    paths run against warm cut caches, so the comparison isolates
+    query-time cost (one NumPy broadcast vs ~1k engine calls).  The
+    acceptance bar is a >= 5x win for the batch path.
+    """
+    intervals = _disjoint_intervals(EX, 32)
+    spec = parse_spec("R1(U,L)")
+    queries = [
+        (spec, x, y) for x in intervals for y in intervals if x is not y
+    ]
+    # the intervals partition the trace, so per-query disjointness
+    # validation is redundant in both paths
+    an = SynchronizationAnalyzer(AnalysisContext(EX), check_disjoint=False)
+
+    an.batch_holds(queries)  # warm the cut cache for both paths
+
+    def best_of(fn, reps=5):
+        best, result = float("inf"), None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    batch_t, batched = best_of(lambda: an.batch_holds(queries))
+    scalar_t, scalar = best_of(
+        lambda: [an.holds(s, x, y) for s, x, y in queries]
+    )
+
+    assert batched == scalar
+    speedup = scalar_t / batch_t
+    print(
+        f"\nbatch planner: {len(queries)} queries over "
+        f"{len(intervals)} intervals -> scalar {scalar_t * 1e3:.1f} ms, "
+        f"batched {batch_t * 1e3:.2f} ms ({speedup:.1f}x)"
+    )
+    benchmark.extra_info["num_queries"] = len(queries)
+    benchmark.extra_info["scalar_ms"] = scalar_t * 1e3
+    benchmark.extra_info["batch_ms"] = batch_t * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 5.0, (
+        f"batch_holds only {speedup:.1f}x faster than the scalar loop"
+    )
+    benchmark(lambda: an.batch_holds(queries))

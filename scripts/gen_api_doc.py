@@ -19,7 +19,8 @@ MODULES = [
     "repro.simulation.scenarios",
     "repro.nonatomic", "repro.nonatomic.event", "repro.nonatomic.proxies",
     "repro.nonatomic.selection",
-    "repro.core", "repro.core.cuts", "repro.core.relations",
+    "repro.core", "repro.core.context", "repro.core.cuts",
+    "repro.core.relations",
     "repro.core.naive", "repro.core.polynomial", "repro.core.linear",
     "repro.core.evaluator", "repro.core.explain", "repro.core.counting",
     "repro.core.hierarchy", "repro.core.axioms", "repro.core.pairwise",

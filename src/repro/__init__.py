@@ -38,8 +38,10 @@ True
 from .core import (
     BASE_RELATIONS,
     FAMILY32,
+    AnalysisContext,
     ComparisonCounter,
     Cut,
+    CutCache,
     LinearEvaluator,
     NaiveEvaluator,
     PolynomialEvaluator,
@@ -107,6 +109,8 @@ __all__ = [
     "ProxyUndefinedError",
     "proxy_of",
     # core
+    "AnalysisContext",
+    "CutCache",
     "Relation",
     "RelationSpec",
     "BASE_RELATIONS",

@@ -138,10 +138,21 @@ class AirDefenseScenario:
             conds[f"launch{i}-not-premature"] = f"not R4(launch{i}, detection)"
         return conds
 
+    @property
+    def context(self):
+        """The scenario's shared analysis context (one cut cache)."""
+        from ..core.context import AnalysisContext
+
+        return AnalysisContext.of(self.execution)
+
     def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
-        """Evaluate every safety condition; returns per-condition reports."""
+        """Evaluate every safety condition; returns per-condition reports.
+
+        All engines (and repeat checks) share the scenario's context,
+        so each interval's cut fold is paid once across the run.
+        """
         checker = ConditionChecker(
-            SynchronizationAnalyzer(self.execution, engine=engine)
+            SynchronizationAnalyzer(self.context, engine=engine)
         )
         return checker.check_all(self.conditions(), self.bindings())
 

@@ -74,10 +74,17 @@ class RoamingScenario:
             conds[f"epoch{k}-after-setup"] = f"R3'(setup, epoch{k})"
         return conds
 
+    @property
+    def context(self):
+        """The scenario's shared analysis context (one cut cache)."""
+        from ..core.context import AnalysisContext
+
+        return AnalysisContext.of(self.execution)
+
     def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
-        """Evaluate every condition."""
+        """Evaluate every condition (cuts shared through the context)."""
         checker = ConditionChecker(
-            SynchronizationAnalyzer(self.execution, engine=engine)
+            SynchronizationAnalyzer(self.context, engine=engine)
         )
         return checker.check_all(self.conditions(), self.bindings())
 

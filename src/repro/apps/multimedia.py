@@ -118,8 +118,11 @@ class StreamSyncChecker:
     """Verify stream synchronization constraints over delivered units."""
 
     def __init__(self, execution: Execution, engine: str = "linear") -> None:
+        from ..core.context import AnalysisContext
+
         self.execution = execution
-        self.analyzer = SynchronizationAnalyzer(execution, engine=engine)
+        self.context = AnalysisContext.of(execution)
+        self.analyzer = SynchronizationAnalyzer(self.context, engine=engine)
 
     def check_intra_stream(
         self,
@@ -140,17 +143,19 @@ class StreamSyncChecker:
         ks = sorted(
             int(lbl.split(":")[1]) for lbl in units if lbl.startswith(f"{stream}:")
         )
-        violations: List[SyncViolation] = []
+        checks = []
         for k in ks:
-            nxt = k + lag
-            a, bb = f"{stream}:{k}", f"{stream}:{nxt}"
-            if bb not in units:
-                continue
-            if not self.analyzer.holds(Relation.R2, units[a], units[bb]):
-                violations.append(
-                    SyncViolation(a, bb, f"intra-stream lag-{lag}")
-                )
-        return violations
+            a, bb = f"{stream}:{k}", f"{stream}:{k + lag}"
+            if bb in units:
+                checks.append((a, bb))
+        answers = self.analyzer.batch_holds(
+            [(Relation.R2, units[a], units[bb]) for a, bb in checks]
+        )
+        return [
+            SyncViolation(a, bb, f"intra-stream lag-{lag}")
+            for (a, bb), ok in zip(checks, answers)
+            if not ok
+        ]
 
     def check_inter_stream(
         self,
@@ -164,16 +169,21 @@ class StreamSyncChecker:
         everywhere (``R4`` from lead proxies into follower's end proxy —
         the weakest sensible coupling; tighten by editing the spec)."""
         spec = RelationSpec(Relation.R4, Proxy.L, Proxy.U)
-        violations: List[SyncViolation] = []
         ks = sorted(
             int(lbl.split(":")[1])
             for lbl in units
             if lbl.startswith(f"{lead_stream}:")
         )
+        checks = []
         for k in ks:
             a, bb = f"{lead_stream}:{k}", f"{follow_stream}:{k + skew}"
-            if bb not in units:
-                continue
-            if not self.analyzer.holds(spec, units[a], units[bb]):
-                violations.append(SyncViolation(a, bb, f"inter-stream skew-{skew}"))
-        return violations
+            if bb in units:
+                checks.append((a, bb))
+        answers = self.analyzer.batch_holds(
+            [(spec, units[a], units[bb]) for a, bb in checks]
+        )
+        return [
+            SyncViolation(a, bb, f"inter-stream skew-{skew}")
+            for (a, bb), ok in zip(checks, answers)
+            if not ok
+        ]

@@ -68,8 +68,11 @@ class MutualExclusionChecker:
     """
 
     def __init__(self, execution: Execution, engine: str = "linear") -> None:
+        from ..core.context import AnalysisContext
+
         self.execution = execution
-        self.analyzer = SynchronizationAnalyzer(execution, engine=engine)
+        self.context = AnalysisContext.of(execution)
+        self.analyzer = SynchronizationAnalyzer(self.context, engine=engine)
 
     def occupancies(self, prefix: str = "cs:") -> Dict[str, NonatomicEvent]:
         """Collect occupancies: one interval per distinct ``prefix``
@@ -84,14 +87,28 @@ class MutualExclusionChecker:
         )
 
     def check(self, prefix: str = "cs:") -> List[ExclusionViolation]:
-        """All violating occupancy pairs (empty = exclusion holds)."""
+        """All violating occupancy pairs (empty = exclusion holds).
+
+        The 2·C(k,2) ``R1(U,L)`` queries are answered through
+        :meth:`SynchronizationAnalyzer.batch_holds`, which stacks the
+        occupancies' cut timestamps once and broadcasts — the planner's
+        canonical workload.
+        """
         occs = sorted(self.occupancies(prefix).values(), key=lambda o: o.name or "")
-        violations: List[ExclusionViolation] = []
-        for i, x in enumerate(occs):
-            for y in occs[i + 1 :]:
-                if not self.serialised(x, y):
-                    violations.append(ExclusionViolation(x, y))
-        return violations
+        pairs = [
+            (occs[i], occs[j])
+            for i in range(len(occs))
+            for j in range(i + 1, len(occs))
+        ]
+        queries = [(_R1_UL, x, y) for x, y in pairs]
+        queries += [(_R1_UL, y, x) for x, y in pairs]
+        answers = self.analyzer.batch_holds(queries)
+        n = len(pairs)
+        return [
+            ExclusionViolation(x, y)
+            for i, (x, y) in enumerate(pairs)
+            if not (answers[i] or answers[n + i])
+        ]
 
     def check_vectorised(self, prefix: str = "cs:") -> List[ExclusionViolation]:
         """Same verdicts as :meth:`check` via one all-pairs matrix.
@@ -100,13 +117,10 @@ class MutualExclusionChecker:
         :mod:`repro.core.pairwise` (one NumPy broadcast instead of k²
         engine calls) — the fast path for large occupancy counts.
         """
-        from ..core.pairwise import IntervalSetMatrices
-        from ..core.relations import RelationSpec
-
         occs = sorted(self.occupancies(prefix).values(), key=lambda o: o.name or "")
         if len(occs) < 2:
             return []
-        m = IntervalSetMatrices(occs).spec_matrix(_R1_UL)
+        m = self.context.matrices(occs).spec_matrix(_R1_UL)
         serialised = m | m.T
         violations: List[ExclusionViolation] = []
         for i in range(len(occs)):

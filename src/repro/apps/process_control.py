@@ -63,10 +63,17 @@ class ControlLoop:
             conds[f"round{p}-fresh"] = f"not R4(sample{p + 1}, apply{p})"
         return conds
 
+    @property
+    def context(self):
+        """The loop's shared analysis context (one cut cache)."""
+        from ..core.context import AnalysisContext
+
+        return AnalysisContext.of(self.execution)
+
     def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
-        """Evaluate every invariant."""
+        """Evaluate every invariant (cuts shared through the context)."""
         checker = ConditionChecker(
-            SynchronizationAnalyzer(self.execution, engine=engine)
+            SynchronizationAnalyzer(self.context, engine=engine)
         )
         return checker.check_all(self.conditions(), self.bindings())
 

@@ -23,6 +23,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis.metrics import summarize
+from .core.context import AnalysisContext
 from .core.evaluator import SynchronizationAnalyzer
 from .core.relations import FAMILY32
 from .events.poset import Execution
@@ -106,8 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_execution(path: str) -> Execution:
-    return Execution(load(path))
+def _load_context(path: str) -> AnalysisContext:
+    """Load a trace into the shared analysis context — the one place
+    the CLI builds timestamps and cuts."""
+    return AnalysisContext.of(Execution(load(path)))
 
 
 def _cmd_generate(args) -> int:
@@ -120,7 +123,7 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    ex = _load_execution(args.trace)
+    ex = _load_context(args.trace).execution
     metrics = summarize(ex)
     print(metrics)
     labels = sorted(
@@ -132,15 +135,16 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_render(args) -> int:
-    ex = _load_execution(args.trace)
+    ex = _load_context(args.trace).execution
     intervals = {label: by_label(ex, label) for label in args.interval}
     print(render(ex, intervals=intervals, show_messages=not args.no_messages))
     return 0
 
 
 def _cmd_relations(args) -> int:
-    ex = _load_execution(args.trace)
-    an = SynchronizationAnalyzer(ex, engine=args.engine)
+    ctx = _load_context(args.trace)
+    ex = ctx.execution
+    an = SynchronizationAnalyzer(ctx, engine=args.engine)
     x = by_label(ex, args.x)
     y = by_label(ex, args.y)
     print(f"X = {args.x!r}: {len(x)} events on nodes {list(x.node_set)}")
@@ -157,7 +161,8 @@ def _cmd_relations(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    ex = _load_execution(args.trace)
+    ctx = _load_context(args.trace)
+    ex = ctx.execution
     bindings = {}
     for item in args.bind:
         name, _, label = item.partition("=")
@@ -166,7 +171,7 @@ def _cmd_check(args) -> int:
                   file=sys.stderr)
             return 2
         bindings[name] = by_label(ex, label, name=name)
-    checker = ConditionChecker(SynchronizationAnalyzer(ex, engine=args.engine))
+    checker = ConditionChecker(SynchronizationAnalyzer(ctx, engine=args.engine))
     report = checker.check(args.spec, bindings)
     print(report)
     return 0 if report.passed else 1

@@ -6,6 +6,7 @@ from .axioms import (
     compose,
     converse_compatible,
 )
+from .context import AnalysisContext, CutCache
 from .counting import NULL_COUNTER, ComparisonCounter
 from .cuts import (
     Cut,
@@ -53,6 +54,8 @@ from .relations import (
 )
 
 __all__ = [
+    "AnalysisContext",
+    "CutCache",
     "ComparisonCounter",
     "NULL_COUNTER",
     "Cut",

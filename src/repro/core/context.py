@@ -1,0 +1,302 @@
+"""Shared analysis context: the one place timestamps and cuts are built.
+
+The paper's amortization argument (Key Idea 1) is that relation tests
+collapse to cheap vector comparisons *once the timestamp and cut
+structure is established*.  Before this module, that structure was
+scattered: every evaluator re-derived cut quadruples per call, each
+application kept private copies of per-interval vectors, and equal
+intervals constructed twice paid the fold twice.
+
+:class:`AnalysisContext` centralises the setup state for one
+:class:`~repro.events.poset.Execution`:
+
+* a :class:`CutCache` memoizing each nonatomic event's Table-2 cuts and
+  extremal-index vectors **keyed by interval identity** (the component
+  id set), so distinct-but-equal interval objects share one fold;
+* explicit invalidation on trace growth — the cache keys its validity
+  on :attr:`Execution.version <repro.events.poset.Execution.version>`,
+  which :meth:`Execution.extend` bumps, so stale future-side vectors
+  can never be served;
+* a factory for :class:`~repro.core.pairwise.IntervalSetMatrices`
+  stacks that draws cut vectors from the cache instead of re-folding.
+
+All three relation engines, the high-level
+:class:`~repro.core.evaluator.SynchronizationAnalyzer`, the online
+monitor, the application verifiers and the CLI consume this layer;
+:meth:`AnalysisContext.of` hands out one shared context per execution
+so independent consumers amortize each other's setup work.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..events.event import EventId
+from ..events.poset import Execution
+from ..nonatomic.event import NonatomicEvent
+from .cuts import Cut, CutQuadruple, cut_C1, cut_C2, cut_C3, cut_C4
+
+__all__ = ["AnalysisContext", "CutCache"]
+
+#: Cache key: the interval's component id set (its mathematical identity).
+_IntervalKey = FrozenSet[EventId]
+
+_CUT_FNS = {"C1": cut_C1, "C2": cut_C2, "C3": cut_C3, "C4": cut_C4}
+
+
+class CutCache:
+    """Memoized cut quadruples and extremal vectors for one execution.
+
+    Entries are keyed by the interval's component id set, so two
+    :class:`~repro.nonatomic.event.NonatomicEvent` objects denoting the
+    same set of atomic events share one cut fold — the cross-object
+    amortization the per-instance ``NonatomicEvent.cache`` cannot give.
+
+    The cache records the execution :attr:`~Execution.version` it was
+    filled against and drops every entry the moment the execution has
+    grown (:meth:`Execution.extend`), because future-side cuts (C3/C4)
+    and the extremal encodings change when the future does.
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup counters.  ``hits`` counts cut requests served without a
+        fold; benchmarks and the acceptance tests assert on them.
+    """
+
+    __slots__ = ("_execution", "_version", "_cuts", "_extremal",
+                 "hits", "misses")
+
+    def __init__(self, execution: Execution) -> None:
+        self._execution = execution
+        self._version = execution.version
+        self._cuts: Dict[Tuple[_IntervalKey, str], Cut] = {}
+        self._extremal: Dict[_IntervalKey, Tuple[np.ndarray, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def execution(self) -> Execution:
+        """The execution the cached structures belong to."""
+        return self._execution
+
+    def __len__(self) -> int:
+        return len(self._cuts)
+
+    def invalidate(self) -> None:
+        """Drop every entry and re-arm against the current version."""
+        self._cuts.clear()
+        self._extremal.clear()
+        self._version = self._execution.version
+
+    def _fresh(self) -> None:
+        if self._execution.version != self._version:
+            self.invalidate()
+
+    def _check_interval(self, x: NonatomicEvent) -> None:
+        if x.execution is not self._execution:
+            raise ValueError("interval does not belong to this context's execution")
+
+    # ------------------------------------------------------------------
+    # cuts
+    # ------------------------------------------------------------------
+    def cut(self, x: NonatomicEvent, which: str) -> Cut:
+        """One Table-2 cut of ``x`` (``which`` in C1/C2/C3/C4), memoized.
+
+        Only the requested cut is computed: past-only consumers asking
+        for C1/C2 never force the reverse clock pass that C3/C4 need.
+        """
+        self._check_interval(x)
+        self._fresh()
+        key = (x.ids, which)
+        cached = self._cuts.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = _CUT_FNS[which](x)
+        self._cuts[key] = result
+        return result
+
+    def quadruple(self, x: NonatomicEvent) -> CutQuadruple:
+        """All four Table-2 cuts of ``x`` (computed once — Key Idea 1)."""
+        return CutQuadruple(
+            self.cut(x, "C1"), self.cut(x, "C2"),
+            self.cut(x, "C3"), self.cut(x, "C4"),
+        )
+
+    # ------------------------------------------------------------------
+    # extremal index vectors
+    # ------------------------------------------------------------------
+    def extremal(self, x: NonatomicEvent) -> Tuple[np.ndarray, np.ndarray]:
+        """``(first, last)`` per-node extremal index vectors of ``x``.
+
+        Length-``|P|`` read-only int64 arrays with 0 encoding "node not
+        in ``N_X``" — the neutral encoding the vectorised pairwise
+        kernel consumes.
+        """
+        self._check_interval(x)
+        self._fresh()
+        key = x.ids
+        cached = self._extremal.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        num_nodes = self._execution.num_nodes
+        first = np.zeros(num_nodes, dtype=np.int64)
+        last = np.zeros(num_nodes, dtype=np.int64)
+        for node in x.node_set:
+            first[node] = x.first_at(node)
+            last[node] = x.last_at(node)
+        first.setflags(write=False)
+        last.setflags(write=False)
+        self._extremal[key] = (first, last)
+        return first, last
+
+
+#: One shared context per live execution (weak: contexts die with them).
+_SHARED: "weakref.WeakKeyDictionary[Execution, AnalysisContext]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class AnalysisContext:
+    """Shared evaluation substrate for one execution.
+
+    Bundles the execution (whose clock structures are built lazily and
+    extended incrementally) with the :class:`CutCache` every consumer
+    draws from.  Construct one per execution — or let
+    :meth:`AnalysisContext.of` hand out the process-wide shared
+    instance — and pass it wherever an
+    :class:`~repro.events.poset.Execution` used to go: the relation
+    engines, :class:`~repro.core.evaluator.SynchronizationAnalyzer`,
+    the predicate detectors and the application verifiers all accept
+    either.
+    """
+
+    __slots__ = ("_execution", "_cut_cache", "_mats", "_mats_version",
+                 "__weakref__")
+
+    #: bound on memoized interval-set stacks before the memo is reset
+    _MATS_LIMIT = 64
+
+    def __init__(self, execution: Execution) -> None:
+        if isinstance(execution, AnalysisContext):  # idempotent wrap
+            execution = execution.execution
+        self._execution = execution
+        self._cut_cache = CutCache(execution)
+        self._mats: Dict[Tuple[_IntervalKey, ...], object] = {}
+        self._mats_version = execution.version
+
+    @classmethod
+    def of(cls, execution: "Execution | AnalysisContext") -> "AnalysisContext":
+        """The shared context of ``execution`` (created on first use).
+
+        Every consumer resolving its context through here shares one
+        cut cache per execution — the repo-wide amortization point.
+        """
+        if isinstance(execution, AnalysisContext):
+            return execution
+        ctx = _SHARED.get(execution)
+        if ctx is None:
+            ctx = _SHARED[execution] = cls(execution)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def execution(self) -> Execution:
+        """The analysed execution."""
+        return self._execution
+
+    @property
+    def cut_cache(self) -> CutCache:
+        """The shared per-interval cut/extremal cache."""
+        return self._cut_cache
+
+    @property
+    def cache_hits(self) -> int:
+        """Cut-cache hits (requests served without a fold)."""
+        return self._cut_cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Cut-cache misses (requests that paid the fold)."""
+        return self._cut_cache.misses
+
+    # ------------------------------------------------------------------
+    # interval helpers
+    # ------------------------------------------------------------------
+    def interval(
+        self, ids: Iterable[EventId], name: Optional[str] = None
+    ) -> NonatomicEvent:
+        """Create a nonatomic event over this context's execution."""
+        return NonatomicEvent(self._execution, ids, name=name)
+
+    def cuts(self, x: NonatomicEvent) -> CutQuadruple:
+        """The memoized cut quadruple of ``x``."""
+        return self._cut_cache.quadruple(x)
+
+    def cut(self, x: NonatomicEvent, which: str) -> Cut:
+        """One memoized Table-2 cut of ``x`` (``"C1"``..``"C4"``)."""
+        return self._cut_cache.cut(x, which)
+
+    def extremal(self, x: NonatomicEvent) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized ``(first, last)`` extremal index vectors of ``x``."""
+        return self._cut_cache.extremal(x)
+
+    # ------------------------------------------------------------------
+    # batched structures
+    # ------------------------------------------------------------------
+    def matrices(self, intervals: Sequence[NonatomicEvent]):
+        """An :class:`~repro.core.pairwise.IntervalSetMatrices` stack
+        over ``intervals`` whose rows are drawn from the cut cache
+        (folds already paid are not repeated).
+
+        Stacks are memoized by the sequence of interval identities:
+        repeated batches over the same interval set — the planner's
+        steady state — reuse both the stacked vectors and any relation
+        matrices already broadcast from them.  The memo is dropped when
+        the execution grows (and bounded, resetting past
+        ``_MATS_LIMIT`` entries).
+        """
+        from .pairwise import IntervalSetMatrices
+
+        if self._mats_version != self._execution.version:
+            self._mats.clear()
+            self._mats_version = self._execution.version
+        key = tuple(iv.ids for iv in intervals)
+        mats = self._mats.get(key)
+        if mats is None:
+            mats = IntervalSetMatrices(intervals, cache=self._cut_cache)
+            if len(self._mats) >= self._MATS_LIMIT:
+                self._mats.clear()
+            self._mats[key] = mats
+        return mats
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def extend(self, trace) -> "AnalysisContext":
+        """Grow the underlying execution (append-only) and invalidate.
+
+        Delegates to :meth:`Execution.extend`; the version bump makes
+        the cut cache drop every memoized vector, so post-growth
+        queries can never see pre-growth future cuts.
+        """
+        self._execution.extend(trace)
+        self._cut_cache.invalidate()
+        self._mats.clear()
+        self._mats_version = self._execution.version
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnalysisContext({self._execution!r}, cached={len(self._cut_cache)}, "
+            f"hits={self._cut_cache.hits}, misses={self._cut_cache.misses})"
+        )

@@ -298,7 +298,7 @@ def cut_C1(x: NonatomicEvent) -> Cut:
     *least* component events need to be folded, so the computation is
     an ``O(|N_X| · |P|)`` componentwise ``min``.
     """
-    key = ("cut", "C1")
+    key = ("cut", "C1", x.execution.version)
     cached = x.cache.get(key)
     if cached is None:
         rows = _stack_clocks(x, x.first_ids(), reverse=False)
@@ -311,7 +311,7 @@ def cut_C2(x: NonatomicEvent) -> Cut:
     """``C2(X) = ∪⇓X = ∪_{x∈X} ↓x`` — the maximum prefix the events of
     X *collectively* have knowledge of.  Folds the per-node *greatest*
     component events with componentwise ``max``."""
-    key = ("cut", "C2")
+    key = ("cut", "C2", x.execution.version)
     cached = x.cache.get(key)
     if cached is None:
         rows = _stack_clocks(x, x.last_ids(), reverse=False)
@@ -323,7 +323,7 @@ def cut_C2(x: NonatomicEvent) -> Cut:
 def cut_C3(x: NonatomicEvent) -> Cut:
     """``C3(X) = ∩⇑X = ∩_{x∈X} x↑`` — its surface holds the earliest
     event per node causally preceded by *some* component of X."""
-    key = ("cut", "C3")
+    key = ("cut", "C3", x.execution.version)
     cached = x.cache.get(key)
     if cached is None:
         lengths = np.asarray(x.execution.lengths, dtype=np.int64)
@@ -336,7 +336,7 @@ def cut_C3(x: NonatomicEvent) -> Cut:
 def cut_C4(x: NonatomicEvent) -> Cut:
     """``C4(X) = ∪⇑X = ∪_{x∈X} x↑`` — its surface holds the earliest
     event per node causally preceded by *every* component of X."""
-    key = ("cut", "C4")
+    key = ("cut", "C4", x.execution.version)
     cached = x.cache.get(key)
     if cached is None:
         lengths = np.asarray(x.execution.lengths, dtype=np.int64)

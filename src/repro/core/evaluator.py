@@ -14,12 +14,15 @@ comparing the three evaluation strategies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition
+from .context import AnalysisContext
 from .counting import ComparisonCounter
 from .hierarchy import evaluate_all_pruned, maximal_true
 from .linear import LinearEvaluator
@@ -30,6 +33,9 @@ from .relations import BASE_RELATIONS, FAMILY32, Relation, RelationSpec, parse_s
 __all__ = ["SynchronizationAnalyzer", "ENGINES"]
 
 SpecLike = Union[str, Relation, RelationSpec]
+
+#: One batch query: ``(spec, X, Y)``.
+Query = Tuple[SpecLike, NonatomicEvent, NonatomicEvent]
 
 #: Engine registry: name -> evaluator class.
 ENGINES = {
@@ -45,7 +51,10 @@ class SynchronizationAnalyzer:
     Parameters
     ----------
     execution:
-        The analysed execution (or anything with its interface).
+        The analysed execution, or an
+        :class:`~repro.core.context.AnalysisContext`.  A bare execution
+        resolves to its shared context, so every analyzer (and engine)
+        over the same execution amortizes one cut cache.
     engine:
         ``"linear"`` (default, the paper's algorithm), ``"polynomial"``
         (prior-work baseline) or ``"naive"`` (definition-level).
@@ -74,7 +83,7 @@ class SynchronizationAnalyzer:
 
     def __init__(
         self,
-        execution: Execution,
+        execution: "Execution | AnalysisContext",
         engine: str = "linear",
         proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
         counted: bool = False,
@@ -85,12 +94,14 @@ class SynchronizationAnalyzer:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
             )
-        self.execution = execution
+        self.context = AnalysisContext.of(execution)
+        self.execution = self.context.execution
         self.engine_name = engine
+        self.proxy_definition = proxy_definition
         self.counter = ComparisonCounter() if counted else None
         self.check_disjoint = check_disjoint
         self._engine = ENGINES[engine](
-            execution,
+            self.context,
             counter=self.counter,
             proxy_definition=proxy_definition,
             **engine_kwargs,
@@ -131,6 +142,103 @@ class SynchronizationAnalyzer:
         self._check_pair(x, y)
         if isinstance(spec, str):
             spec = parse_spec(spec)
+        return self._engine_holds(spec, x, y)
+
+    # ------------------------------------------------------------------
+    # batched queries
+    # ------------------------------------------------------------------
+    def batch_holds(
+        self,
+        queries: "Sequence[Query] | Iterable[Query]",
+        min_group: int = 4,
+    ) -> List[bool]:
+        """Answer many ``(spec, X, Y)`` queries, batched.
+
+        The planner groups queries by relation spec; every group with at
+        least ``min_group`` queries is routed through the vectorised
+        all-pairs kernel (:class:`~repro.core.pairwise.IntervalSetMatrices`):
+        the group's distinct intervals are stacked into one ``(k, P)``
+        cut-timestamp matrix (drawn from the shared cut cache) and the
+        whole group is answered by one NumPy broadcast instead of
+        per-query Python calls.  Smaller groups fall back to the scalar
+        engine path.  Results align with the input order.
+
+        Notes
+        -----
+        * Verdicts are identical to :meth:`holds` on every query (the
+          vectorised conditions are the sound full-``|P|``-scan forms).
+        * The batch path is its own evaluation strategy: engine choice
+          does not apply to it, and it does not tick the
+          :class:`ComparisonCounter` (it is vectorised; count-exact
+          experiments should query the scalar path).
+        * ``check_disjoint`` applies per query, exactly as in
+          :meth:`holds`.
+        """
+        qs = list(queries)
+        out: List[bool] = [False] * len(qs)
+        check = self.check_disjoint
+
+        # single planning pass: validate, parse, group by spec (hashing
+        # each *distinct spec object* once — RelationSpec hashing is not
+        # free at planner scale) and assign interval rows as we go.
+        # group record: [query indices, x rows, y rows, row_of, intervals]
+        groups: Dict[Union[Relation, RelationSpec], list] = {}
+        group_of_obj: Dict[int, list] = {}
+        for i, (spec, x, y) in enumerate(qs):
+            if check and not x.ids.isdisjoint(y.ids):
+                self._check_pair(x, y)  # raises with the full message
+            if isinstance(spec, str):
+                spec = parse_spec(spec)
+                qs[i] = (spec, x, y)
+            rec = group_of_obj.get(id(spec))
+            if rec is None:
+                rec = groups.setdefault(spec, [[], [], [], {}, []])
+                group_of_obj[id(spec)] = rec
+            idxs, xs, ys, row_of, intervals = rec
+            idxs.append(i)
+            kx = x.ids
+            row = row_of.get(kx)
+            if row is None:
+                row = row_of[kx] = len(intervals)
+                intervals.append(x)
+            xs.append(row)
+            ky = y.ids
+            row = row_of.get(ky)
+            if row is None:
+                row = row_of[ky] = len(intervals)
+                intervals.append(y)
+            ys.append(row)
+
+        for spec, (idxs, xs, ys, _row_of, intervals) in groups.items():
+            if len(idxs) < max(min_group, 2):
+                for i in idxs:
+                    _s, x, y = qs[i]
+                    out[i] = self._engine_holds(spec, x, y)
+                continue
+            # one (k, P) stack over the group's distinct intervals
+            mats = self.context.matrices(intervals)
+            if isinstance(spec, Relation):
+                matrix = mats.relation_matrix(spec, mask_diagonal=False)
+            else:
+                matrix = mats.spec_matrix(
+                    spec,
+                    proxy_definition=self.proxy_definition,
+                    mask_diagonal=False,
+                )
+            # one fancy-indexed gather instead of per-query scalar reads
+            verdicts = matrix[np.asarray(xs, dtype=np.intp),
+                              np.asarray(ys, dtype=np.intp)]
+            for i, v in zip(idxs, verdicts.tolist()):
+                out[i] = v
+        return out
+
+    def _engine_holds(
+        self,
+        spec: "Relation | RelationSpec",
+        x: NonatomicEvent,
+        y: NonatomicEvent,
+    ) -> bool:
+        """Scalar-path dispatch for an already-parsed spec."""
         if isinstance(spec, Relation):
             return self._engine.evaluate(spec, x, y)
         return self._engine.evaluate_spec(spec, x, y)
@@ -190,15 +298,18 @@ class SynchronizationAnalyzer:
 
         Delegates to the vectorised kernel of
         :mod:`repro.core.pairwise` (NumPy broadcasting over stacked cut
-        timestamps) — the fast path for pairwise sweeps such as the
-        mutual-exclusion verifier.  Engine choice does not apply here;
-        the kernel is its own (equivalent) evaluation strategy.
+        timestamps, drawn from the shared cut cache) — the fast path
+        for pairwise sweeps such as the mutual-exclusion verifier.
+        Engine choice does not apply here; the kernel is its own
+        (equivalent) evaluation strategy.
         """
-        from .pairwise import IntervalSetMatrices
-
         if isinstance(spec, str):
             spec = parse_spec(spec)
-        mats = IntervalSetMatrices(list(intervals))
+        mats = self.context.matrices(list(intervals))
         if isinstance(spec, Relation):
             return mats.relation_matrix(spec, mask_diagonal=mask_diagonal)
-        return mats.spec_matrix(spec, mask_diagonal=mask_diagonal)
+        return mats.spec_matrix(
+            spec,
+            proxy_definition=self.proxy_definition,
+            mask_diagonal=mask_diagonal,
+        )

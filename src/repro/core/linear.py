@@ -70,8 +70,9 @@ from typing import Iterable, Sequence
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
+from .context import AnalysisContext
 from .counting import NULL_COUNTER, ComparisonCounter
-from .cuts import Cut, cut_C1, cut_C2, cut_C3, cut_C4
+from .cuts import Cut
 from .relations import Relation, RelationSpec
 
 __all__ = ["LinearEvaluator", "not_ll_restricted"]
@@ -106,7 +107,11 @@ class LinearEvaluator:
     Parameters
     ----------
     execution:
-        The analysed execution.
+        The analysed execution, or an
+        :class:`~repro.core.context.AnalysisContext` to share one cut
+        cache with other consumers.  A bare execution resolves to its
+        shared context (:meth:`AnalysisContext.of`); the evaluator
+        itself is a stateless strategy over that context.
     counter:
         Optional :class:`ComparisonCounter`.  Only *query-time*
         comparisons are recorded under category ``"test"``; the
@@ -124,12 +129,13 @@ class LinearEvaluator:
 
     def __init__(
         self,
-        execution: Execution,
+        execution: "Execution | AnalysisContext",
         counter: ComparisonCounter | None = None,
         proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
         node_restriction: bool = True,
     ) -> None:
-        self.execution = execution
+        self.context = AnalysisContext.of(execution)
+        self.execution = self.context.execution
         self.counter = counter if counter is not None else NULL_COUNTER
         self.proxy_definition = proxy_definition
         self.node_restriction = node_restriction
@@ -235,33 +241,36 @@ class LinearEvaluator:
     ) -> bool:
         """Evaluate ``R(X, Y)`` with Theorem-20 complexity.
 
-        The relevant cuts of X and Y are computed once and cached on the
-        intervals (Key Idea 1); repeat queries against other intervals
-        reuse them.
+        The relevant cuts of X and Y are computed once and memoized in
+        the shared :class:`~repro.core.context.CutCache` keyed by
+        interval identity (Key Idea 1); repeat queries — even through
+        other evaluators or distinct-but-equal interval objects — reuse
+        them.
         """
         if x.execution is not self.execution or y.execution is not self.execution:
             raise ValueError("intervals do not belong to this evaluator's execution")
+        cut = self.context.cut
         if relation in (Relation.R1, Relation.R1P):
             if len(x.node_set) <= len(y.node_set):
-                return self._forall_x(cut_C1(y), x)
-            return self._forall_y(cut_C4(x), y)
+                return self._forall_x(cut(y, "C1"), x)
+            return self._forall_y(cut(x, "C4"), y)
         if relation is Relation.R2:
-            return self._forall_x(cut_C2(y), x)
+            return self._forall_x(cut(y, "C2"), x)
         if relation is Relation.R3P:
-            return self._forall_y(cut_C3(x), y)
+            return self._forall_y(cut(x, "C3"), y)
         if relation is Relation.R2P:
             # ∪⇑X is unanchored at N_X: only the N_Y scan is sound.
             return self._single_test(
-                cut_C2(y), cut_C4(x), x, y, anchored_x=False, anchored_y=True
+                cut(y, "C2"), cut(x, "C4"), x, y, anchored_x=False, anchored_y=True
             )
         if relation is Relation.R3:
             # ∩⇓Y is unanchored at N_Y: only the N_X scan is sound.
             return self._single_test(
-                cut_C1(y), cut_C3(x), x, y, anchored_x=True, anchored_y=False
+                cut(y, "C1"), cut(x, "C3"), x, y, anchored_x=True, anchored_y=False
             )
         if relation in (Relation.R4, Relation.R4P):
             return self._single_test(
-                cut_C2(y), cut_C3(x), x, y, anchored_x=True, anchored_y=True
+                cut(y, "C2"), cut(x, "C3"), x, y, anchored_x=True, anchored_y=True
             )
         raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
 

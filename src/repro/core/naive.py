@@ -14,6 +14,7 @@ from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
+from .context import AnalysisContext
 from .counting import NULL_COUNTER, ComparisonCounter
 from .relations import Relation, RelationSpec, quantifier_eval
 
@@ -26,7 +27,10 @@ class NaiveEvaluator:
     Parameters
     ----------
     execution:
-        The analysed execution.
+        The analysed execution, or an
+        :class:`~repro.core.context.AnalysisContext` (this engine only
+        needs the forward clocks, but accepts the context so all
+        engines are interchangeable strategies over one substrate).
     counter:
         Optional :class:`ComparisonCounter`; each causality check counts
         as one integer comparison (the canonical clock test is a single
@@ -39,11 +43,12 @@ class NaiveEvaluator:
 
     def __init__(
         self,
-        execution: Execution,
+        execution: "Execution | AnalysisContext",
         counter: ComparisonCounter | None = None,
         proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
     ) -> None:
-        self.execution = execution
+        self.context = AnalysisContext.of(execution)
+        self.execution = self.context.execution
         self.counter = counter if counter is not None else NULL_COUNTER
         self.proxy_definition = proxy_definition
 

@@ -44,11 +44,21 @@ class IntervalSetMatrices:
     Rows are aligned with the input order.  Construction is the
     one-time cost (``O(k · |N| · P)`` for the cut folds); every
     :meth:`relation_matrix` call afterwards is pure NumPy.
+
+    With ``cache`` (a :class:`~repro.core.context.CutCache`, e.g. via
+    :meth:`AnalysisContext.matrices
+    <repro.core.context.AnalysisContext.matrices>`), cut and extremal
+    vectors are drawn from — and deposited into — the shared cache, so
+    folds already paid by scalar queries (or an earlier stack) are not
+    repeated.
     """
 
-    __slots__ = ("intervals", "c1", "c2", "c3", "c4", "first", "last")
+    __slots__ = ("intervals", "cache", "c1", "c2", "c3", "c4", "first",
+                 "last", "_memo")
 
-    def __init__(self, intervals: Sequence[NonatomicEvent]) -> None:
+    def __init__(
+        self, intervals: Sequence[NonatomicEvent], cache=None
+    ) -> None:
         if not intervals:
             raise ValueError("need at least one interval")
         ex = intervals[0].execution
@@ -56,6 +66,8 @@ class IntervalSetMatrices:
             if iv.execution is not ex:
                 raise ValueError("intervals belong to different executions")
         self.intervals = tuple(intervals)
+        self.cache = cache
+        self._memo: Dict[tuple, np.ndarray] = {}
         num_nodes = ex.num_nodes
         k = len(intervals)
         self.c1 = np.zeros((k, num_nodes), dtype=np.int64)
@@ -66,6 +78,16 @@ class IntervalSetMatrices:
         self.first = np.zeros((k, num_nodes), dtype=np.int64)
         self.last = np.zeros((k, num_nodes), dtype=np.int64)
         for row, iv in enumerate(self.intervals):
+            if cache is not None:
+                quad = cache.quadruple(iv)
+                self.c1[row] = quad.c1.vector
+                self.c2[row] = quad.c2.vector
+                self.c3[row] = quad.c3.vector
+                self.c4[row] = quad.c4.vector
+                first, last = cache.extremal(iv)
+                self.first[row] = first
+                self.last[row] = last
+                continue
             self.c1[row] = cut_C1(iv).vector
             self.c2[row] = cut_C2(iv).vector
             self.c3[row] = cut_C3(iv).vector
@@ -86,10 +108,19 @@ class IntervalSetMatrices:
         With ``mask_diagonal`` (default) the diagonal is forced False:
         self-pairs violate the disjointness precondition and carry no
         synchronization meaning.
+
+        Results are memoized per (relation, mask): the stacks are
+        immutable after construction, so repeat calls are a dict lookup.
         """
+        key = (relation, mask_diagonal)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         out = _relation_matrix_from(self, self, relation)
         if mask_diagonal:
             np.fill_diagonal(out, False)
+        out.setflags(write=False)
+        self._memo[key] = out
         return out
 
     def spec_matrix(
@@ -98,16 +129,28 @@ class IntervalSetMatrices:
         proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
         mask_diagonal: bool = True,
     ) -> np.ndarray:
-        """All-pairs matrix for a 32-family member (on the proxies)."""
+        """All-pairs matrix for a 32-family member (on the proxies).
+
+        Memoized per (spec, proxy definition, mask) like
+        :meth:`relation_matrix`.
+        """
+        key = (spec, proxy_definition, mask_diagonal)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         left = IntervalSetMatrices(
-            [proxy_of(iv, spec.proxy_x, proxy_definition) for iv in self.intervals]
+            [proxy_of(iv, spec.proxy_x, proxy_definition) for iv in self.intervals],
+            cache=self.cache,
         )
         right = IntervalSetMatrices(
-            [proxy_of(iv, spec.proxy_y, proxy_definition) for iv in self.intervals]
+            [proxy_of(iv, spec.proxy_y, proxy_definition) for iv in self.intervals],
+            cache=self.cache,
         )
         out = _relation_matrix_from(left, right, spec.relation)
         if mask_diagonal:
             np.fill_diagonal(out, False)
+        out.setflags(write=False)
+        self._memo[key] = out
         return out
 
 

@@ -24,6 +24,7 @@ from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
+from .context import AnalysisContext
 from .counting import NULL_COUNTER, ComparisonCounter
 from .relations import Relation, RelationSpec, quantifier_eval
 
@@ -56,18 +57,21 @@ _Y_DOMAIN: Dict[Relation, str] = {
 class PolynomialEvaluator:
     """Per-node-extrema evaluator (``O(|N_X| · |N_Y|)`` per relation).
 
-    Parameters as for :class:`repro.core.naive.NaiveEvaluator`.
+    Parameters as for :class:`repro.core.naive.NaiveEvaluator`
+    (``execution`` may be an
+    :class:`~repro.core.context.AnalysisContext`).
     """
 
     name = "polynomial"
 
     def __init__(
         self,
-        execution: Execution,
+        execution: "Execution | AnalysisContext",
         counter: ComparisonCounter | None = None,
         proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
     ) -> None:
-        self.execution = execution
+        self.context = AnalysisContext.of(execution)
+        self.execution = self.context.execution
         self.counter = counter if counter is not None else NULL_COUNTER
         self.proxy_definition = proxy_definition
 

@@ -10,8 +10,11 @@ Mattern, Def. 13) and reverse clocks (Def. 14).
 from .builder import MessageHandle, TraceBuilder
 from .clocks import (
     CyclicTraceError,
+    clock_pass_counts,
     compute_forward_clocks,
     compute_reverse_clocks,
+    extend_forward_clocks,
+    reset_clock_pass_counts,
 )
 from .event import Event, EventId, EventKind
 from .lamport import compute_lamport_clocks, lamport_order_violations
@@ -40,6 +43,9 @@ __all__ = [
     "Ordering",
     "compute_forward_clocks",
     "compute_reverse_clocks",
+    "extend_forward_clocks",
+    "clock_pass_counts",
+    "reset_clock_pass_counts",
     "compute_lamport_clocks",
     "lamport_order_violations",
     "trace_to_dict",

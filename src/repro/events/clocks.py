@@ -34,7 +34,27 @@ __all__ = [
     "CyclicTraceError",
     "compute_forward_clocks",
     "compute_reverse_clocks",
+    "extend_forward_clocks",
+    "clock_pass_counts",
+    "reset_clock_pass_counts",
 ]
+
+#: Number of full/incremental clock passes executed since the last reset,
+#: keyed by pass kind.  Purely diagnostic: regression tests use it to
+#: assert that lazy code paths (e.g. the online monitor's ingestion) never
+#: trigger a pass they should not pay for.
+_PASS_COUNTS: Dict[str, int] = {"forward": 0, "reverse": 0, "extend": 0}
+
+
+def clock_pass_counts() -> Dict[str, int]:
+    """A snapshot of the pass counters (``forward``/``reverse``/``extend``)."""
+    return dict(_PASS_COUNTS)
+
+
+def reset_clock_pass_counts() -> None:
+    """Zero the pass counters (test isolation helper)."""
+    for key in _PASS_COUNTS:
+        _PASS_COUNTS[key] = 0
 
 
 class CyclicTraceError(TraceError):
@@ -49,6 +69,7 @@ class CyclicTraceError(TraceError):
 def _run_clock_pass(
     lengths: Sequence[int],
     cross_deps: Mapping[EventId, Tuple[EventId, ...]],
+    prior: Sequence[np.ndarray] | None = None,
 ) -> List[np.ndarray]:
     """Generic forward vector-clock pass.
 
@@ -60,6 +81,11 @@ def _run_clock_pass(
     cross_deps:
         Maps an event id to the cross-node events it directly depends on
         (its message predecessors).  Local predecessors are implicit.
+    prior:
+        Optional per-node matrices of already-computed timestamp rows
+        (an append-only prefix of the new computation).  Their rows are
+        copied in verbatim and only events beyond them are processed —
+        the incremental path used by :func:`extend_forward_clocks`.
 
     Returns
     -------
@@ -75,11 +101,16 @@ def _run_clock_pass(
     num_nodes = len(lengths)
     clocks = [np.zeros((k, num_nodes), dtype=np.int64) for k in lengths]
     done = [0] * num_nodes  # events completed per node
+    if prior is not None:
+        for i, mat in enumerate(prior):
+            k = mat.shape[0]
+            clocks[i][:k] = mat
+            done[i] = k
     # waiters[(m, d)] = nodes whose next event is blocked until node m
     # has completed d events.
     waiters: Dict[EventId, List[int]] = {}
     stack = list(range(num_nodes))
-    processed = 0
+    processed = sum(done)
     total = sum(lengths)
 
     while stack:
@@ -142,8 +173,35 @@ def compute_forward_clocks(trace: Trace) -> List[np.ndarray]:
     CyclicTraceError
         If the trace's happened-before relation is cyclic.
     """
+    _PASS_COUNTS["forward"] += 1
     lengths = [trace.num_real(i) for i in range(trace.num_nodes)]
     return _run_clock_pass(lengths, _forward_cross_deps(trace))
+
+
+def extend_forward_clocks(
+    trace: Trace, prior: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    """Advance forward timestamps to cover an append-only trace extension.
+
+    ``prior`` holds the per-node timestamp matrices of a prefix of
+    ``trace`` (as returned by :func:`compute_forward_clocks`); rows for
+    the appended suffix events are computed without re-folding any
+    prefix event, so the cost is proportional to the *new* events only
+    (plus one C-level copy of the prefix rows into the larger matrices).
+
+    The caller is responsible for the append-only precondition: per-node
+    event sequences of the prefix trace must be prefixes of ``trace``'s,
+    and no new message may target a prefix event (both are validated by
+    :meth:`repro.events.poset.Execution.extend`).
+
+    Raises
+    ------
+    CyclicTraceError
+        If the extension's happened-before relation is cyclic.
+    """
+    _PASS_COUNTS["extend"] += 1
+    lengths = [trace.num_real(i) for i in range(trace.num_nodes)]
+    return _run_clock_pass(lengths, _forward_cross_deps(trace), prior=prior)
 
 
 def compute_reverse_clocks(trace: Trace) -> List[np.ndarray]:
@@ -158,6 +216,7 @@ def compute_reverse_clocks(trace: Trace) -> List[np.ndarray]:
     Returns one read-only ``(k_i, P)`` matrix per node whose row
     ``j - 1`` is ``T^R((i, j))``.
     """
+    _PASS_COUNTS["reverse"] += 1
     num_nodes = trace.num_nodes
     lengths = [trace.num_real(i) for i in range(num_nodes)]
 

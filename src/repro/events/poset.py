@@ -15,13 +15,17 @@ the precedence methods.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .clocks import compute_forward_clocks, compute_reverse_clocks
+from .clocks import (
+    compute_forward_clocks,
+    compute_reverse_clocks,
+    extend_forward_clocks,
+)
 from .event import Event, EventId, EventKind
-from .trace import Trace
+from .trace import Trace, TraceError
 
 __all__ = ["Execution", "Ordering"]
 
@@ -45,23 +49,67 @@ class Execution:
         acyclic; otherwise :class:`~repro.events.clocks.CyclicTraceError`
         is raised.
 
+    forward_clocks:
+        Optional precomputed forward timestamp matrices (one read-only
+        ``(k_i, P)`` int64 matrix per node, as produced by
+        :func:`~repro.events.clocks.compute_forward_clocks`).  Callers
+        that already maintain the forward structure — e.g. the online
+        monitor's streaming ingestion — pass it here to skip the
+        forward pass entirely.
+
     Notes
     -----
-    Building an execution performs the one-time timestamping pass the
-    paper assumes: forward clocks (Def. 13) and reverse clocks (Def. 14)
-    for every real event, each an ``O(|E|·|P|)`` computation.  All query
-    methods afterwards are ``O(1)`` or ``O(|P|)``.
+    Building an execution performs the *forward* timestamping pass the
+    paper assumes (Def. 13), an ``O(|E|·|P|)`` computation.  The reverse
+    structure (Def. 14) is established lazily on first access to
+    :meth:`rclock` / :meth:`rclock_matrix` / :meth:`causal_future_ids`,
+    so past-only workloads (online monitoring, R1/R2-style queries)
+    never pay for it.  All query methods are ``O(1)`` or ``O(|P|)``
+    once the structures exist.
     """
 
-    __slots__ = ("_trace", "_fwd", "_rev", "_lengths")
+    __slots__ = ("_trace", "_fwd", "_rev", "_lengths", "_version", "__weakref__")
 
-    def __init__(self, trace: Trace) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        forward_clocks: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
         self._trace = trace
-        self._fwd = compute_forward_clocks(trace)
-        self._rev = compute_reverse_clocks(trace)
+        if forward_clocks is None:
+            self._fwd = compute_forward_clocks(trace)
+        else:
+            self._fwd = self._adopt_forward(trace, forward_clocks)
+        self._rev: Optional[List[np.ndarray]] = None
         self._lengths: Tuple[int, ...] = tuple(
             trace.num_real(i) for i in range(trace.num_nodes)
         )
+        self._version = 0
+
+    @staticmethod
+    def _adopt_forward(
+        trace: Trace, forward_clocks: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Validate and freeze caller-supplied forward clock matrices."""
+        num_nodes = trace.num_nodes
+        if len(forward_clocks) != num_nodes:
+            raise ValueError(
+                f"forward_clocks must have one matrix per node "
+                f"({num_nodes}), got {len(forward_clocks)}"
+            )
+        out: List[np.ndarray] = []
+        for i, mat in enumerate(forward_clocks):
+            arr = np.ascontiguousarray(mat, dtype=np.int64)
+            if arr.shape != (trace.num_real(i), num_nodes):
+                raise ValueError(
+                    f"forward_clocks[{i}] must have shape "
+                    f"{(trace.num_real(i), num_nodes)}, got {arr.shape}"
+                )
+            if arr is mat:
+                arr = arr.copy()
+            arr.setflags(write=False)
+            out.append(arr)
+        return out
 
     # ------------------------------------------------------------------
     # structure accessors
@@ -70,6 +118,26 @@ class Execution:
     def trace(self) -> Trace:
         """The underlying recorded trace."""
         return self._trace
+
+    @property
+    def version(self) -> int:
+        """Monotonic growth counter, bumped by every :meth:`extend`.
+
+        Derived caches (cut quadruples, extremal vectors — see
+        :class:`repro.core.context.CutCache`) key their validity on this
+        value: a version change means future-side structures computed
+        against the shorter trace are stale.
+        """
+        return self._version
+
+    @property
+    def reverse_ready(self) -> bool:
+        """True once the reverse timestamp structure has been built.
+
+        Diagnostic for the laziness contract: past-only consumers can
+        assert they never forced the reverse pass.
+        """
+        return self._rev is not None
 
     @property
     def num_nodes(self) -> int:
@@ -134,18 +202,31 @@ class Execution:
         node, idx = eid
         return self._fwd[node][idx - 1]
 
+    def _reverse(self) -> List[np.ndarray]:
+        """The reverse matrices, computing them on first use (lazy)."""
+        rev = self._rev
+        if rev is None:
+            rev = self._rev = compute_reverse_clocks(self._trace)
+        return rev
+
     def rclock(self, eid: EventId) -> np.ndarray:
-        """Reverse vector timestamp ``T^R(eid)`` (read-only view)."""
+        """Reverse vector timestamp ``T^R(eid)`` (read-only view).
+
+        First access triggers the one-time reverse clock pass.
+        """
         node, idx = eid
-        return self._rev[node][idx - 1]
+        return self._reverse()[node][idx - 1]
 
     def clock_matrix(self, node: int) -> np.ndarray:
         """All forward timestamps of ``node`` as a ``(k_i, P)`` matrix."""
         return self._fwd[node]
 
     def rclock_matrix(self, node: int) -> np.ndarray:
-        """All reverse timestamps of ``node`` as a ``(k_i, P)`` matrix."""
-        return self._rev[node]
+        """All reverse timestamps of ``node`` as a ``(k_i, P)`` matrix.
+
+        First access triggers the one-time reverse clock pass.
+        """
+        return self._reverse()[node]
 
     # ------------------------------------------------------------------
     # causality
@@ -219,6 +300,72 @@ class Execution:
             k = self._lengths[i]
             out.update((i, j) for j in range(k - int(rclock[i]) + 1, k + 1))
         return out
+
+    # ------------------------------------------------------------------
+    # append-only growth
+    # ------------------------------------------------------------------
+    def extend(self, trace: Trace) -> "Execution":
+        """Grow this execution in place to an append-only extension.
+
+        ``trace`` must extend the current trace: same node count, every
+        node's current event sequence a prefix of its new one, the
+        current messages a subset of the new ones, and every *new*
+        message received by a *new* event (so no existing timestamp can
+        change).  Forward clocks are advanced incrementally — only the
+        appended events are processed (see
+        :func:`~repro.events.clocks.extend_forward_clocks`); the reverse
+        structure is discarded and will be rebuilt lazily if queried,
+        since every reverse timestamp can change when the future grows.
+
+        Bumps :attr:`version` so shared caches invalidate; returns
+        ``self`` for chaining.
+
+        Raises
+        ------
+        TraceError
+            If ``trace`` is not an append-only extension.
+        CyclicTraceError
+            If the extension introduces a causal cycle.
+        """
+        old = self._trace
+        if trace.num_nodes != old.num_nodes:
+            raise TraceError(
+                f"extension changes node count: {old.num_nodes} -> "
+                f"{trace.num_nodes}"
+            )
+        for i in range(old.num_nodes):
+            k_old = old.num_real(i)
+            if trace.num_real(i) < k_old or (
+                trace.events_of(i)[:k_old] != old.events_of(i)
+            ):
+                raise TraceError(
+                    f"node {i}: existing events are not a prefix of the "
+                    "extension"
+                )
+        old_messages = set(old.messages)
+        for msg in trace.messages:
+            if msg in old_messages:
+                old_messages.discard(msg)
+                continue
+            node, idx = msg.recv
+            if idx <= old.num_real(node):
+                raise TraceError(
+                    f"new message {msg} targets existing event {msg.recv}; "
+                    "extensions may only deliver to appended events"
+                )
+        if old_messages:
+            raise TraceError(
+                f"extension drops existing message(s): "
+                f"{sorted(old_messages, key=str)[:3]}"
+            )
+        self._fwd = extend_forward_clocks(trace, self._fwd)
+        self._trace = trace
+        self._lengths = tuple(
+            trace.num_real(i) for i in range(trace.num_nodes)
+        )
+        self._rev = None
+        self._version += 1
+        return self
 
     # ------------------------------------------------------------------
     # interop

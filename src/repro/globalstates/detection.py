@@ -26,12 +26,15 @@ Local predicates are evaluated on *local states*: predicate
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..events.poset import Execution
 from .lattice import GlobalStateLattice, StateVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.context import AnalysisContext
 
 __all__ = [
     "LocalPredicate",
@@ -48,8 +51,19 @@ LocalPredicate = Callable[[int, int], bool]
 GlobalPredicate = Callable[[StateVector], bool]
 
 
+def _as_execution(execution: "Execution | AnalysisContext") -> Execution:
+    """Accept either a bare :class:`Execution` or an
+    :class:`~repro.core.context.AnalysisContext` (detection only needs
+    the forward-clock substrate, shared with the relation engines)."""
+    from ..core.context import AnalysisContext
+
+    if isinstance(execution, AnalysisContext):
+        return execution.execution
+    return execution
+
+
 def possibly(
-    execution: Execution,
+    execution: "Execution | AnalysisContext",
     predicate: GlobalPredicate,
     limit: int = 200_000,
 ) -> Optional[StateVector]:
@@ -59,7 +73,7 @@ def possibly(
     Level-order sweep of the lattice; ``limit`` bounds the number of
     visited states (:class:`RuntimeError` beyond it).
     """
-    lattice = GlobalStateLattice(execution, limit=limit)
+    lattice = GlobalStateLattice(_as_execution(execution), limit=limit)
     for level in lattice.levels():
         for state in level:
             if predicate(state):
@@ -68,7 +82,7 @@ def possibly(
 
 
 def definitely(
-    execution: Execution,
+    execution: "Execution | AnalysisContext",
     predicate: GlobalPredicate,
     limit: int = 200_000,
 ) -> bool:
@@ -79,7 +93,7 @@ def definitely(
     *without* satisfying φ; if that frontier dies out before the final
     state, φ was unavoidable.
     """
-    lattice = GlobalStateLattice(execution, limit=limit)
+    lattice = GlobalStateLattice(_as_execution(execution), limit=limit)
     frontier: List[StateVector] = (
         [] if predicate(lattice.bottom) else [lattice.bottom]
     )
@@ -105,7 +119,7 @@ def definitely(
 
 
 def possibly_conjunctive(
-    execution: Execution,
+    execution: "Execution | AnalysisContext",
     locals_: Dict[int, LocalPredicate],
     limit: Optional[int] = None,
 ) -> Optional[StateVector]:
@@ -125,7 +139,7 @@ def possibly_conjunctive(
     The returned state is verified consistent; the suite cross-checks
     against the lattice sweep on every generated instance.
     """
-    ex = execution
+    ex = _as_execution(execution)
     lengths = ex.lengths
     nodes = sorted(locals_)
     if not nodes:

@@ -306,5 +306,33 @@ class OnlineMonitor:
     # finalisation
     # ------------------------------------------------------------------
     def to_execution(self) -> Execution:
-        """Finalise the observed trace into an offline execution."""
-        return self._builder.execute()
+        """Finalise the observed trace into an offline execution.
+
+        The monitor already maintains every forward vector timestamp
+        (they are what the past-only conditions consume), so the
+        execution is seeded with them instead of re-running the forward
+        pass — and the reverse structure stays unbuilt until a
+        future-cut consumer actually asks for it.  Ingestion plus
+        finalisation therefore performs **zero** offline clock passes
+        (regression-tested via
+        :func:`repro.events.clocks.clock_pass_counts`).
+        """
+        trace = self._builder.build()
+        forward = [
+            np.stack(rows)
+            if rows
+            else np.zeros((0, self.num_nodes), dtype=np.int64)
+            for rows in self._clocks
+        ]
+        return Execution(trace, forward_clocks=forward)
+
+    def to_context(self):
+        """Finalise into a shared :class:`~repro.core.context.AnalysisContext`.
+
+        The offline hand-off point: the returned context owns the
+        finalised execution (with the monitor's forward clocks adopted)
+        and the cut cache every offline engine will share.
+        """
+        from ..core.context import AnalysisContext
+
+        return AnalysisContext.of(self.to_execution())
