@@ -7,20 +7,17 @@ shape: same answers, with the matrix path ahead by 1–2 orders of
 magnitude once k² dominates Python call overhead.
 """
 
-import numpy as np
-import pytest
-
 from repro.apps.mutex import MutualExclusionChecker, token_mutex_trace
 from repro.core.linear import LinearEvaluator
 from repro.core.pairwise import IntervalSetMatrices
 from repro.core.relations import Relation
-from repro.nonatomic.selection import random_interval
 from repro.simulation.workloads import random_execution
+
+from .common import random_intervals
 
 K = 40
 EX = random_execution(8, events_per_node=30, msg_prob=0.3, seed=33)
-_RNG = np.random.default_rng(14)
-INTERVALS = [random_interval(EX, _RNG, events_per_node=2) for _ in range(K)]
+INTERVALS = random_intervals(EX, K, events_per_node=2, seed=14)
 
 
 def test_scalar_loop(benchmark):

@@ -1,0 +1,93 @@
+"""Parallel batch executor vs the serial planner on large query sets.
+
+Not a paper experiment — the scaling extension for "millions of users"
+workloads: :class:`~repro.core.parallel.ParallelBatchExecutor` shards a
+``batch_holds`` query set across worker processes that map the columnar
+clock matrices zero-copy from shared memory.  Expected shape: identical
+verdicts always; wall-clock ahead of the serial planner once the batch
+is large enough to amortize pool dispatch, approaching the worker count
+on unloaded multi-core hosts.
+
+The >= 3x speedup assertion is gated on ``os.cpu_count() >= 4``: a
+process pool cannot beat the serial planner without cores to run on,
+and this harness must stay honest on constrained CI boxes.  The
+measured numbers are always recorded in ``extra_info`` (and surfaced by
+``scripts/bench_report.py``) either way.
+"""
+
+import os
+
+import pytest
+
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.core.parallel import ParallelBatchExecutor
+from repro.core.relations import parse_spec
+from repro.events.poset import Execution
+from repro.simulation.workloads import random_trace
+
+from .common import best_of, disjoint_intervals
+
+JOBS = 4
+EX = Execution(random_trace(16, events_per_node=64, msg_prob=0.3, seed=11))
+INTERVALS = disjoint_intervals(EX, 128)
+SPEC = parse_spec("R1(U,L)")
+#: all ordered pairs of 128 disjoint intervals: 16256 queries (>= 10k)
+QUERIES = [(SPEC, x, y) for x in INTERVALS for y in INTERVALS if x is not y]
+
+
+@pytest.fixture(scope="module")
+def executor():
+    ex = ParallelBatchExecutor(EX, jobs=JOBS, min_parallel=1)
+    yield ex
+    ex.close()
+
+
+def test_parallel_matches_serial_planner(executor, benchmark):
+    """Verdict equality on the full 16k-query batch, plus the speedup
+    measurement (asserted only when the host has >= 4 cores)."""
+    an = SynchronizationAnalyzer(EX, check_disjoint=False)
+    an.batch_holds(QUERIES)  # warm the serial planner's caches
+    executor.execute(QUERIES[:64])  # spin up pool + shared memory
+
+    serial_t, serial = best_of(lambda: an.batch_holds(QUERIES), reps=3)
+    parallel_t, parallel = best_of(lambda: executor.execute(QUERIES), reps=3)
+
+    assert parallel == serial  # identical verdicts, always
+
+    speedup = serial_t / parallel_t
+    cores = os.cpu_count() or 1
+    print(
+        f"\nparallel batch: {len(QUERIES)} queries, jobs={JOBS} on "
+        f"{cores} cores -> serial {serial_t * 1e3:.1f} ms, parallel "
+        f"{parallel_t * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    benchmark.extra_info["num_queries"] = len(QUERIES)
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["serial_ms"] = serial_t * 1e3
+    benchmark.extra_info["parallel_ms"] = parallel_t * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    if cores >= JOBS:
+        assert speedup >= 3.0, (
+            f"parallel executor only {speedup:.2f}x on {cores} cores"
+        )
+    benchmark(lambda: executor.execute(QUERIES))
+
+
+def test_serial_fallback_below_threshold(benchmark):
+    """Batches under ``min_parallel`` never pay pool/publication cost."""
+    ex = ParallelBatchExecutor(EX, jobs=JOBS, min_parallel=10**6)
+    try:
+        verdicts = ex.execute(QUERIES[:512])
+        assert ex._resources["pool"] is None  # nothing was spun up
+        an = SynchronizationAnalyzer(EX, check_disjoint=False)
+        assert verdicts == an.batch_holds(QUERIES[:512])
+        benchmark(lambda: ex.execute(QUERIES[:512]))
+    finally:
+        ex.close()
+
+
+def test_worker_shard_kernel(executor, benchmark):
+    """Steady-state per-dispatch cost with pool and caches warm."""
+    executor.execute(QUERIES[:2048])
+    benchmark(lambda: executor.execute(QUERIES[:2048]))

@@ -21,29 +21,19 @@ import numpy as np
 import pytest
 
 from repro.core.context import AnalysisContext, CutCache
-from repro.core.cuts import cuts_of
+from repro.core.cuts import cut_stats, cuts_of
 from repro.core.evaluator import SynchronizationAnalyzer
 from repro.core.linear import LinearEvaluator
 from repro.core.relations import BASE_RELATIONS, parse_spec
 from repro.events.poset import Execution
-from repro.nonatomic.event import NonatomicEvent
 from repro.simulation.workloads import random_trace
 
+from .common import best_of, disjoint_intervals
 from .conftest import fresh_intervals, make_pairs
 
 TRACE = random_trace(16, events_per_node=12, msg_prob=0.3, seed=21)
 EX = Execution(TRACE)
 PAIRS = make_pairs(EX, 30)
-
-
-def _disjoint_intervals(ex: Execution, k: int):
-    """Partition the execution's events into ``k`` disjoint intervals."""
-    ids = sorted(ex.iter_ids())
-    chunks = np.array_split(np.arange(len(ids)), k)
-    return [
-        NonatomicEvent(ex, [ids[i] for i in chunk], name=f"I{n}")
-        for n, chunk in enumerate(chunks)
-    ]
 
 
 def test_clock_setup(benchmark):
@@ -151,7 +141,7 @@ def test_batch_holds_vs_scalar_loop(benchmark):
     query-time cost (one NumPy broadcast vs ~1k engine calls).  The
     acceptance bar is a >= 5x win for the batch path.
     """
-    intervals = _disjoint_intervals(EX, 32)
+    intervals = disjoint_intervals(EX, 32)
     spec = parse_spec("R1(U,L)")
     queries = [
         (spec, x, y) for x in intervals for y in intervals if x is not y
@@ -161,14 +151,6 @@ def test_batch_holds_vs_scalar_loop(benchmark):
     an = SynchronizationAnalyzer(AnalysisContext(EX), check_disjoint=False)
 
     an.batch_holds(queries)  # warm the cut cache for both paths
-
-    def best_of(fn, reps=5):
-        best, result = float("inf"), None
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - t0)
-        return best, result
 
     batch_t, batched = best_of(lambda: an.batch_holds(queries))
     scalar_t, scalar = best_of(
@@ -190,3 +172,47 @@ def test_batch_holds_vs_scalar_loop(benchmark):
         f"batch_holds only {speedup:.1f}x faster than the scalar loop"
     )
     benchmark(lambda: an.batch_holds(queries))
+
+
+def test_columnar_cut_fill_vs_folds(benchmark):
+    """Columnar batch cut fill vs per-interval folds, k = 256 intervals.
+
+    Both paths run over warm clock tables and time only the cut
+    construction (interval objects are built outside the timed region;
+    the fold path gets fresh clones per repetition so the per-instance
+    cut cache cannot serve it).  The acceptance bar is a >= 5x win for
+    the one-pass columnar fill (:func:`repro.core.cuts.cut_stats`).
+    """
+    k = 256
+    ex = Execution(random_trace(16, events_per_node=64, msg_prob=0.3, seed=9))
+    base = disjoint_intervals(ex, k)
+    ex.forward_table, ex.reverse_table  # warm the clocks for both paths
+
+    reps = 5
+    fold_sets = [[fresh_intervals(iv) for iv in base] for _ in range(reps)]
+    fold_t = float("inf")
+    for ivs in fold_sets:
+        t0 = time.perf_counter()
+        quads = [cuts_of(iv) for iv in ivs]
+        fold_t = min(fold_t, time.perf_counter() - t0)
+    batch_t, stats = best_of(lambda: cut_stats(ex, base), reps=reps)
+
+    # cross-check a sample of rows against the fold path
+    for i in range(0, k, 37):
+        assert np.array_equal(stats.c1[i], quads[i].c1.vector)
+        assert np.array_equal(stats.c4[i], quads[i].c4.vector)
+
+    speedup = fold_t / batch_t
+    print(
+        f"\ncolumnar cut fill: {k} intervals -> per-interval folds "
+        f"{fold_t * 1e3:.1f} ms, columnar {batch_t * 1e3:.2f} ms "
+        f"({speedup:.1f}x)"
+    )
+    benchmark.extra_info["num_intervals"] = k
+    benchmark.extra_info["fold_ms"] = fold_t * 1e3
+    benchmark.extra_info["columnar_ms"] = batch_t * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 5.0, (
+        f"columnar cut fill only {speedup:.1f}x faster than folds"
+    )
+    benchmark(lambda: cut_stats(ex, base))

@@ -7,7 +7,6 @@ only on ``|N_X| · |P|`` — not on ``|X|`` — which is the paper's point
 about proxies condensing causal information.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.cuts import (
@@ -16,19 +15,15 @@ from repro.core.cuts import (
     cuts_of,
     reference_past_set,
 )
-from repro.nonatomic.event import NonatomicEvent
 from repro.simulation.workloads import random_execution
+
+from .common import spanning_interval
 
 EX = random_execution(8, events_per_node=40, msg_prob=0.3, seed=5)
 
 
-def _interval(events_per_node: int) -> NonatomicEvent:
-    rng = np.random.default_rng(events_per_node)
-    ids = []
-    for node in range(EX.num_nodes):
-        picks = rng.choice(EX.num_real(node), size=events_per_node, replace=False)
-        ids.extend((node, int(j) + 1) for j in picks)
-    return NonatomicEvent(EX, ids)
+def _interval(events_per_node: int):
+    return spanning_interval(EX, events_per_node)
 
 
 @pytest.mark.parametrize("population", [1, 5, 20], ids=lambda p: f"|X_i|={p}")

@@ -1,0 +1,75 @@
+"""Shared interval/workload construction and timing helpers.
+
+The benchmark modules (and ``scripts/bench_report.py``) used to carry
+private copies of the same three idioms — partitioning an execution
+into disjoint intervals, sampling random interval sets, and best-of-N
+wall-clock timing.  They live here once; ``conftest.py`` keeps the
+pytest fixtures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.events.poset import Execution
+from repro.nonatomic.event import NonatomicEvent
+from repro.nonatomic.selection import random_interval
+
+__all__ = [
+    "disjoint_intervals",
+    "random_intervals",
+    "spanning_interval",
+    "best_of",
+]
+
+
+def disjoint_intervals(ex: Execution, k: int) -> List[NonatomicEvent]:
+    """Partition the execution's events into ``k`` disjoint intervals.
+
+    Every ordered pair from the result satisfies the evaluation
+    precondition (X ∩ Y = ∅), so all-pairs query batches need no
+    per-query disjointness checks.
+    """
+    ids = sorted(ex.iter_ids())
+    chunks = np.array_split(np.arange(len(ids)), k)
+    return [
+        NonatomicEvent(ex, [ids[i] for i in chunk], name=f"I{n}")
+        for n, chunk in enumerate(chunks)
+    ]
+
+
+def random_intervals(
+    ex: Execution, count: int, events_per_node: int = 2, seed: int = 14
+) -> List[NonatomicEvent]:
+    """``count`` independently sampled random intervals over ``ex``."""
+    rng = np.random.default_rng(seed)
+    return [
+        random_interval(ex, rng, events_per_node=events_per_node)
+        for _ in range(count)
+    ]
+
+
+def spanning_interval(
+    ex: Execution, events_per_node: int, seed: int | None = None
+) -> NonatomicEvent:
+    """One interval with ``events_per_node`` random events on *every*
+    node (``N_X = P``), for cut-construction population sweeps."""
+    rng = np.random.default_rng(events_per_node if seed is None else seed)
+    ids = []
+    for node in range(ex.num_nodes):
+        picks = rng.choice(ex.num_real(node), size=events_per_node, replace=False)
+        ids.extend((node, int(j) + 1) for j in picks)
+    return NonatomicEvent(ex, ids)
+
+
+def best_of(fn: Callable, reps: int = 5) -> Tuple[float, object]:
+    """``(best wall-clock seconds, last result)`` over ``reps`` runs."""
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result

@@ -1,0 +1,169 @@
+"""Machine-readable performance report for the columnar/parallel substrate.
+
+Measures the PR-2 headline numbers on the current host and writes them
+as JSON (default ``BENCH_PR2.json``):
+
+* clock substrate construction throughput (events/sec) for the
+  forward + reverse columnar tables;
+* the columnar batch cut fill vs per-interval folds (speedup at
+  k = 256 intervals, interval construction excluded from both sides);
+* serial planner vs :class:`~repro.core.parallel.ParallelBatchExecutor`
+  queries/sec and speedup on a >= 10k-query batch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR2.json]
+        [--jobs 4] [--quick]
+
+``--quick`` shrinks every workload (CI smoke sizes).  Speedups are
+reported as measured — on single-core hosts the parallel figure will be
+below 1x and that is the honest number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.core.cuts import cut_stats, cuts_of  # noqa: E402
+from repro.core.evaluator import SynchronizationAnalyzer  # noqa: E402
+from repro.core.parallel import ParallelBatchExecutor  # noqa: E402
+from repro.core.relations import parse_spec  # noqa: E402
+from repro.events.poset import Execution  # noqa: E402
+from repro.nonatomic.event import NonatomicEvent  # noqa: E402
+from repro.simulation.workloads import random_trace  # noqa: E402
+
+from benchmarks.common import best_of, disjoint_intervals  # noqa: E402
+
+
+def bench_clock_build(nodes: int, events: int, reps: int) -> dict:
+    trace = random_trace(nodes, events_per_node=events, msg_prob=0.3, seed=21)
+    total = trace.total_events
+
+    def build():
+        ex = Execution(trace)
+        ex.forward_table, ex.reverse_table
+        return ex
+
+    t, _ = best_of(build, reps=reps)
+    return {
+        "nodes": nodes,
+        "events": total,
+        "build_ms": t * 1e3,
+        "events_per_sec": total / t,
+    }
+
+
+def bench_cut_fill(nodes: int, events: int, k: int, reps: int) -> dict:
+    ex = Execution(random_trace(nodes, events_per_node=events, seed=9))
+    base = disjoint_intervals(ex, k)
+    ex.forward_table, ex.reverse_table  # warm clocks for both paths
+
+    fold_sets = [
+        [NonatomicEvent(ex, iv.ids) for iv in base] for _ in range(reps)
+    ]
+    fold_t = float("inf")
+    for ivs in fold_sets:
+        t0 = time.perf_counter()
+        for iv in ivs:
+            cuts_of(iv)
+        fold_t = min(fold_t, time.perf_counter() - t0)
+    columnar_t, _ = best_of(lambda: cut_stats(ex, base), reps=reps)
+    return {
+        "intervals": k,
+        "fold_ms": fold_t * 1e3,
+        "columnar_ms": columnar_t * 1e3,
+        "speedup": fold_t / columnar_t,
+    }
+
+
+def bench_parallel(
+    nodes: int, events: int, k: int, jobs: int, reps: int
+) -> dict:
+    ex = Execution(random_trace(nodes, events_per_node=events, seed=11))
+    intervals = disjoint_intervals(ex, k)
+    spec = parse_spec("R1(U,L)")
+    queries = [
+        (spec, x, y) for x in intervals for y in intervals if x is not y
+    ]
+    an = SynchronizationAnalyzer(ex, check_disjoint=False)
+    an.batch_holds(queries)  # warm the serial planner's caches
+
+    serial_t, serial = best_of(lambda: an.batch_holds(queries), reps=reps)
+    with ParallelBatchExecutor(ex, jobs=jobs, min_parallel=1) as px:
+        px.execute(queries[:64])  # pool + shared-memory startup
+        parallel_t, parallel = best_of(lambda: px.execute(queries), reps=reps)
+    assert parallel == serial, "parallel executor disagrees with planner"
+    n = len(queries)
+    return {
+        "queries": n,
+        "jobs": jobs,
+        "cores": os.cpu_count() or 1,
+        "serial_ms": serial_t * 1e3,
+        "parallel_ms": parallel_t * 1e3,
+        "serial_queries_per_sec": n / serial_t,
+        "parallel_queries_per_sec": n / parallel_t,
+        "speedup": serial_t / parallel_t,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_PR2.json")
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="worker processes for the parallel benchmark")
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced workload sizes (CI smoke)")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        sizes = dict(nodes=8, events=16, fill_k=32, par_k=32, reps=2)
+    else:
+        sizes = dict(nodes=16, events=64, fill_k=256, par_k=128, reps=5)
+
+    report = {
+        "host": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count() or 1,
+            "machine": platform.machine(),
+        },
+        "quick": args.quick,
+        "clock_build": bench_clock_build(
+            sizes["nodes"], sizes["events"], sizes["reps"]
+        ),
+        "cut_fill": bench_cut_fill(
+            sizes["nodes"], sizes["events"], sizes["fill_k"], sizes["reps"]
+        ),
+        "parallel_batch": bench_parallel(
+            sizes["nodes"], sizes["events"], sizes["par_k"],
+            args.jobs, sizes["reps"],
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    cb, cf, pb = (
+        report["clock_build"], report["cut_fill"], report["parallel_batch"]
+    )
+    print(f"wrote {args.out}")
+    print(f"  clock build:    {cb['events_per_sec']:,.0f} events/sec "
+          f"({cb['events']} events in {cb['build_ms']:.2f} ms)")
+    print(f"  cut fill:       {cf['speedup']:.1f}x columnar vs folds "
+          f"({cf['intervals']} intervals)")
+    print(f"  parallel batch: {pb['speedup']:.2f}x vs serial planner "
+          f"({pb['queries']} queries, jobs={pb['jobs']}, "
+          f"{pb['cores']} cores; "
+          f"{pb['parallel_queries_per_sec']:,.0f} queries/sec)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

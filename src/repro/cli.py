@@ -92,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "default: report all 32 + strongest")
     p_rel.add_argument("--engine", default="linear",
                        choices=["naive", "polynomial", "linear"])
+    p_rel.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for batched queries "
+                            "(default 1: serial; batches below the "
+                            "parallel threshold stay serial regardless)")
 
     p_check = sub.add_parser("check", help="check a condition over a trace")
     p_check.add_argument("trace")
@@ -102,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bind a condition name to an event label")
     p_check.add_argument("--engine", default="linear",
                          choices=["naive", "polynomial", "linear"])
+    p_check.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for batched queries "
+                              "(default 1: serial)")
 
     sub.add_parser("figures", help="print the paper's figures")
     return parser
@@ -144,7 +151,7 @@ def _cmd_render(args) -> int:
 def _cmd_relations(args) -> int:
     ctx = _load_context(args.trace)
     ex = ctx.execution
-    an = SynchronizationAnalyzer(ctx, engine=args.engine)
+    an = SynchronizationAnalyzer(ctx, engine=args.engine, jobs=args.jobs)
     x = by_label(ex, args.x)
     y = by_label(ex, args.y)
     print(f"X = {args.x!r}: {len(x)} events on nodes {list(x.node_set)}")
@@ -171,8 +178,11 @@ def _cmd_check(args) -> int:
                   file=sys.stderr)
             return 2
         bindings[name] = by_label(ex, label, name=name)
-    checker = ConditionChecker(SynchronizationAnalyzer(ctx, engine=args.engine))
-    report = checker.check(args.spec, bindings)
+    an = SynchronizationAnalyzer(ctx, engine=args.engine, jobs=args.jobs)
+    try:
+        report = ConditionChecker(an).check(args.spec, bindings)
+    finally:
+        an.close()
     print(report)
     return 0 if report.passed else 1
 

@@ -37,7 +37,16 @@ import numpy as np
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
-from .cuts import Cut, CutQuadruple, cut_C1, cut_C2, cut_C3, cut_C4
+from .cuts import (
+    Cut,
+    CutQuadruple,
+    CutStats,
+    cut_C1,
+    cut_C2,
+    cut_C3,
+    cut_C4,
+    cut_stats,
+)
 
 __all__ = ["AnalysisContext", "CutCache"]
 
@@ -156,6 +165,83 @@ class CutCache:
         last.setflags(write=False)
         self._extremal[key] = (first, last)
         return first, last
+
+    # ------------------------------------------------------------------
+    # columnar batch fill
+    # ------------------------------------------------------------------
+    def stats(self, intervals: Sequence[NonatomicEvent]) -> CutStats:
+        """Stacked cut/extremal matrices for ``intervals``, rows aligned
+        with the input order.
+
+        Rows already memoized (all four cuts plus the extremal pair)
+        are copied out of the cache; every *missing* interval is filled
+        by one vectorized columnar pass (:func:`~repro.core.cuts.cut_stats`
+        — gathers and segmented reductions over the ``(|E|, |P|)``
+        clock matrices, no per-interval fold loop) and deposited, so
+        later scalar queries hit.  This is the construction path of
+        :class:`~repro.core.pairwise.IntervalSetMatrices` and the batch
+        planner.
+        """
+        self._fresh()
+        k = len(intervals)
+        num_nodes = self._execution.num_nodes
+        out = {
+            name: np.empty((k, num_nodes), dtype=np.int64)
+            for name in ("c1", "c2", "c3", "c4", "first", "last")
+        }
+        missing: List[int] = []
+        dups: List[Tuple[int, int]] = []
+        filled: Dict[_IntervalKey, int] = {}
+        for i, x in enumerate(intervals):
+            self._check_interval(x)
+            key = x.ids
+            dup = filled.get(key)
+            if dup is not None:
+                dups.append((i, dup))
+                self.hits += 1
+                continue
+            filled[key] = i
+            extremal = self._extremal.get(key)
+            c1 = self._cuts.get((key, "C1"))
+            c2 = self._cuts.get((key, "C2"))
+            c3 = self._cuts.get((key, "C3"))
+            c4 = self._cuts.get((key, "C4"))
+            if extremal is None or None in (c1, c2, c3, c4):
+                missing.append(i)
+                continue
+            self.hits += 1
+            out["c1"][i] = c1.vector
+            out["c2"][i] = c2.vector
+            out["c3"][i] = c3.vector
+            out["c4"][i] = c4.vector
+            out["first"][i], out["last"][i] = extremal
+        if missing:
+            cold = cut_stats(
+                self._execution, [intervals[i] for i in missing]
+            )
+            rows = np.asarray(missing, dtype=np.intp)
+            for name in out:
+                out[name][rows] = getattr(cold, name)
+            ex = self._execution
+            for j, i in enumerate(missing):
+                self.misses += 1
+                key = intervals[i].ids
+                self._cuts[(key, "C1")] = Cut._trusted(ex, cold.c1[j])
+                self._cuts[(key, "C2")] = Cut._trusted(ex, cold.c2[j])
+                self._cuts[(key, "C3")] = Cut._trusted(ex, cold.c3[j])
+                self._cuts[(key, "C4")] = Cut._trusted(ex, cold.c4[j])
+                self._extremal[key] = (cold.first[j], cold.last[j])
+        for i, dup in dups:
+            for name in out:
+                out[name][i] = out[name][dup]
+        for name in out:
+            out[name].setflags(write=False)
+        return CutStats(**out)
+
+    def fill_batch(self, intervals: Sequence[NonatomicEvent]) -> None:
+        """Memoize cuts and extremal vectors for ``intervals`` in one
+        vectorized pass (a :meth:`stats` call for its deposit effect)."""
+        self.stats(intervals)
 
 
 #: One shared context per live execution (weak: contexts die with them).

@@ -31,11 +31,11 @@ from typing import Dict, Sequence
 import numpy as np
 
 from ..nonatomic.event import NonatomicEvent
-from ..nonatomic.proxies import Proxy, ProxyDefinition, proxy_of
-from .cuts import cut_C1, cut_C2, cut_C3, cut_C4
+from ..nonatomic.proxies import ProxyDefinition, proxy_of
+from .cuts import CutStats, cut_stats
 from .relations import Relation, RelationSpec
 
-__all__ = ["IntervalSetMatrices", "relation_matrix"]
+__all__ = ["IntervalSetMatrices", "relation_matrix", "pairwise_verdicts"]
 
 
 class IntervalSetMatrices:
@@ -68,33 +68,20 @@ class IntervalSetMatrices:
         self.intervals = tuple(intervals)
         self.cache = cache
         self._memo: Dict[tuple, np.ndarray] = {}
-        num_nodes = ex.num_nodes
-        k = len(intervals)
-        self.c1 = np.zeros((k, num_nodes), dtype=np.int64)
-        self.c2 = np.zeros((k, num_nodes), dtype=np.int64)
-        self.c3 = np.zeros((k, num_nodes), dtype=np.int64)
-        self.c4 = np.zeros((k, num_nodes), dtype=np.int64)
+        # One vectorized columnar pass fills all six (k, P) matrices
+        # (gather + segmented reduction over the clock tables); with a
+        # cache, rows already folded are reused and cold rows deposited.
+        if cache is not None:
+            stats = cache.stats(self.intervals)
+        else:
+            stats = cut_stats(ex, self.intervals)
+        self.c1 = stats.c1
+        self.c2 = stats.c2
+        self.c3 = stats.c3
+        self.c4 = stats.c4
         # first/last component indices; 0 encodes "node not in N_X"
-        self.first = np.zeros((k, num_nodes), dtype=np.int64)
-        self.last = np.zeros((k, num_nodes), dtype=np.int64)
-        for row, iv in enumerate(self.intervals):
-            if cache is not None:
-                quad = cache.quadruple(iv)
-                self.c1[row] = quad.c1.vector
-                self.c2[row] = quad.c2.vector
-                self.c3[row] = quad.c3.vector
-                self.c4[row] = quad.c4.vector
-                first, last = cache.extremal(iv)
-                self.first[row] = first
-                self.last[row] = last
-                continue
-            self.c1[row] = cut_C1(iv).vector
-            self.c2[row] = cut_C2(iv).vector
-            self.c3[row] = cut_C3(iv).vector
-            self.c4[row] = cut_C4(iv).vector
-            for node in iv.node_set:
-                self.first[row, node] = iv.first_at(node)
-                self.last[row, node] = iv.last_at(node)
+        self.first = stats.first
+        self.last = stats.last
 
     def __len__(self) -> int:
         return len(self.intervals)
@@ -194,3 +181,40 @@ def relation_matrix(
     return IntervalSetMatrices(intervals).relation_matrix(
         relation, mask_diagonal=mask_diagonal
     )
+
+
+def pairwise_verdicts(
+    stats: CutStats,
+    relation: Relation,
+    xs: np.ndarray,
+    ys: np.ndarray,
+) -> np.ndarray:
+    """Evaluate ``relation(intervals[xs[q]], intervals[ys[q]])`` for a
+    list of pairs — the gather form of the all-pairs kernel.
+
+    ``stats`` stacks the distinct intervals' cut/extremal vectors
+    (:func:`~repro.core.cuts.cut_stats`); ``xs``/``ys`` are row indices
+    of equal length Q.  Cost is ``O(Q · P)`` with no ``(k, k, P)``
+    tensor, so arbitrary query lists — the
+    :class:`~repro.core.parallel.ParallelBatchExecutor` shards — stay
+    linear in the number of queries even when almost every interval is
+    distinct.  Conditions are identical to
+    :meth:`IntervalSetMatrices.relation_matrix` (the sound
+    full-``|P|``-scan forms).
+    """
+    xs = np.asarray(xs, dtype=np.intp)
+    ys = np.asarray(ys, dtype=np.intp)
+    if relation in (Relation.R1, Relation.R1P):
+        return np.all(stats.c1[ys] >= stats.last[xs], axis=1)
+    if relation is Relation.R2:
+        return np.all(stats.c2[ys] >= stats.last[xs], axis=1)
+    if relation is Relation.R2P:
+        return np.any(stats.c2[ys] >= stats.c4[xs], axis=1)
+    if relation is Relation.R3:
+        return np.any(stats.c1[ys] >= stats.c3[xs], axis=1)
+    if relation is Relation.R3P:
+        firstY = stats.first[ys]
+        return np.all((firstY == 0) | (firstY >= stats.c3[xs]), axis=1)
+    if relation in (Relation.R4, Relation.R4P):
+        return np.any(stats.c2[ys] >= stats.c3[xs], axis=1)
+    raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover

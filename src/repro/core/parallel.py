@@ -1,0 +1,401 @@
+"""Zero-copy parallel batch evaluation over shared clock matrices.
+
+The serial :meth:`~repro.core.evaluator.SynchronizationAnalyzer.batch_holds`
+planner already collapses a query batch to NumPy broadcasts, but a
+single interpreter still pays the whole planning and kernel cost.
+At "millions of users" batch sizes the next win is process parallelism
+— and the columnar substrate makes it cheap: both timestamp structures
+are single contiguous ``(|E|, |P|)`` int32 buffers
+(:class:`~repro.events.clocks.ClockTable`), so the parent publishes
+them **once** through :mod:`multiprocessing.shared_memory` and every
+worker maps them zero-copy.  Per task, only the query shards travel —
+an interval is shipped as its per-node extremal encoding
+(``O(|N_X|)`` integers), never its component event set.
+
+Execution model
+---------------
+* Queries are normalized in the parent: spec strings are parsed, and
+  32-family specs are resolved to their proxy intervals, so workers
+  only ever evaluate the eight Table-1 base relations over cut stats.
+* The normalized list is split into one contiguous shard per worker;
+  each worker dedupes its shard's intervals, runs the columnar cut
+  fill (:func:`~repro.core.cuts.cut_stats_from_extrema`) against the
+  shared matrices and answers its queries with the per-pair gather
+  kernel (:func:`~repro.core.pairwise.pairwise_verdicts`).
+* Results are reassembled by shard position, so the output order is
+  deterministic and identical to the serial planner's (input order).
+* Below :attr:`ParallelBatchExecutor.min_parallel` queries — or with
+  ``jobs <= 1`` — the executor falls back to its serial planner (same
+  normalization, same kernels, no processes), because pool dispatch
+  overhead dominates small batches.
+
+Consistency
+-----------
+The executor records the execution
+:attr:`~repro.events.poset.Execution.version` it published; when the
+execution has grown (:meth:`~repro.events.poset.Execution.extend`), the
+pool and the shared blocks are torn down and republished before the
+next parallel run, so workers can never evaluate against stale clocks.
+
+Diagnostics
+-----------
+Like the serial batch path, parallel evaluation does not tick the
+:class:`~repro.core.counting.ComparisonCounter`.  Clock pass counters
+are per-process; the pool initializer zeroes each worker's counters
+(see :func:`repro.events.clocks.reset_clock_pass_counts`), so parent
+diagnostics are never polluted by inherited worker state.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from multiprocessing import get_context, shared_memory
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..events.clocks import CLOCK_DTYPE, reset_clock_pass_counts
+from ..events.event import EventId
+from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.proxies import ProxyDefinition, proxy_of
+from .context import AnalysisContext
+from .cuts import cut_stats_from_extrema
+from .pairwise import pairwise_verdicts
+from .relations import Relation, RelationSpec, parse_spec
+
+__all__ = ["ParallelBatchExecutor"]
+
+#: One extremal-encoded interval on the wire: (nodes, firsts, lasts).
+_Extrema = Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+
+#: One normalized query on the wire: (base relation, x row, y row).
+_Item = Tuple[Relation, int, int]
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-worker substrate, filled by :func:`_worker_init`.
+_WORKER: Dict[str, object] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared block without taking ownership.
+
+    Only the parent owns (and unlinks) the blocks.  On Python < 3.13
+    there is no ``track=False``, and letting each worker register the
+    same block with the resource tracker causes duplicate-unregister
+    races at pool teardown — so registration is suppressed for the
+    duration of the attach instead.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _worker_init(
+    fwd_name: str,
+    rev_name: str,
+    shape: Tuple[int, int],
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+) -> None:
+    """Pool initializer: map the shared clock matrices, zero diagnostics.
+
+    The matrices are mapped zero-copy from the parent's shared blocks;
+    the pass counters are reset so this worker's diagnostics start from
+    a clean per-process slate (see the clocks module docstring).
+    """
+    reset_clock_pass_counts()
+    shm_f = _attach(fwd_name)
+    shm_r = _attach(rev_name)
+    fwd = np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_f.buf)
+    rev = np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_r.buf)
+    fwd.setflags(write=False)
+    rev.setflags(write=False)
+    _WORKER["fwd"] = fwd
+    _WORKER["rev"] = rev
+    _WORKER["offsets"] = np.asarray(offsets, dtype=np.int64)
+    _WORKER["lengths"] = np.asarray(lengths, dtype=np.int64)
+    # keep the mappings alive for the worker's lifetime
+    _WORKER["shm"] = (shm_f, shm_r)
+
+
+def _worker_eval(
+    payload: Tuple[List[_Item], List[_Extrema]],
+) -> List[bool]:
+    """Evaluate one query shard against the shared substrate."""
+    items, extrema = payload
+    stats = cut_stats_from_extrema(
+        _WORKER["fwd"], _WORKER["rev"],
+        _WORKER["offsets"], _WORKER["lengths"],
+        extrema,
+    )
+    out = np.empty(len(items), dtype=bool)
+    groups: Dict[Relation, Tuple[List[int], List[int], List[int]]] = {}
+    for pos, (rel, xr, yr) in enumerate(items):
+        positions, xs, ys = groups.setdefault(rel, ([], [], []))
+        positions.append(pos)
+        xs.append(xr)
+        ys.append(yr)
+    for rel, (positions, xs, ys) in groups.items():
+        out[positions] = pairwise_verdicts(stats, rel, xs, ys)
+    return out.tolist()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def _release(resources: Dict[str, object]) -> None:
+    """Tear down the pool and the published shared blocks (idempotent)."""
+    pool = resources.pop("pool", None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    for shm in resources.pop("shms", []) or []:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ParallelBatchExecutor:
+    """Shard large ``batch_holds`` query groups across worker processes.
+
+    Parameters
+    ----------
+    context:
+        The analysed execution (or its
+        :class:`~repro.core.context.AnalysisContext`).
+    jobs:
+        Worker process count; ``None`` means ``os.cpu_count()``.  With
+        ``jobs <= 1`` every batch takes the serial path.
+    min_parallel:
+        Size threshold: batches smaller than this are answered by the
+        serial planner in-process (pool dispatch would cost more than
+        it saves).  The analyzer exposes it as ``parallel_threshold``.
+
+    Notes
+    -----
+    The first parallel batch pays the one-time publication cost (one
+    copy of each clock matrix into shared memory plus pool startup);
+    subsequent batches reuse both, so steady-state cost is shard
+    pickling + the sharded kernels.  Call :meth:`close` (or use the
+    executor as a context manager) to release the pool and the shared
+    blocks; they are also released on garbage collection and at
+    interpreter exit.
+    """
+
+    def __init__(
+        self,
+        context: "AnalysisContext | object",
+        jobs: "int | None" = None,
+        min_parallel: int = 1024,
+    ) -> None:
+        self.context = AnalysisContext.of(context)
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        self.min_parallel = int(min_parallel)
+        self._resources: Dict[str, object] = {"pool": None, "shms": []}
+        self._published_version: "int | None" = None
+        self._finalizer = weakref.finalize(self, _release, self._resources)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Terminate the worker pool and unlink the shared blocks."""
+        _release(self._resources)
+        self._resources["pool"] = None
+        self._resources["shms"] = []
+        self._published_version = None
+
+    def __enter__(self) -> "ParallelBatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        """The live pool against the current execution version.
+
+        Publishes the columnar matrices into shared memory and spawns
+        the pool on first use; republishes from scratch whenever the
+        execution has grown since publication (version mismatch), so
+        stale clocks are never served — the parallel arm of the
+        version-keyed invalidation that
+        :class:`~repro.core.context.CutCache` applies to cuts.
+        """
+        ex = self.context.execution
+        if (
+            self._resources["pool"] is not None
+            and self._published_version == ex.version
+        ):
+            return self._resources["pool"]
+        self.close()
+        fwd = ex.forward_table
+        rev = ex.reverse_table  # force the reverse pass before publishing
+        nbytes = max(fwd.data.nbytes, 1)
+        shm_f = shared_memory.SharedMemory(create=True, size=nbytes)
+        shm_r = shared_memory.SharedMemory(create=True, size=nbytes)
+        shape = fwd.data.shape
+        np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_f.buf)[:] = fwd.data
+        np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_r.buf)[:] = rev.data
+        pool = get_context().Pool(
+            processes=self.jobs,
+            initializer=_worker_init,
+            initargs=(
+                shm_f.name, shm_r.name, shape,
+                np.asarray(fwd.offsets), np.asarray(fwd.lengths),
+            ),
+        )
+        self._resources["shms"] = [shm_f, shm_r]
+        self._resources["pool"] = pool
+        self._published_version = ex.version
+        return pool
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _normalize(
+        self,
+        queries: Sequence[Tuple[object, NonatomicEvent, NonatomicEvent]],
+        proxy_definition: ProxyDefinition,
+        check_disjoint: bool,
+    ) -> Tuple[List[Tuple[Relation, int, int]], List[_Extrema]]:
+        """Resolve every query to (base relation, x row, y row).
+
+        Spec strings are parsed; 32-family members are replaced by
+        their base relation over the query intervals' proxies (cached
+        on the interval, so repeated intervals resolve once).  Distinct
+        intervals are assigned rows in an extremal-encoding table —
+        the only per-interval data that ever crosses to a worker.
+        """
+        ex = self.context.execution
+        row_of: Dict[FrozenSet[EventId], int] = {}
+        extrema: List[_Extrema] = []
+        items: List[Tuple[Relation, int, int]] = []
+
+        def row(iv: NonatomicEvent) -> int:
+            r = row_of.get(iv.ids)
+            if r is None:
+                r = row_of[iv.ids] = len(extrema)
+                nodes = iv.node_set
+                extrema.append((
+                    nodes,
+                    tuple(iv.first_at(n) for n in nodes),
+                    tuple(iv.last_at(n) for n in nodes),
+                ))
+            return r
+
+        for spec, x, y in queries:
+            if x.execution is not ex or y.execution is not ex:
+                raise ValueError(
+                    "query intervals do not belong to this executor's execution"
+                )
+            if check_disjoint and not x.ids.isdisjoint(y.ids):
+                raise ValueError(
+                    "X and Y share atomic events; the evaluation conditions "
+                    "are exact only for disjoint intervals (pass "
+                    "check_disjoint=False to evaluate anyway)"
+                )
+            if isinstance(spec, str):
+                spec = parse_spec(spec)
+            if isinstance(spec, RelationSpec):
+                px = proxy_of(x, spec.proxy_x, proxy_definition)
+                py = proxy_of(y, spec.proxy_y, proxy_definition)
+                items.append((spec.relation, row(px), row(py)))
+            else:
+                items.append((spec, row(x), row(y)))
+        return items, extrema
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        queries: "Sequence[Tuple[object, NonatomicEvent, NonatomicEvent]] | Iterable",
+        proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
+        check_disjoint: bool = True,
+    ) -> List[bool]:
+        """Answer many ``(spec, X, Y)`` queries; results in input order.
+
+        Verdicts are identical to the serial planner's (and to scalar
+        :meth:`~repro.core.evaluator.SynchronizationAnalyzer.holds`) on
+        every query; only the execution strategy differs.  Batches
+        below :attr:`min_parallel` (or ``jobs <= 1``) run serially
+        in-process.
+        """
+        qs = list(queries)
+        items, extrema = self._normalize(qs, proxy_definition, check_disjoint)
+        if len(items) < self.min_parallel or self.jobs <= 1:
+            return self._serial(items, extrema)
+        pool = self._ensure_pool()
+        payloads = []
+        for lo, hi in self._shards(len(items)):
+            shard = items[lo:hi]
+            local_row: Dict[int, int] = {}
+            local_extrema: List[_Extrema] = []
+            local_items: List[_Item] = []
+            for rel, xr, yr in shard:
+                lx = local_row.get(xr)
+                if lx is None:
+                    lx = local_row[xr] = len(local_extrema)
+                    local_extrema.append(extrema[xr])
+                ly = local_row.get(yr)
+                if ly is None:
+                    ly = local_row[yr] = len(local_extrema)
+                    local_extrema.append(extrema[yr])
+                local_items.append((rel, lx, ly))
+            payloads.append((local_items, local_extrema))
+        out: List[bool] = []
+        for verdicts in pool.map(_worker_eval, payloads):
+            out.extend(verdicts)
+        return out
+
+    def _shards(self, n: int) -> List[Tuple[int, int]]:
+        """Contiguous, near-even shard bounds — one per worker."""
+        shards = min(self.jobs, n) or 1
+        bounds = np.linspace(0, n, shards + 1, dtype=int)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
+    def _serial(
+        self, items: List[Tuple[Relation, int, int]], extrema: List[_Extrema]
+    ) -> List[bool]:
+        """The in-process fallback: same kernels, no pool."""
+        ex = self.context.execution
+        fwd = ex.forward_table
+        rev = ex.reverse_table
+        stats = cut_stats_from_extrema(
+            fwd.data, rev.data, fwd.offsets, fwd.lengths, extrema
+        )
+        out = np.empty(len(items), dtype=bool)
+        groups: Dict[Relation, Tuple[List[int], List[int], List[int]]] = {}
+        for pos, (rel, xr, yr) in enumerate(items):
+            positions, xs, ys = groups.setdefault(rel, ([], [], []))
+            positions.append(pos)
+            xs.append(xr)
+            ys.append(yr)
+        for rel, (positions, xs, ys) in groups.items():
+            out[positions] = pairwise_verdicts(stats, rel, xs, ys)
+        return out.tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self._resources["pool"] is not None else "idle"
+        return (
+            f"ParallelBatchExecutor(jobs={self.jobs}, "
+            f"min_parallel={self.min_parallel}, pool={state})"
+        )

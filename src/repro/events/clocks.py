@@ -1,4 +1,4 @@
-"""Canonical vector clocks and reverse vector clocks.
+"""Canonical vector clocks and reverse vector clocks, stored columnar.
 
 Implements the timestamping machinery of Section 2.3 of the paper:
 
@@ -19,10 +19,38 @@ Implements the timestamping machinery of Section 2.3 of the paper:
 Both computations run in a single topological pass over the trace using
 a work-list (no transitive closure), with per-event cost ``O(|P|)`` from
 the componentwise ``max``.
+
+Storage layout
+--------------
+Each structure is one contiguous ``(|E|, |P|)`` int32 matrix — a
+:class:`ClockTable` — indexed by the *flat event index*
+``offsets[node] + idx - 1`` (node-major, local order within a node).
+One matrix per structure (instead of one small array per event, or one
+matrix per node) is what makes the columnar cut kernels of
+:mod:`repro.core.cuts` single-gather operations and lets
+:mod:`repro.core.parallel` publish the whole substrate zero-copy
+through ``multiprocessing.shared_memory``.  Per-event and per-node
+accessors return views into the matrix, so the historical per-event API
+is preserved without copies.
+
+Pass counters and worker processes
+----------------------------------
+``_PASS_COUNTS`` is a plain module-global dictionary, so it is
+**per-process** state: a worker process forked or spawned by
+:class:`~repro.core.parallel.ParallelBatchExecutor` has its own
+counters (a fork inherits the parent's snapshot at fork time; a spawn
+starts from zero).  Diagnostics that aggregate pass counts across a
+parallel run would therefore report nonsense unless each worker is
+zeroed on startup — the executor's pool initializer calls
+:func:`reset_clock_pass_counts` for exactly that reason, and any custom
+pool should do the same.  :func:`clock_pass_counts` tags its snapshot
+with the reporting ``pid`` so misaggregated numbers are at least
+attributable.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -31,7 +59,12 @@ from .event import EventId
 from .trace import Trace, TraceError
 
 __all__ = [
+    "CLOCK_DTYPE",
+    "ClockTable",
     "CyclicTraceError",
+    "compute_forward_table",
+    "compute_reverse_table",
+    "extend_forward_table",
     "compute_forward_clocks",
     "compute_reverse_clocks",
     "extend_forward_clocks",
@@ -39,20 +72,42 @@ __all__ = [
     "reset_clock_pass_counts",
 ]
 
-#: Number of full/incremental clock passes executed since the last reset,
-#: keyed by pass kind.  Purely diagnostic: regression tests use it to
-#: assert that lazy code paths (e.g. the online monitor's ingestion) never
-#: trigger a pass they should not pay for.
+#: dtype of the columnar clock matrices.  int32 halves the memory and
+#: shared-memory traffic of the previous int64 representation; clock
+#: components count events on one node, so the range is ample.
+CLOCK_DTYPE = np.int32
+
+#: Number of full/incremental clock passes executed since the last reset
+#: *in this process*, keyed by pass kind.  Purely diagnostic: regression
+#: tests use it to assert that lazy code paths (e.g. the online
+#: monitor's ingestion) never trigger a pass they should not pay for.
+#: See the module docstring for the worker-process contract.
 _PASS_COUNTS: Dict[str, int] = {"forward": 0, "reverse": 0, "extend": 0}
 
 
-def clock_pass_counts() -> Dict[str, int]:
-    """A snapshot of the pass counters (``forward``/``reverse``/``extend``)."""
-    return dict(_PASS_COUNTS)
+def clock_pass_counts(include_pid: bool = False) -> Dict[str, int]:
+    """A snapshot of this process's pass counters.
+
+    Keys ``forward``/``reverse``/``extend``; with ``include_pid``, also
+    ``pid``, the id of the reporting process.  Counters are per-process
+    (see the module docstring), so consumers aggregating across a
+    worker pool must collect one snapshot per worker rather than read
+    the parent's — the pid tag makes misaggregated numbers attributable.
+    """
+    snap: Dict[str, int] = dict(_PASS_COUNTS)
+    if include_pid:
+        snap["pid"] = os.getpid()
+    return snap
 
 
 def reset_clock_pass_counts() -> None:
-    """Zero the pass counters (test isolation helper)."""
+    """Zero this process's pass counters.
+
+    Test-isolation helper, and the per-worker reset hook that
+    :class:`~repro.core.parallel.ParallelBatchExecutor` installs as its
+    pool initializer so forked workers do not inherit (and then
+    re-report) the parent's pre-fork counts.
+    """
     for key in _PASS_COUNTS:
         _PASS_COUNTS[key] = 0
 
@@ -66,12 +121,83 @@ class CyclicTraceError(TraceError):
     """
 
 
+class ClockTable:
+    """One timestamp structure as a contiguous ``(|E|, |P|)`` matrix.
+
+    Row ``offsets[i] + j - 1`` holds the vector timestamp of event
+    ``(i, j)``; node ``i``'s rows are the contiguous block
+    ``data[offsets[i]:offsets[i+1]]``.  ``data`` is C-contiguous int32
+    and read-only, which makes every accessor a zero-copy view and the
+    whole structure publishable through ``multiprocessing.shared_memory``
+    as a single buffer.
+    """
+
+    __slots__ = ("data", "offsets", "lengths")
+
+    def __init__(self, data: np.ndarray, lengths: Sequence[int]) -> None:
+        lens = np.asarray(lengths, dtype=np.int64)
+        offsets = np.zeros(len(lens) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        if data.shape != (int(offsets[-1]), len(lens)):
+            raise ValueError(
+                f"clock matrix must have shape {(int(offsets[-1]), len(lens))}, "
+                f"got {data.shape}"
+            )
+        if data.dtype != CLOCK_DTYPE or not data.flags.c_contiguous:
+            data = np.ascontiguousarray(data, dtype=CLOCK_DTYPE)
+        data.setflags(write=False)
+        offsets.setflags(write=False)
+        lens.setflags(write=False)
+        self.data = data
+        self.offsets = offsets
+        self.lengths = lens
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``|P|`` — the vector width."""
+        return self.data.shape[1]
+
+    @property
+    def total_events(self) -> int:
+        """``|E|`` — the number of rows."""
+        return self.data.shape[0]
+
+    def row(self, node: int, idx: int) -> np.ndarray:
+        """The timestamp of event ``(node, idx)`` (read-only view)."""
+        return self.data[self.offsets[node] + idx - 1]
+
+    def node_view(self, node: int) -> np.ndarray:
+        """All of ``node``'s rows as a ``(k_i, P)`` view (zero-copy)."""
+        return self.data[self.offsets[node]:self.offsets[node + 1]]
+
+    def views(self) -> List[np.ndarray]:
+        """Per-node ``(k_i, P)`` views, in node order (zero-copy)."""
+        return [self.node_view(i) for i in range(self.num_nodes)]
+
+    def flat_index(self, eid: EventId) -> int:
+        """The flat row index of event ``eid``."""
+        node, idx = eid
+        return int(self.offsets[node]) + idx - 1
+
+    def flat_indices(self, ids: Sequence[EventId]) -> np.ndarray:
+        """Flat row indices for a sequence of event ids (vectorized)."""
+        arr = np.asarray(ids, dtype=np.int64).reshape(-1, 2)
+        return self.offsets[arr[:, 0]] + arr[:, 1] - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClockTable(events={self.total_events}, "
+            f"nodes={self.num_nodes}, dtype={self.data.dtype})"
+        )
+
+
 def _run_clock_pass(
     lengths: Sequence[int],
     cross_deps: Mapping[EventId, Tuple[EventId, ...]],
-    prior: Sequence[np.ndarray] | None = None,
-) -> List[np.ndarray]:
-    """Generic forward vector-clock pass.
+    prior: "ClockTable | None" = None,
+) -> ClockTable:
+    """Generic forward vector-clock pass over the columnar matrix.
 
     Parameters
     ----------
@@ -82,16 +208,16 @@ def _run_clock_pass(
         Maps an event id to the cross-node events it directly depends on
         (its message predecessors).  Local predecessors are implicit.
     prior:
-        Optional per-node matrices of already-computed timestamp rows
-        (an append-only prefix of the new computation).  Their rows are
-        copied in verbatim and only events beyond them are processed —
-        the incremental path used by :func:`extend_forward_clocks`.
+        Optional :class:`ClockTable` of already-computed timestamp rows
+        (an append-only per-node prefix of the new computation).  Its
+        node blocks are copied in verbatim (one C-level copy each) and
+        only events beyond them are processed — the incremental path
+        used by :func:`extend_forward_table`.
 
     Returns
     -------
-    list of ``np.ndarray``
-        One ``(lengths[i], P)`` int64 matrix per node; row ``j - 1``
-        holds the vector timestamp of event ``(i, j)``.
+    ClockTable
+        The filled ``(sum(lengths), P)`` matrix.
 
     Raises
     ------
@@ -99,23 +225,28 @@ def _run_clock_pass(
         If the dependency structure cannot be scheduled (a causal cycle).
     """
     num_nodes = len(lengths)
-    clocks = [np.zeros((k, num_nodes), dtype=np.int64) for k in lengths]
+    lens = np.asarray(lengths, dtype=np.int64)
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    total = int(offsets[-1])
+    data = np.zeros((total, num_nodes), dtype=CLOCK_DTYPE)
     done = [0] * num_nodes  # events completed per node
     if prior is not None:
-        for i, mat in enumerate(prior):
-            k = mat.shape[0]
-            clocks[i][:k] = mat
+        for i in range(num_nodes):
+            block = prior.node_view(i)
+            k = block.shape[0]
+            data[offsets[i]:offsets[i] + k] = block
             done[i] = k
     # waiters[(m, d)] = nodes whose next event is blocked until node m
     # has completed d events.
     waiters: Dict[EventId, List[int]] = {}
     stack = list(range(num_nodes))
     processed = sum(done)
-    total = sum(lengths)
 
     while stack:
         node = stack.pop()
         k = lengths[node]
+        base = offsets[node]
         while done[node] < k:
             idx = done[node] + 1
             eid = (node, idx)
@@ -128,14 +259,14 @@ def _run_clock_pass(
             if blocked_on is not None:
                 waiters.setdefault(blocked_on, []).append(node)
                 break
+            row = data[base + idx - 1]
             if idx > 1:
-                row = clocks[node][idx - 2].copy()
-            else:
-                row = np.zeros(num_nodes, dtype=np.int64)
+                row[:] = data[base + idx - 2]
             for dep_node, dep_idx in deps:
-                np.maximum(row, clocks[dep_node][dep_idx - 1], out=row)
+                np.maximum(
+                    row, data[offsets[dep_node] + dep_idx - 1], out=row
+                )
             row[node] = idx
-            clocks[node][idx - 1] = row
             done[node] = idx
             processed += 1
             woken = waiters.pop(eid, None)
@@ -149,9 +280,7 @@ def _run_clock_pass(
         raise CyclicTraceError(
             f"trace has a causal cycle; events stuck at {stuck[:5]}"
         )
-    for mat in clocks:
-        mat.setflags(write=False)
-    return clocks
+    return ClockTable(data, lengths)
 
 
 def _forward_cross_deps(trace: Trace) -> Dict[EventId, Tuple[EventId, ...]]:
@@ -162,11 +291,8 @@ def _forward_cross_deps(trace: Trace) -> Dict[EventId, Tuple[EventId, ...]]:
     return deps
 
 
-def compute_forward_clocks(trace: Trace) -> List[np.ndarray]:
-    """Forward vector timestamps (Definition 13) for every real event.
-
-    Returns one read-only ``(k_i, P)`` matrix per node whose row
-    ``j - 1`` is ``T((i, j))``.
+def compute_forward_table(trace: Trace) -> ClockTable:
+    """Forward vector timestamps (Definition 13) as one columnar matrix.
 
     Raises
     ------
@@ -178,16 +304,13 @@ def compute_forward_clocks(trace: Trace) -> List[np.ndarray]:
     return _run_clock_pass(lengths, _forward_cross_deps(trace))
 
 
-def extend_forward_clocks(
-    trace: Trace, prior: Sequence[np.ndarray]
-) -> List[np.ndarray]:
-    """Advance forward timestamps to cover an append-only trace extension.
+def extend_forward_table(trace: Trace, prior: ClockTable) -> ClockTable:
+    """Advance a forward :class:`ClockTable` over an append-only extension.
 
-    ``prior`` holds the per-node timestamp matrices of a prefix of
-    ``trace`` (as returned by :func:`compute_forward_clocks`); rows for
+    ``prior`` holds the timestamps of a prefix of ``trace``; rows for
     the appended suffix events are computed without re-folding any
     prefix event, so the cost is proportional to the *new* events only
-    (plus one C-level copy of the prefix rows into the larger matrices).
+    (plus one C-level copy per node block into the larger matrix).
 
     The caller is responsible for the append-only precondition: per-node
     event sequences of the prefix trace must be prefixes of ``trace``'s,
@@ -204,17 +327,14 @@ def extend_forward_clocks(
     return _run_clock_pass(lengths, _forward_cross_deps(trace), prior=prior)
 
 
-def compute_reverse_clocks(trace: Trace) -> List[np.ndarray]:
-    """Reverse vector timestamps (Definition 14) for every real event.
+def compute_reverse_table(trace: Trace) -> ClockTable:
+    """Reverse vector timestamps (Definition 14) as one columnar matrix.
 
     ``T^R(e)[i]`` counts real events on node ``i`` with ``e_i ≽ e``.
     Computed by running the forward algorithm on the time-reversed
     execution: local orders are flipped and every message edge
     ``send → recv`` becomes a dependency of (reversed) ``send`` on
     (reversed) ``recv``.
-
-    Returns one read-only ``(k_i, P)`` matrix per node whose row
-    ``j - 1`` is ``T^R((i, j))``.
     """
     _PASS_COUNTS["reverse"] += 1
     num_nodes = trace.num_nodes
@@ -229,13 +349,71 @@ def compute_reverse_clocks(trace: Trace) -> List[np.ndarray]:
         r_send = rev(msg.send)
         cross[r_send] = cross.get(r_send, ()) + (rev(msg.recv),)
 
-    rev_clocks = _run_clock_pass(lengths, cross)
+    table = _run_clock_pass(lengths, cross)
 
-    out: List[np.ndarray] = []
-    for node, k in enumerate(lengths):
-        # Row j-1 of the output must be T^R((node, j)) which lives at
-        # reversed index k - j + 1, i.e. row k - j of the reversed pass.
-        mat = rev_clocks[node][::-1].copy() if k else rev_clocks[node].copy()
-        mat.setflags(write=False)
-        out.append(mat)
-    return out
+    # Row j-1 of the output must be T^R((node, j)) which the reversed
+    # pass computed at reversed index k - j + 1; flip each node block.
+    data = np.empty_like(table.data)
+    for node in range(num_nodes):
+        lo, hi = table.offsets[node], table.offsets[node + 1]
+        data[lo:hi] = table.data[lo:hi][::-1]
+    return ClockTable(data, lengths)
+
+
+def _table_from_node_matrices(matrices: Sequence[np.ndarray]) -> ClockTable:
+    """Stack caller-supplied per-node matrices into one :class:`ClockTable`."""
+    if not len(matrices):
+        raise ValueError("need at least one node matrix")
+    lengths = [int(mat.shape[0]) for mat in matrices]
+    num_nodes = len(matrices)
+    data = np.zeros((sum(lengths), num_nodes), dtype=CLOCK_DTYPE)
+    pos = 0
+    for mat in matrices:
+        data[pos:pos + mat.shape[0]] = mat
+        pos += mat.shape[0]
+    return ClockTable(data, lengths)
+
+
+# ----------------------------------------------------------------------
+# per-node list API (thin wrappers over the columnar tables)
+# ----------------------------------------------------------------------
+def compute_forward_clocks(trace: Trace) -> List[np.ndarray]:
+    """Forward vector timestamps (Definition 13) for every real event.
+
+    Returns one read-only ``(k_i, P)`` matrix per node whose row
+    ``j - 1`` is ``T((i, j))`` — zero-copy views into one columnar
+    :class:`ClockTable` (see :func:`compute_forward_table`).
+
+    Raises
+    ------
+    CyclicTraceError
+        If the trace's happened-before relation is cyclic.
+    """
+    return compute_forward_table(trace).views()
+
+
+def extend_forward_clocks(
+    trace: Trace, prior: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    """Advance forward timestamps to cover an append-only trace extension.
+
+    Per-node-matrix wrapper over :func:`extend_forward_table`; ``prior``
+    is a sequence of per-node matrices (as returned by
+    :func:`compute_forward_clocks`).
+
+    Raises
+    ------
+    CyclicTraceError
+        If the extension's happened-before relation is cyclic.
+    """
+    return extend_forward_table(trace, _table_from_node_matrices(prior)).views()
+
+
+def compute_reverse_clocks(trace: Trace) -> List[np.ndarray]:
+    """Reverse vector timestamps (Definition 14) for every real event.
+
+    Returns one read-only ``(k_i, P)`` matrix per node whose row
+    ``j - 1`` is ``T^R((i, j))`` — zero-copy views into one columnar
+    :class:`ClockTable` (see :func:`compute_reverse_table`).
+    """
+    return compute_reverse_table(trace).views()

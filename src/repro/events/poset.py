@@ -20,9 +20,11 @@ from typing import Iterator, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from .clocks import (
-    compute_forward_clocks,
-    compute_reverse_clocks,
-    extend_forward_clocks,
+    CLOCK_DTYPE,
+    ClockTable,
+    compute_forward_table,
+    compute_reverse_table,
+    extend_forward_table,
 )
 from .event import Event, EventId, EventKind
 from .trace import Trace, TraceError
@@ -50,8 +52,9 @@ class Execution:
         is raised.
 
     forward_clocks:
-        Optional precomputed forward timestamp matrices (one read-only
-        ``(k_i, P)`` int64 matrix per node, as produced by
+        Optional precomputed forward timestamps: either a columnar
+        :class:`~repro.events.clocks.ClockTable` or one ``(k_i, P)``
+        matrix per node (as produced by
         :func:`~repro.events.clocks.compute_forward_clocks`).  Callers
         that already maintain the forward structure — e.g. the online
         monitor's streaming ingestion — pass it here to skip the
@@ -66,6 +69,12 @@ class Execution:
     so past-only workloads (online monitoring, R1/R2-style queries)
     never pay for it.  All query methods are ``O(1)`` or ``O(|P|)``
     once the structures exist.
+
+    Both structures are stored columnar — one contiguous ``(|E|, |P|)``
+    int32 matrix each (:class:`~repro.events.clocks.ClockTable`),
+    exposed via :attr:`forward_table` / :attr:`reverse_table` for the
+    batch cut kernels and the zero-copy parallel executor; the
+    per-event/per-node accessors below are views into those matrices.
     """
 
     __slots__ = ("_trace", "_fwd", "_rev", "_lengths", "_version", "__weakref__")
@@ -73,14 +82,14 @@ class Execution:
     def __init__(
         self,
         trace: Trace,
-        forward_clocks: Optional[Sequence[np.ndarray]] = None,
+        forward_clocks: "Optional[Sequence[np.ndarray] | ClockTable]" = None,
     ) -> None:
         self._trace = trace
         if forward_clocks is None:
-            self._fwd = compute_forward_clocks(trace)
+            self._fwd = compute_forward_table(trace)
         else:
             self._fwd = self._adopt_forward(trace, forward_clocks)
-        self._rev: Optional[List[np.ndarray]] = None
+        self._rev: Optional[ClockTable] = None
         self._lengths: Tuple[int, ...] = tuple(
             trace.num_real(i) for i in range(trace.num_nodes)
         )
@@ -88,28 +97,37 @@ class Execution:
 
     @staticmethod
     def _adopt_forward(
-        trace: Trace, forward_clocks: Sequence[np.ndarray]
-    ) -> List[np.ndarray]:
-        """Validate and freeze caller-supplied forward clock matrices."""
+        trace: Trace, forward_clocks: "Sequence[np.ndarray] | ClockTable"
+    ) -> ClockTable:
+        """Validate caller-supplied forward clocks into a columnar table."""
         num_nodes = trace.num_nodes
+        lengths = [trace.num_real(i) for i in range(num_nodes)]
+        if isinstance(forward_clocks, ClockTable):
+            if forward_clocks.num_nodes != num_nodes or not np.array_equal(
+                forward_clocks.lengths, lengths
+            ):
+                raise ValueError(
+                    f"forward_clocks table shape does not match the trace: "
+                    f"expected lengths {lengths}"
+                )
+            return forward_clocks
         if len(forward_clocks) != num_nodes:
             raise ValueError(
                 f"forward_clocks must have one matrix per node "
                 f"({num_nodes}), got {len(forward_clocks)}"
             )
-        out: List[np.ndarray] = []
+        data = np.zeros((sum(lengths), num_nodes), dtype=CLOCK_DTYPE)
+        pos = 0
         for i, mat in enumerate(forward_clocks):
-            arr = np.ascontiguousarray(mat, dtype=np.int64)
-            if arr.shape != (trace.num_real(i), num_nodes):
+            arr = np.asarray(mat)
+            if arr.shape != (lengths[i], num_nodes):
                 raise ValueError(
                     f"forward_clocks[{i}] must have shape "
-                    f"{(trace.num_real(i), num_nodes)}, got {arr.shape}"
+                    f"{(lengths[i], num_nodes)}, got {arr.shape}"
                 )
-            if arr is mat:
-                arr = arr.copy()
-            arr.setflags(write=False)
-            out.append(arr)
-        return out
+            data[pos:pos + lengths[i]] = arr
+            pos += lengths[i]
+        return ClockTable(data, lengths)
 
     # ------------------------------------------------------------------
     # structure accessors
@@ -200,13 +218,13 @@ class Execution:
         by the precedence methods.
         """
         node, idx = eid
-        return self._fwd[node][idx - 1]
+        return self._fwd.row(node, idx)
 
-    def _reverse(self) -> List[np.ndarray]:
-        """The reverse matrices, computing them on first use (lazy)."""
+    def _reverse(self) -> ClockTable:
+        """The reverse table, computing it on first use (lazy)."""
         rev = self._rev
         if rev is None:
-            rev = self._rev = compute_reverse_clocks(self._trace)
+            rev = self._rev = compute_reverse_table(self._trace)
         return rev
 
     def rclock(self, eid: EventId) -> np.ndarray:
@@ -215,18 +233,31 @@ class Execution:
         First access triggers the one-time reverse clock pass.
         """
         node, idx = eid
-        return self._reverse()[node][idx - 1]
+        return self._reverse().row(node, idx)
 
     def clock_matrix(self, node: int) -> np.ndarray:
-        """All forward timestamps of ``node`` as a ``(k_i, P)`` matrix."""
-        return self._fwd[node]
+        """All forward timestamps of ``node`` as a ``(k_i, P)`` view."""
+        return self._fwd.node_view(node)
 
     def rclock_matrix(self, node: int) -> np.ndarray:
-        """All reverse timestamps of ``node`` as a ``(k_i, P)`` matrix.
+        """All reverse timestamps of ``node`` as a ``(k_i, P)`` view.
 
         First access triggers the one-time reverse clock pass.
         """
-        return self._reverse()[node]
+        return self._reverse().node_view(node)
+
+    @property
+    def forward_table(self) -> ClockTable:
+        """The columnar forward timestamp structure (zero-copy)."""
+        return self._fwd
+
+    @property
+    def reverse_table(self) -> ClockTable:
+        """The columnar reverse timestamp structure (zero-copy).
+
+        First access triggers the one-time reverse clock pass.
+        """
+        return self._reverse()
 
     # ------------------------------------------------------------------
     # causality
@@ -252,7 +283,7 @@ class Execution:
         if self.is_top(b):  # everything except ⊤s precedes ⊤
             return not self.is_top(a)
         # both real and distinct: the canonical clock test
-        return bool(self._fwd[b_node][b_idx - 1][a_node] >= a_idx)
+        return bool(self._fwd.row(b_node, b_idx)[a_node] >= a_idx)
 
     def precedes(self, a: EventId, b: EventId) -> bool:
         """``a ≺ b``: strict causal precedence (irreflexive)."""
@@ -313,7 +344,7 @@ class Execution:
         message received by a *new* event (so no existing timestamp can
         change).  Forward clocks are advanced incrementally — only the
         appended events are processed (see
-        :func:`~repro.events.clocks.extend_forward_clocks`); the reverse
+        :func:`~repro.events.clocks.extend_forward_table`); the reverse
         structure is discarded and will be rebuilt lazily if queried,
         since every reverse timestamp can change when the future grows.
 
@@ -358,7 +389,7 @@ class Execution:
                 f"extension drops existing message(s): "
                 f"{sorted(old_messages, key=str)[:3]}"
             )
-        self._fwd = extend_forward_clocks(trace, self._fwd)
+        self._fwd = extend_forward_table(trace, self._fwd)
         self._trace = trace
         self._lengths = tuple(
             trace.num_real(i) for i in range(trace.num_nodes)
