@@ -5,11 +5,22 @@ hierarchy-pruned variant, over a shared workload.  The 1-1 equivalence
 ``r(X,Y) = R(X̂,Ŷ)`` means the 32 queries reuse the 8 proxy cuts of
 each side (Key Idea 1): the linear engine's batch cost stays linear in
 the node sets.
+
+:func:`test_shared_verdict_cache_ll_reduction` measures the Theorem
+19/20 subtest factoring: the whole-family query surface
+(``all_relations`` + ``base_relations`` + ``strongest``) through the
+shared ``≪``-subtest verdict cache costs a fixed 24 subtest
+evaluations per ordered pair, against the ``≪``-test count of the
+per-spec scalar loop — with verdict identity across all 40 specs.
 """
 
 import pytest
 
+from repro.core.context import AnalysisContext
 from repro.core.evaluator import SynchronizationAnalyzer
+from repro.core.hierarchy import evaluate_all_pruned, maximal_true
+from repro.core.linear import LinearEvaluator
+from repro.core.relations import BASE_RELATIONS, FAMILY32
 
 from .conftest import make_pair
 
@@ -36,3 +47,36 @@ def test_strongest_relations(benchmark):
     an = SynchronizationAnalyzer(ex)
     an.strongest(x, y)
     benchmark(lambda: an.strongest(x, y))
+
+
+def test_shared_verdict_cache_ll_reduction():
+    """The verdict cache answers the whole-family surface with ≥2.5x
+    fewer ``≪`` evaluations than the per-spec loop, verdicts identical.
+    """
+    ex, x, y = make_pair(12, events_per_node=8, seed=11)
+
+    # per-spec scalar loop: every family/base spec through the linear
+    # engine, plus the strongest query (pruned pass + maximality)
+    eng = LinearEvaluator(AnalysisContext(ex))
+    scalar = {spec: eng.evaluate_spec(spec, x, y) for spec in FAMILY32}
+    scalar_base = {rel: eng.evaluate(rel, x, y) for rel in BASE_RELATIONS}
+    pruned, _ = evaluate_all_pruned(
+        lambda spec: eng.evaluate_spec(spec, x, y), FAMILY32
+    )
+    scalar_strongest = maximal_true(pruned)
+    scalar_ll = eng.ll_tests
+
+    an = SynchronizationAnalyzer(AnalysisContext(ex))
+    assert an.all_relations(x, y) == scalar
+    assert an.base_relations(x, y) == scalar_base
+    assert an.strongest(x, y) == scalar_strongest
+    vc = an.verdict_cache
+    assert vc is not None and vc.evals == 24 and vc.cut_pair_evals == 12
+
+    reduction = scalar_ll / vc.evals
+    print(f"\n≪ evals: per-spec loop {scalar_ll}, cached {vc.evals} "
+          f"({reduction:.1f}x fewer; {vc.hits} cache hits)")
+    assert reduction >= 2.5, (
+        f"≪-eval reduction only {reduction:.1f}x "
+        f"({scalar_ll} -> {vc.evals})"
+    )

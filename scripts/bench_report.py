@@ -1,23 +1,36 @@
-"""Machine-readable performance report for the columnar/parallel substrate.
+"""Machine-readable performance report for the analysis substrate.
 
-Measures the PR-2 headline numbers on the current host and writes them
-as JSON (default ``BENCH_PR2.json``):
+Measures the headline numbers on the current host and writes them as
+JSON (default ``BENCH_PR4.json``):
 
 * clock substrate construction throughput (events/sec) for the
   forward + reverse columnar tables;
 * the columnar batch cut fill vs per-interval folds (speedup at
   k = 256 intervals, interval construction excluded from both sides);
 * serial planner vs :class:`~repro.core.parallel.ParallelBatchExecutor`
-  queries/sec and speedup on a >= 10k-query batch.
+  queries/sec on a >= 10k-query batch — recorded as a serial fallback
+  (no pool numbers) when the clamped worker count is 1;
+* ``online_ingest``: streaming events/sec through
+  :class:`~repro.monitor.online.OnlineMonitor` (ingest + per-close
+  verdicts + zero-copy finalisation) vs the rebuild-per-close baseline,
+  with the clock-pass counters recorded;
+* ``family_query``: whole-family (40-spec) verdicts/sec through the
+  shared ``≪``-subtest verdict cache vs the per-spec scalar loop, with
+  the measured ``≪``-evaluation reduction.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR2.json]
-        [--jobs 4] [--quick]
+    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR4.json]
+        [--jobs 4] [--quick] [--baseline BENCH_PR2.json]
 
 ``--quick`` shrinks every workload (CI smoke sizes).  Speedups are
-reported as measured — on single-core hosts the parallel figure will be
-below 1x and that is the honest number.
+reported as measured — single-core hosts record the serial fallback for
+the parallel section and that is the honest number.
+
+``--baseline PRIOR.json`` additionally diffs the current ``cut_fill``
+and ``clock_build`` rates against a prior report and exits nonzero on a
+>25% regression (sections whose workload sizes differ are skipped with
+a note, so quick runs are only compared against quick baselines).
 """
 
 from __future__ import annotations
@@ -32,15 +45,30 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
+import numpy as np  # noqa: E402
+
+from repro.core.context import AnalysisContext  # noqa: E402
 from repro.core.cuts import cut_stats, cuts_of  # noqa: E402
 from repro.core.evaluator import SynchronizationAnalyzer  # noqa: E402
+from repro.core.hierarchy import evaluate_all_pruned, maximal_true  # noqa: E402
+from repro.core.linear import LinearEvaluator  # noqa: E402
 from repro.core.parallel import ParallelBatchExecutor  # noqa: E402
-from repro.core.relations import parse_spec  # noqa: E402
+from repro.core.relations import BASE_RELATIONS, FAMILY32, parse_spec  # noqa: E402
+from repro.events.clocks import (  # noqa: E402
+    clock_pass_counts,
+    reset_clock_pass_counts,
+)
 from repro.events.poset import Execution  # noqa: E402
 from repro.nonatomic.event import NonatomicEvent  # noqa: E402
+from repro.nonatomic.selection import random_disjoint_pair  # noqa: E402
 from repro.simulation.workloads import random_trace  # noqa: E402
 
-from benchmarks.common import best_of, disjoint_intervals  # noqa: E402
+from benchmarks.common import (  # noqa: E402
+    best_of,
+    disjoint_intervals,
+    stream_online,
+    stream_rebuild_baseline,
+)
 
 
 def bench_clock_build(nodes: int, events: int, reps: int) -> dict:
@@ -97,36 +125,212 @@ def bench_parallel(
     an.batch_holds(queries)  # warm the serial planner's caches
 
     serial_t, serial = best_of(lambda: an.batch_holds(queries), reps=reps)
+    n = len(queries)
+    out = {
+        "queries": n,
+        "jobs_requested": jobs,
+        "cores": os.cpu_count() or 1,
+        "serial_ms": serial_t * 1e3,
+        "serial_queries_per_sec": n / serial_t,
+    }
     with ParallelBatchExecutor(ex, jobs=jobs, min_parallel=1) as px:
+        out["jobs"] = px.jobs
+        if px.jobs <= 1:
+            # clamped to a single worker: a pool would only add overhead,
+            # so the executor takes its serial path — record that rather
+            # than a meaningless "parallel" number.
+            out["mode"] = "serial-fallback"
+            return out
+        out["mode"] = "parallel"
         px.execute(queries[:64])  # pool + shared-memory startup
         parallel_t, parallel = best_of(lambda: px.execute(queries), reps=reps)
     assert parallel == serial, "parallel executor disagrees with planner"
-    n = len(queries)
-    return {
-        "queries": n,
-        "jobs": jobs,
-        "cores": os.cpu_count() or 1,
-        "serial_ms": serial_t * 1e3,
+    out.update({
         "parallel_ms": parallel_t * 1e3,
-        "serial_queries_per_sec": n / serial_t,
         "parallel_queries_per_sec": n / parallel_t,
         "speedup": serial_t / parallel_t,
+    })
+    return out
+
+
+def bench_online_ingest(
+    nodes: int, events: int, chunk: int, reps: int
+) -> dict:
+    trace = random_trace(nodes, events_per_node=events, msg_prob=0.3, seed=31)
+    total = trace.total_events
+
+    reset_clock_pass_counts()
+    online_t, (online_v, ex) = best_of(
+        lambda: stream_online(trace, chunk), reps=reps
+    )
+    passes = clock_pass_counts()
+    rebuild_t, (rebuild_v, _) = best_of(
+        lambda: stream_rebuild_baseline(trace, chunk), reps=reps
+    )
+    assert online_v == rebuild_v, "online verdicts diverge from offline"
+    return {
+        "nodes": nodes,
+        "events": total,
+        "chunk": chunk,
+        "closes": sum(
+            -(-trace.num_real(n) // chunk) for n in range(nodes)
+        ),
+        "online_ms": online_t * 1e3,
+        "rebuild_ms": rebuild_t * 1e3,
+        "online_events_per_sec": total / online_t,
+        "rebuild_events_per_sec": total / rebuild_t,
+        "speedup": rebuild_t / online_t,
+        "clock_passes": passes,  # streaming runs: all zero
     }
+
+
+def bench_family_query(nodes: int, events: int, pairs: int, reps: int) -> dict:
+    ex = Execution(
+        random_trace(nodes, events_per_node=events, msg_prob=0.3, seed=11)
+    )
+    rng = np.random.default_rng(12)
+    pair_list = [
+        random_disjoint_pair(
+            ex, rng, num_nodes_x=nodes, num_nodes_y=nodes, events_per_node=2
+        )
+        for _ in range(pairs)
+    ]
+    specs = list(FAMILY32) + list(BASE_RELATIONS)
+
+    # The whole-family query surface per pair: all 32 family specs, all
+    # 8 base relations, and the strongest-relations query (a pruned pass
+    # + maximality filter over the family).  The scalar loop answers
+    # each from scratch through the engine; the cached side serves every
+    # one from the 24-subtest fill.
+    def per_spec_loop():
+        eng = LinearEvaluator(AnalysisContext(ex))  # private context: cold
+        for x, y in pair_list:
+            for spec in FAMILY32:
+                eng.evaluate_spec(spec, x, y)
+            for rel in BASE_RELATIONS:
+                eng.evaluate(rel, x, y)
+            results, _ = evaluate_all_pruned(
+                lambda spec: eng.evaluate_spec(spec, x, y), FAMILY32
+            )
+            maximal_true(results)
+        return eng
+
+    def cached_family():
+        an = SynchronizationAnalyzer(AnalysisContext(ex))
+        for x, y in pair_list:
+            an.all_relations(x, y)
+            an.base_relations(x, y)
+            an.strongest(x, y)
+        return an
+
+    loop_t, eng = best_of(per_spec_loop, reps=reps)
+    cached_t, an = best_of(cached_family, reps=reps)
+    vc = an.verdict_cache
+    # verdict identity against the per-spec scalar loop
+    ref = LinearEvaluator(AnalysisContext(ex))
+    ref_an = SynchronizationAnalyzer(AnalysisContext(ex))
+    for x, y in pair_list:
+        for spec in FAMILY32:
+            assert ref_an.all_relations(x, y)[spec] == ref.evaluate_spec(
+                spec, x, y
+            ), "cached family verdict diverges from the scalar loop"
+        ref_results, _ = evaluate_all_pruned(
+            lambda spec: ref.evaluate_spec(spec, x, y), FAMILY32
+        )
+        assert ref_an.strongest(x, y) == maximal_true(ref_results), (
+            "cached strongest diverges from the scalar loop"
+        )
+    # verdicts surfaced per pair: the 40 specs + the 32-entry family map
+    # behind the strongest query (identical on both sides)
+    verdicts = (len(specs) + len(FAMILY32)) * len(pair_list)
+    return {
+        "nodes": nodes,
+        "pairs": pairs,
+        "specs": len(specs),
+        "per_spec_ms": loop_t * 1e3,
+        "cached_ms": cached_t * 1e3,
+        "per_spec_verdicts_per_sec": verdicts / loop_t,
+        "cached_verdicts_per_sec": verdicts / cached_t,
+        "speedup": loop_t / cached_t,
+        "ll_evals_per_spec_loop": eng.ll_tests,
+        "ll_evals_cached": vc.evals,
+        "cut_pair_evals_cached": vc.cut_pair_evals,
+        "ll_eval_reduction": eng.ll_tests / max(vc.evals, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (--baseline)
+# ----------------------------------------------------------------------
+
+#: sections gated on regression: (section, size keys, rate extractor)
+_GATED = (
+    ("clock_build", ("nodes", "events"),
+     lambda s: s["events_per_sec"]),
+    ("cut_fill", ("intervals",),
+     lambda s: s["intervals"] / s["columnar_ms"]),
+)
+
+
+def compare_baseline(report: dict, baseline: dict, threshold: float) -> list:
+    """Diff gated sections against a prior report.
+
+    Returns a list of ``(section, status, detail)`` rows; status is
+    ``"ok"``, ``"regression"`` or ``"skipped"``.  Only size-matched
+    sections are compared — a quick run diffed against a full baseline
+    is skipped, not failed.
+    """
+    rows = []
+    for section, size_keys, rate in _GATED:
+        cur = report.get(section)
+        base = baseline.get(section)
+        if not isinstance(base, dict) or not isinstance(cur, dict):
+            rows.append((section, "skipped", "section missing from baseline"))
+            continue
+        mismatched = [
+            k for k in size_keys if cur.get(k) != base.get(k)
+        ]
+        if mismatched:
+            rows.append((
+                section, "skipped",
+                "workload size differs from baseline "
+                f"({', '.join(f'{k}: {base.get(k)} -> {cur.get(k)}' for k in mismatched)})",
+            ))
+            continue
+        cur_rate, base_rate = rate(cur), rate(base)
+        change = cur_rate / base_rate - 1.0
+        detail = f"rate {base_rate:,.1f} -> {cur_rate:,.1f} ({change:+.1%})"
+        if cur_rate < base_rate * (1.0 - threshold):
+            rows.append((section, "regression", detail))
+        else:
+            rows.append((section, "ok", detail))
+    return rows
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_PR2.json")
+    ap.add_argument("--out", default="BENCH_PR4.json")
     ap.add_argument("--jobs", type=int, default=4,
-                    help="worker processes for the parallel benchmark")
+                    help="worker processes for the parallel benchmark "
+                         "(clamped to the core count)")
     ap.add_argument("--quick", action="store_true",
                     help="reduced workload sizes (CI smoke)")
+    ap.add_argument("--baseline", default=None, metavar="PRIOR.json",
+                    help="prior report to diff against; exits nonzero on "
+                         "a regression past the threshold")
+    ap.add_argument("--regression-threshold", type=float, default=0.25,
+                    help="allowed fractional rate drop vs baseline "
+                         "(default 0.25)")
     args = ap.parse_args(argv)
 
     if args.quick:
-        sizes = dict(nodes=8, events=16, fill_k=32, par_k=32, reps=2)
+        sizes = dict(nodes=8, events=16, fill_k=32, par_k=32, reps=2,
+                     stream_nodes=8, stream_events=60, chunk=20,
+                     fam_nodes=12, fam_events=8, fam_pairs=4)
     else:
-        sizes = dict(nodes=16, events=64, fill_k=256, par_k=128, reps=5)
+        sizes = dict(nodes=16, events=64, fill_k=256, par_k=128, reps=5,
+                     stream_nodes=8, stream_events=1250, chunk=125,
+                     fam_nodes=12, fam_events=8, fam_pairs=16)
 
     report = {
         "host": {
@@ -145,6 +349,14 @@ def main(argv=None) -> int:
             sizes["nodes"], sizes["events"], sizes["par_k"],
             args.jobs, sizes["reps"],
         ),
+        "online_ingest": bench_online_ingest(
+            sizes["stream_nodes"], sizes["stream_events"], sizes["chunk"],
+            sizes["reps"],
+        ),
+        "family_query": bench_family_query(
+            sizes["fam_nodes"], sizes["fam_events"], sizes["fam_pairs"],
+            sizes["reps"],
+        ),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -153,15 +365,46 @@ def main(argv=None) -> int:
     cb, cf, pb = (
         report["clock_build"], report["cut_fill"], report["parallel_batch"]
     )
+    oi, fq = report["online_ingest"], report["family_query"]
     print(f"wrote {args.out}")
     print(f"  clock build:    {cb['events_per_sec']:,.0f} events/sec "
           f"({cb['events']} events in {cb['build_ms']:.2f} ms)")
     print(f"  cut fill:       {cf['speedup']:.1f}x columnar vs folds "
           f"({cf['intervals']} intervals)")
-    print(f"  parallel batch: {pb['speedup']:.2f}x vs serial planner "
-          f"({pb['queries']} queries, jobs={pb['jobs']}, "
-          f"{pb['cores']} cores; "
-          f"{pb['parallel_queries_per_sec']:,.0f} queries/sec)")
+    if pb["mode"] == "serial-fallback":
+        print(f"  parallel batch: serial fallback (1 effective worker on "
+              f"{pb['cores']} core(s); "
+              f"{pb['serial_queries_per_sec']:,.0f} queries/sec)")
+    else:
+        print(f"  parallel batch: {pb['speedup']:.2f}x vs serial planner "
+              f"({pb['queries']} queries, jobs={pb['jobs']}, "
+              f"{pb['cores']} cores; "
+              f"{pb['parallel_queries_per_sec']:,.0f} queries/sec)")
+    print(f"  online ingest:  {oi['online_events_per_sec']:,.0f} events/sec "
+          f"streaming, {oi['speedup']:.1f}x vs rebuild-per-close "
+          f"({oi['events']} events, {oi['closes']} closes; "
+          f"clock passes {oi['clock_passes']})")
+    print(f"  family query:   {fq['cached_verdicts_per_sec']:,.0f} "
+          f"verdicts/sec cached vs "
+          f"{fq['per_spec_verdicts_per_sec']:,.0f} per-spec "
+          f"({fq['speedup']:.1f}x; ≪ evals "
+          f"{fq['ll_evals_per_spec_loop']} -> {fq['ll_evals_cached']}, "
+          f"{fq['ll_eval_reduction']:.1f}x fewer)")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        rows = compare_baseline(report, baseline,
+                                args.regression_threshold)
+        failed = False
+        print(f"baseline comparison vs {args.baseline} "
+              f"(threshold {args.regression_threshold:.0%}):")
+        for section, status, detail in rows:
+            print(f"  {section:<12} {status:<10} {detail}")
+            failed = failed or status == "regression"
+        if failed:
+            print("FAIL: performance regression past threshold")
+            return 1
     return 0
 
 

@@ -265,7 +265,7 @@ class AnalysisContext:
     """
 
     __slots__ = ("_execution", "_cut_cache", "_mats", "_mats_version",
-                 "__weakref__")
+                 "_verdicts", "__weakref__")
 
     #: bound on memoized interval-set stacks before the memo is reset
     _MATS_LIMIT = 64
@@ -277,6 +277,7 @@ class AnalysisContext:
         self._cut_cache = CutCache(execution)
         self._mats: Dict[Tuple[_IntervalKey, ...], object] = {}
         self._mats_version = execution.version
+        self._verdicts: Dict[object, object] = {}
 
     @classmethod
     def of(cls, execution: "Execution | AnalysisContext") -> "AnalysisContext":
@@ -365,6 +366,24 @@ class AnalysisContext:
             self._mats[key] = mats
         return mats
 
+    def verdict_cache(self, proxy_definition):
+        """The shared ``≪``-subtest verdict cache for one proxy
+        definition (created on first use).
+
+        One :class:`~repro.core.evaluator.SharedVerdictCache` per
+        (context, proxy definition): every analyzer routing a
+        whole-family query through here amortizes the same ≤24 subtest
+        verdicts per ordered interval pair.
+        """
+        from .evaluator import SharedVerdictCache
+
+        vc = self._verdicts.get(proxy_definition)
+        if vc is None:
+            vc = self._verdicts[proxy_definition] = SharedVerdictCache(
+                self, proxy_definition
+            )
+        return vc
+
     # ------------------------------------------------------------------
     # growth
     # ------------------------------------------------------------------
@@ -379,6 +398,8 @@ class AnalysisContext:
         self._cut_cache.invalidate()
         self._mats.clear()
         self._mats_version = self._execution.version
+        for vc in self._verdicts.values():
+            vc.invalidate()
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

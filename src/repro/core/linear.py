@@ -139,6 +139,14 @@ class LinearEvaluator:
         self.counter = counter if counter is not None else NULL_COUNTER
         self.proxy_definition = proxy_definition
         self.node_restriction = node_restriction
+        #: Number of ``≪̸`` decision-procedure invocations performed:
+        #: each singleton extremal-event test of a universal row and
+        #: each restricted cut-pair scan of an existential row counts
+        #: as one.  Kept separate from :attr:`counter` (which records
+        #: integer *comparisons* and backs the Theorem-20 bound tests);
+        #: benchmarks diff this against
+        #: :attr:`~repro.core.evaluator.SharedVerdictCache.evals`.
+        self.ll_tests = 0
 
     # ------------------------------------------------------------------
     # the three test shapes
@@ -177,6 +185,7 @@ class LinearEvaluator:
         anchored_y: bool,
     ) -> bool:
         """One ``≪̸(↓Y, X↑)`` test (relations R2', R3, R4, R4')."""
+        self.ll_tests += 1
         return not_ll_restricted(
             past_of_y,
             future_of_x,
@@ -194,6 +203,7 @@ class LinearEvaluator:
         v = past_of_y.vector
         if self.node_restriction:
             for i in x.node_set:
+                self.ll_tests += 1
                 self.counter.add(1, "test")
                 if v[i] < x.last_at(i):
                     return False
@@ -203,6 +213,7 @@ class LinearEvaluator:
         from .cuts import future_cut  # local import to avoid cycle at module load
 
         for i in x.node_set:
+            self.ll_tests += 1
             fut = future_cut(ex, (i, x.last_at(i)))
             if not not_ll_restricted(past_of_y, fut,
                                      range(ex.num_nodes), self.counter):
@@ -219,6 +230,7 @@ class LinearEvaluator:
         w = future_of_x.vector
         if self.node_restriction:
             for i in y.node_set:
+                self.ll_tests += 1
                 self.counter.add(1, "test")
                 if y.first_at(i) < w[i]:
                     return False
@@ -227,6 +239,7 @@ class LinearEvaluator:
         from .cuts import past_cut
 
         for i in y.node_set:
+            self.ll_tests += 1
             pst = past_cut(ex, (i, y.first_at(i)))
             if not not_ll_restricted(pst, future_of_x,
                                      range(ex.num_nodes), self.counter):

@@ -33,7 +33,14 @@ import numpy as np
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
 from .cuts import CutStats, cut_stats
-from .relations import Relation, RelationSpec
+from .relations import Relation, RelationSpec, subtest_key
+
+#: Synonym collapse for matrix memoization: R1 ≡ R1' and R4 ≡ R4' share
+#: one kernel pass (the broadcasting forms are literally identical).
+_CANON_RELATION = {
+    Relation.R1P: Relation.R1,
+    Relation.R4P: Relation.R4,
+}
 
 __all__ = ["IntervalSetMatrices", "relation_matrix", "pairwise_verdicts"]
 
@@ -96,10 +103,11 @@ class IntervalSetMatrices:
         self-pairs violate the disjointness precondition and carry no
         synchronization meaning.
 
-        Results are memoized per (relation, mask): the stacks are
+        Results are memoized per (relation, mask) with synonyms
+        collapsed (R1/R1', R4/R4' share one matrix): the stacks are
         immutable after construction, so repeat calls are a dict lookup.
         """
-        key = (relation, mask_diagonal)
+        key = (_CANON_RELATION.get(relation, relation), mask_diagonal)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
@@ -118,10 +126,13 @@ class IntervalSetMatrices:
     ) -> np.ndarray:
         """All-pairs matrix for a 32-family member (on the proxies).
 
-        Memoized per (spec, proxy definition, mask) like
-        :meth:`relation_matrix`.
+        Memoized per (subtest key, proxy definition, mask): specs that
+        canonicalise to the same ``≪`` subtest
+        (:func:`~repro.core.relations.subtest_key` — synonym pairs such
+        as ``R4(U,L)``/``R4'(U,L)``) share one kernel pass and one
+        stored matrix, so a 32-spec sweep builds at most 24 matrices.
         """
-        key = (spec, proxy_definition, mask_diagonal)
+        key = (subtest_key(spec), proxy_definition, mask_diagonal)
         cached = self._memo.get(key)
         if cached is not None:
             return cached

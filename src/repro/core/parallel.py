@@ -179,7 +179,16 @@ class ParallelBatchExecutor:
         :class:`~repro.core.context.AnalysisContext`).
     jobs:
         Worker process count; ``None`` means ``os.cpu_count()``.  With
-        ``jobs <= 1`` every batch takes the serial path.
+        ``clamp`` (the default) the request is capped at
+        ``os.cpu_count()`` — more workers than cores only adds
+        publication and scheduling overhead (a 1-core host running
+        ``jobs=4`` measured *slower* than serial, see BENCH_PR2.json) —
+        and a 1-core host therefore always takes the serial path.
+        With ``jobs <= 1`` every batch takes the serial path.
+    clamp:
+        If True (default), cap ``jobs`` at ``os.cpu_count()``.  Pass
+        False to force an oversubscribed pool (tests exercising pool
+        mechanics on small hosts; oversubscription benchmarks).
     min_parallel:
         Size threshold: batches smaller than this are answered by the
         serial planner in-process (pool dispatch would cost more than
@@ -201,9 +210,12 @@ class ParallelBatchExecutor:
         context: "AnalysisContext | object",
         jobs: "int | None" = None,
         min_parallel: int = 1024,
+        clamp: bool = True,
     ) -> None:
         self.context = AnalysisContext.of(context)
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if clamp:
+            self.jobs = min(self.jobs, os.cpu_count() or 1)
         self.min_parallel = int(min_parallel)
         self._resources: Dict[str, object] = {"pool": None, "shms": []}
         self._published_version: "int | None" = None

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Tuple
 
 from ..events.event import EventId
@@ -42,6 +42,9 @@ __all__ = [
     "FAMILY32",
     "parse_spec",
     "quantifier_eval",
+    "SubtestKind",
+    "subtest_key",
+    "SUBTEST_KEYS",
 ]
 
 
@@ -118,6 +121,17 @@ class RelationSpec:
     relation: Relation
     proxy_x: Proxy
     proxy_y: Proxy
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # specs are dict keys on every family-query hot path; the
+        # generated hash would re-hash three enum members per lookup
+        object.__setattr__(
+            self, "_hash", hash((self.relation, self.proxy_x, self.proxy_y))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.relation.display}({self.proxy_x.value},{self.proxy_y.value})"
@@ -166,6 +180,115 @@ def parse_spec(text: str) -> "Relation | RelationSpec":
     if m.group(2) is None:
         return rel
     return RelationSpec(rel, Proxy(m.group(2)), Proxy(m.group(3)))
+
+
+class SubtestKind(enum.Enum):
+    """The three vector-test shapes behind every Table-1 condition.
+
+    Theorem 19/20's evaluation conditions all reduce to one comparison
+    sweep of a Y-side row against an X-side row:
+
+    * :attr:`FORALL_PAST` — ``∀i: T(⇓Ŷ)[i] ≥ lastX̂[i]`` (R1, R1', R2;
+      ``lastX̂ = 0`` off ``N_X̂`` is neutral because cut timestamps are
+      nonnegative);
+    * :attr:`EXISTS_CUT` — ``∃i: T(⇓Ŷ)[i] ≥ T(⇑X̂)[i]`` (R2', R3, R4,
+      R4') — the genuine cut-pair ``≪̸`` tests of Definition 7;
+    * :attr:`FORALL_FUTURE` — ``∀i ∈ N_Ŷ: firstŶ[i] ≥ T(∩⇑X̂)[i]``
+      (R3'; ``firstŶ = 0`` encodes "node not in ``N_Ŷ``" and is
+      skipped).
+
+    These are exactly the full-``|P|``-scan forms of the vectorised
+    all-pairs kernel (:mod:`repro.core.pairwise`), so a verdict computed
+    once for a subtest key answers *every* spec that canonicalises to
+    that key (see :func:`subtest_key`).
+    """
+
+    FORALL_PAST = "forall-past"
+    EXISTS_CUT = "exists-cut"
+    FORALL_FUTURE = "forall-future"
+
+
+#: A subtest key: ``(kind, (y_stat, Ŷ), (x_stat, X̂))`` where the stat
+#: names select rows of :class:`~repro.core.cuts.CutStats` computed for
+#: the L/U proxies of Y and X respectively.
+SubtestKey = Tuple[SubtestKind, Tuple[str, str], Tuple[str, str]]
+
+# Proxy coincidences used to canonicalise *base* relations onto proxy
+# operand rows (Section 2.5: proxies carry one component event per node):
+#   C1(L_Y) = C1(Y)    C2(U_Y) = C2(Y)    first(L_Y) = first(Y)
+#   C3(L_X) = C3(X)    C4(U_X) = C4(X)    last(U_X)  = last(X)
+_CANON_Y = {"c1": "L", "c2": "U", "first": "L"}
+_CANON_X = {"last": "U", "c3": "L", "c4": "U"}
+
+
+def subtest_key(spec: "Relation | RelationSpec") -> SubtestKey:
+    """The canonical ``≪`` subtest deciding ``spec`` (Theorem 19/20).
+
+    Maps each of the 40 evaluable specs (8 base relations on the full
+    intervals + the 32-member family on proxies) onto the identity of
+    the one vector subtest whose verdict decides it.  The map is
+    many-to-one three ways:
+
+    * synonyms collapse (R1 ≡ R1', R4 ≡ R4');
+    * base relations collapse onto family members through the proxy
+      coincidences above (e.g. ``R2(X, Y) ≡ R2(U_X, U_Y)``), so the
+      8 base relations introduce **zero** additional keys;
+    * within one pair (X, Y) the whole 40-spec query surface costs at
+      most 24 distinct verdicts — 12 of kind :attr:`SubtestKind.EXISTS_CUT`
+      (the cut-pair ``≪`` evaluations proper, bounded by the 16 ordered
+      cut pairs of Table 2) plus 12 extremal-row sweeps.
+
+    This is the memo key of
+    :class:`~repro.core.evaluator.SharedVerdictCache` and the
+    spec-matrix memo of :class:`~repro.core.pairwise.IntervalSetMatrices`.
+    """
+    cached = _KEY_CACHE.get(spec)
+    if cached is None:
+        cached = _KEY_CACHE[spec] = _compute_subtest_key(spec)
+    return cached
+
+
+def _compute_subtest_key(spec: "Relation | RelationSpec") -> SubtestKey:
+    if isinstance(spec, RelationSpec):
+        rel = spec.relation
+        px: "str | None" = spec.proxy_x.value
+        py: "str | None" = spec.proxy_y.value
+    else:
+        rel, px, py = spec, None, None
+
+    def yop(stat: str) -> Tuple[str, str]:
+        return (stat, py if py is not None else _CANON_Y[stat])
+
+    def xop(stat: str) -> Tuple[str, str]:
+        return (stat, px if px is not None else _CANON_X[stat])
+
+    if rel in (Relation.R1, Relation.R1P):
+        return (SubtestKind.FORALL_PAST, yop("c1"), xop("last"))
+    if rel is Relation.R2:
+        return (SubtestKind.FORALL_PAST, yop("c2"), xop("last"))
+    if rel is Relation.R2P:
+        return (SubtestKind.EXISTS_CUT, yop("c2"), xop("c4"))
+    if rel is Relation.R3:
+        return (SubtestKind.EXISTS_CUT, yop("c1"), xop("c3"))
+    if rel is Relation.R3P:
+        return (SubtestKind.FORALL_FUTURE, yop("first"), xop("c3"))
+    if rel in (Relation.R4, Relation.R4P):
+        return (SubtestKind.EXISTS_CUT, yop("c2"), xop("c3"))
+    raise ValueError(f"unknown relation: {rel!r}")  # pragma: no cover
+
+
+#: spec -> subtest key memo (the key set is finite: 40 evaluable specs
+#: plus whatever equal-but-distinct instances callers construct).
+_KEY_CACHE: "dict[Relation | RelationSpec, SubtestKey]" = {}
+
+
+#: The distinct subtest keys across all 40 evaluable specs (24 of them).
+SUBTEST_KEYS: Tuple[SubtestKey, ...] = tuple(
+    dict.fromkeys(
+        [subtest_key(spec) for spec in FAMILY32]
+        + [subtest_key(rel) for rel in BASE_RELATIONS]
+    )
+)
 
 
 def quantifier_eval(

@@ -10,6 +10,7 @@ Mattern, Def. 13) and reverse clocks (Def. 14).
 from .builder import MessageHandle, TraceBuilder
 from .clocks import (
     CyclicTraceError,
+    GrowableClockTable,
     clock_pass_counts,
     compute_forward_clocks,
     compute_reverse_clocks,
@@ -39,6 +40,7 @@ __all__ = [
     "TraceBuilder",
     "TraceError",
     "CyclicTraceError",
+    "GrowableClockTable",
     "Execution",
     "Ordering",
     "compute_forward_clocks",

@@ -61,6 +61,7 @@ from .trace import Trace, TraceError
 __all__ = [
     "CLOCK_DTYPE",
     "ClockTable",
+    "GrowableClockTable",
     "CyclicTraceError",
     "compute_forward_table",
     "compute_reverse_table",
@@ -189,6 +190,140 @@ class ClockTable:
         return (
             f"ClockTable(events={self.total_events}, "
             f"nodes={self.num_nodes}, dtype={self.data.dtype})"
+        )
+
+
+class GrowableClockTable:
+    """Append-only forward-clock storage for streaming ingestion.
+
+    :class:`ClockTable` is the right substrate for a *finished* trace —
+    one immutable node-major matrix — but a live monitor appends one
+    event at a time in arbitrary cross-node interleaving.  This class
+    keeps one capacity-doubling ``(cap_i, |P|)`` int32 block per node,
+    so an append is an in-place row write (copy the node's previous
+    row, fold message dependencies with ``np.maximum``, tick own
+    component): amortized O(|P|) with **no per-event allocation**.
+
+    Rows are written exactly once and never mutated afterwards, so
+    views handed out by :meth:`row` / :meth:`node_view` remain valid
+    snapshots even across a capacity-doubling reallocation (the old
+    buffer's values are final).
+
+    :meth:`snapshot` materialises the live contents as a regular
+    :class:`ClockTable` — one block copy per node, **zero clock
+    passes** (the ``forward``/``extend`` counters of
+    :func:`clock_pass_counts` do not move) — and memoizes the result
+    keyed by :attr:`version`, so repeated finalisations of an unchanged
+    stream are free.
+    """
+
+    __slots__ = ("_blocks", "_counts", "_version", "_snapshot",
+                 "_snapshot_version")
+
+    def __init__(self, num_nodes: int, capacity: int = 16) -> None:
+        if num_nodes <= 0:
+            raise ValueError("need at least one node")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._blocks: List[np.ndarray] = [
+            np.zeros((capacity, num_nodes), dtype=CLOCK_DTYPE)
+            for _ in range(num_nodes)
+        ]
+        self._counts: List[int] = [0] * num_nodes
+        self._version = 0
+        self._snapshot: "ClockTable | None" = None
+        self._snapshot_version = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``|P|`` — the vector width."""
+        return len(self._blocks)
+
+    @property
+    def total_events(self) -> int:
+        """Total appended events across all nodes."""
+        return self._version
+
+    @property
+    def version(self) -> int:
+        """Monotonic append counter (equals :attr:`total_events`).
+
+        :meth:`snapshot` and downstream finalisation caches key on it.
+        """
+        return self._version
+
+    def count(self, node: int) -> int:
+        """Number of events appended on ``node``."""
+        return self._counts[node]
+
+    @property
+    def lengths(self) -> Tuple[int, ...]:
+        """Per-node appended event counts."""
+        return tuple(self._counts)
+
+    def row(self, node: int, idx: int) -> np.ndarray:
+        """The timestamp of event ``(node, idx)`` (live view; treat as
+        read-only — rows are immutable once written)."""
+        if not 1 <= idx <= self._counts[node]:
+            raise IndexError(
+                f"event ({node}, {idx}) has not been appended "
+                f"(node has {self._counts[node]} events)"
+            )
+        return self._blocks[node][idx - 1]
+
+    def node_view(self, node: int) -> np.ndarray:
+        """``node``'s appended rows as a ``(count, P)`` view (zero-copy)."""
+        return self._blocks[node][: self._counts[node]]
+
+    # ------------------------------------------------------------------
+    def advance(self, node: int, extra: "np.ndarray | None" = None) -> np.ndarray:
+        """Append the next event on ``node`` and return its clock row.
+
+        The new row is the node's previous row (or zeros for the first
+        event) folded with ``extra`` (a message dependency's clock, if
+        any) under componentwise max, with the own component ticked —
+        Mattern/Fidge maintenance, written straight into preallocated
+        storage.
+        """
+        blk = self._blocks[node]
+        k = self._counts[node]
+        if k == blk.shape[0]:
+            grown = np.zeros((2 * k, len(self._blocks)), dtype=CLOCK_DTYPE)
+            grown[:k] = blk
+            blk = self._blocks[node] = grown
+        row = blk[k]
+        if k:
+            row[:] = blk[k - 1]
+        if extra is not None:
+            np.maximum(row, extra, out=row)
+        row[node] = k + 1
+        self._counts[node] = k + 1
+        self._version += 1
+        return row
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ClockTable:
+        """The live contents as an immutable :class:`ClockTable`.
+
+        One C-level block copy per node; no clock pass.  Memoized by
+        :attr:`version`: finalising an unchanged stream twice returns
+        the same table object.
+        """
+        if self._snapshot is not None and self._snapshot_version == self._version:
+            return self._snapshot
+        data = np.concatenate(
+            [self.node_view(i) for i in range(self.num_nodes)], axis=0
+        )
+        table = ClockTable(data, self.lengths)
+        self._snapshot = table
+        self._snapshot_version = self._version
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GrowableClockTable(events={self.total_events}, "
+            f"nodes={self.num_nodes})"
         )
 
 

@@ -22,6 +22,7 @@ import numpy as np
 from .clocks import (
     CLOCK_DTYPE,
     ClockTable,
+    GrowableClockTable,
     compute_forward_table,
     compute_reverse_table,
     extend_forward_table,
@@ -52,13 +53,15 @@ class Execution:
         is raised.
 
     forward_clocks:
-        Optional precomputed forward timestamps: either a columnar
-        :class:`~repro.events.clocks.ClockTable` or one ``(k_i, P)``
-        matrix per node (as produced by
-        :func:`~repro.events.clocks.compute_forward_clocks`).  Callers
-        that already maintain the forward structure — e.g. the online
-        monitor's streaming ingestion — pass it here to skip the
-        forward pass entirely.
+        Optional precomputed forward timestamps: a columnar
+        :class:`~repro.events.clocks.ClockTable` (adopted zero-copy), a
+        live :class:`~repro.events.clocks.GrowableClockTable` (its
+        version-keyed :meth:`~repro.events.clocks.GrowableClockTable.snapshot`
+        is adopted), or one ``(k_i, P)`` matrix per node (as produced
+        by :func:`~repro.events.clocks.compute_forward_clocks`).
+        Callers that already maintain the forward structure — e.g. the
+        online monitor's streaming ingestion — pass it here to skip
+        the forward pass entirely.
 
     Notes
     -----
@@ -82,7 +85,7 @@ class Execution:
     def __init__(
         self,
         trace: Trace,
-        forward_clocks: "Optional[Sequence[np.ndarray] | ClockTable]" = None,
+        forward_clocks: "Optional[Sequence[np.ndarray] | ClockTable | GrowableClockTable]" = None,
     ) -> None:
         self._trace = trace
         if forward_clocks is None:
@@ -97,11 +100,14 @@ class Execution:
 
     @staticmethod
     def _adopt_forward(
-        trace: Trace, forward_clocks: "Sequence[np.ndarray] | ClockTable"
+        trace: Trace,
+        forward_clocks: "Sequence[np.ndarray] | ClockTable | GrowableClockTable",
     ) -> ClockTable:
         """Validate caller-supplied forward clocks into a columnar table."""
         num_nodes = trace.num_nodes
         lengths = [trace.num_real(i) for i in range(num_nodes)]
+        if isinstance(forward_clocks, GrowableClockTable):
+            forward_clocks = forward_clocks.snapshot()
         if isinstance(forward_clocks, ClockTable):
             if forward_clocks.num_nodes != num_nodes or not np.array_equal(
                 forward_clocks.lengths, lengths

@@ -21,22 +21,44 @@ R3'      ``∀i ∈ N_Y ∃m ∈ N_X: T(y_first(i))[m] ≥ firstX[m]``          
 those two relations fall back to the polynomial past-only form — the
 price of not knowing the future.)
 
+Streaming fast path
+-------------------
+Ingestion writes forward clocks straight into a
+:class:`~repro.events.clocks.GrowableClockTable` — capacity-doubling
+``(cap, |P|)`` int32 blocks, one amortized-O(|P|) in-place row write
+per event, no per-event allocation.  Each :class:`OnlineInterval`
+*maintains* its past-cut timestamps incrementally as events are tagged
+(one vectorized min/max against the live clock row), so ``close()``
+and watch firing evaluate the past-only conditions with **zero
+re-scans** of previously tagged events; the only deferred fold is
+``T(∩⇓U_Y)`` (a min over per-node *last* rows, which is not
+incrementally foldable — a later last event can *raise* the min) and
+it is computed once at close.  Finalisation
+(:meth:`OnlineMonitor.to_execution`) hands the live table to
+:class:`~repro.events.poset.Execution` via its version-keyed snapshot:
+**zero** forward/extend clock passes, and the reverse pass stays
+unbuilt until a future-cut consumer asks
+(regression-tested via :func:`repro.events.clocks.clock_pass_counts`).
+
 Usage: feed events through :meth:`OnlineMonitor.internal` /
 :meth:`send` / :meth:`recv`, tag them into named intervals, ``close``
 an interval when the application activity completes, and query
 :meth:`holds` — or register :meth:`watch` conditions that fire as soon
-as every interval they mention is closed.
+as every interval they mention is closed (all watches decidable at one
+``close`` are batch-evaluated in one NumPy pass over the stacked
+per-atom operand matrices).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.relations import Relation, RelationSpec, parse_spec
 from ..events.builder import MessageHandle, TraceBuilder
+from ..events.clocks import CLOCK_DTYPE, GrowableClockTable
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.proxies import Proxy
@@ -44,30 +66,171 @@ from .predicates import Atom, Condition, parse_condition
 
 __all__ = ["OnlineInterval", "OnlineMonitor", "WatchNotification"]
 
+#: Relations whose past-only condition reads only the interval-level
+#: past-cut vectors (the maintained ``T(∩⇓Ŷ)``/``T(∪⇓Ŷ)``); R2'/R3'
+#: additionally need the per-node clock stacks.
+_VECTOR_RELATIONS = (
+    Relation.R1,
+    Relation.R1P,
+    Relation.R2,
+    Relation.R3,
+    Relation.R4,
+    Relation.R4P,
+)
+
 
 class OnlineInterval:
-    """A nonatomic event being assembled from a live stream."""
+    """A nonatomic event being assembled from a live stream.
 
-    __slots__ = ("name", "first", "last", "count", "closed")
+    Alongside the per-node first/last extremal indices, the interval
+    *maintains* the vectors the past-only conditions consume, updated
+    with one vectorized min/max per tagged event:
 
-    def __init__(self, name: str) -> None:
+    * ``T(∩⇓L_Y)`` (min over first-event clocks) and the max over
+      first-event clocks — folded when a node's **first** event is
+      tagged (firsts never change afterwards);
+    * ``T(∪⇓Y) = T(∪⇓U_Y)`` (max over last-event clocks) — folded on
+      **every** tag (per-node clocks are monotone, so the running max
+      over all tagged events equals the max over per-node lasts);
+    * dense first/last local-index vectors (0 off the node set).
+
+    ``T(∩⇓U_Y)`` (min over last-event clocks) is the one quantity a
+    running fold cannot maintain — replacing a node's last event with a
+    later one can *raise* the min — so it is recomputed lazily (one
+    |N_Y|-row fold) when the interval is finalised at ``close``,
+    together with the stacked first/last clock matrices that R2'/R3'
+    scan.
+    """
+
+    __slots__ = (
+        "name", "first", "last", "count", "closed",
+        "_table", "_min_first", "_max_first", "_max_last",
+        "_first_vec", "_last_vec",
+        "_min_last", "_first_stack", "_last_stack", "_dirty",
+    )
+
+    def __init__(
+        self, name: str, table: Optional[GrowableClockTable] = None
+    ) -> None:
         self.name = name
         self.first: Dict[int, int] = {}
         self.last: Dict[int, int] = {}
         self.count = 0
         self.closed = False
+        self._table = table
+        self._min_first: Optional[np.ndarray] = None
+        self._max_first: Optional[np.ndarray] = None
+        self._max_last: Optional[np.ndarray] = None
+        self._first_vec: Optional[np.ndarray] = None
+        self._last_vec: Optional[np.ndarray] = None
+        self._min_last: Optional[np.ndarray] = None
+        self._first_stack: Optional[np.ndarray] = None
+        self._last_stack: Optional[np.ndarray] = None
+        self._dirty = True
 
-    def add(self, eid: EventId) -> None:
+    def add(self, eid: EventId, row: Optional[np.ndarray] = None) -> None:
+        """Tag event ``eid`` into the interval.
+
+        ``row`` is the event's forward clock row; when omitted it is
+        read from the monitor's live table (the event must have been
+        ingested).  Each tag costs one vectorized min/max fold.
+        """
         node, idx = eid
+        if row is None:
+            if self._table is None:
+                raise ValueError(
+                    f"interval {self.name!r} is not attached to a monitor"
+                )
+            row = self._table.row(node, idx)
+        if self._min_first is None:
+            width = row.shape[0]
+            self._min_first = row.astype(CLOCK_DTYPE, copy=True)
+            self._max_first = row.astype(CLOCK_DTYPE, copy=True)
+            self._max_last = row.astype(CLOCK_DTYPE, copy=True)
+            self._first_vec = np.zeros(width, dtype=np.int64)
+            self._last_vec = np.zeros(width, dtype=np.int64)
+        elif node not in self.first:
+            np.minimum(self._min_first, row, out=self._min_first)
+            np.maximum(self._max_first, row, out=self._max_first)
+            np.maximum(self._max_last, row, out=self._max_last)
+        else:
+            np.maximum(self._max_last, row, out=self._max_last)
         if node not in self.first:
             self.first[node] = idx
+            self._first_vec[node] = idx
         self.last[node] = idx
+        self._last_vec[node] = idx
         self.count += 1
+        self._dirty = True
 
     @property
     def node_set(self) -> Tuple[int, ...]:
         """Nodes the interval spans (sorted)."""
         return tuple(sorted(self.first))
+
+    # ------------------------------------------------------------------
+    # maintained past-only state
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        """Compute the close-time folds: ``T(∩⇓U_Y)`` and the stacked
+        first/last clock matrices.  One |N_Y|-row gather; no event
+        re-scans."""
+        if not self._dirty:
+            return
+        if self._table is None:
+            raise ValueError(
+                f"interval {self.name!r} is not attached to a monitor"
+            )
+        nodes = sorted(self.first)
+        self._first_stack = np.stack(
+            [self._table.row(n, self.first[n]) for n in nodes]
+        )
+        self._last_stack = np.stack(
+            [self._table.row(n, self.last[n]) for n in nodes]
+        )
+        self._min_last = np.min(self._last_stack, axis=0)
+        self._dirty = False
+
+    def past_cuts(
+        self, proxy: Optional[Proxy]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(T(∩⇓Ŷ), T(∪⇓Ŷ))`` for the interval or one of its proxies.
+
+        ``T(∩⇓Y) = T(∩⇓L_Y)`` and ``T(∪⇓Y) = T(∪⇓U_Y)`` (the proxy
+        coincidences), so the full interval shares its proxies'
+        vectors.
+        """
+        if proxy is Proxy.L:
+            return self._min_first, self._max_first
+        if proxy is Proxy.U:
+            if self._dirty:
+                self._finalize()
+            return self._min_last, self._max_last
+        return self._min_first, self._max_last
+
+    def extremal_vectors(
+        self, proxy: Optional[Proxy]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(first, last)`` local-index vectors (0 off the node
+        set) of the interval or one of its proxies."""
+        if proxy is Proxy.L:
+            return self._first_vec, self._first_vec
+        if proxy is Proxy.U:
+            return self._last_vec, self._last_vec
+        return self._first_vec, self._last_vec
+
+    def clock_stacks(
+        self, proxy: Optional[Proxy]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(|N_Y|, P)`` first/last clock matrices (node-sorted
+        rows) of the interval or one of its proxies."""
+        if self._dirty:
+            self._finalize()
+        if proxy is Proxy.L:
+            return self._first_stack, self._first_stack
+        if proxy is Proxy.U:
+            return self._last_stack, self._last_stack
+        return self._first_stack, self._last_stack
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,35 +251,36 @@ class OnlineMonitor:
     a real monitoring point observes.
     """
 
+    __slots__ = (
+        "_builder", "num_nodes", "_table", "_intervals", "_watches",
+        "notifications", "_now", "_finalized",
+    )
+
     def __init__(self, num_nodes: int) -> None:
         self._builder = TraceBuilder(num_nodes)
         self.num_nodes = num_nodes
-        self._clocks: List[List[np.ndarray]] = [[] for _ in range(num_nodes)]
+        self._table = GrowableClockTable(num_nodes)
         self._intervals: Dict[str, OnlineInterval] = {}
         self._watches: List[Tuple[str, Condition]] = []
         self.notifications: List[WatchNotification] = []
         self._now = 0.0
+        self._finalized: Optional[Tuple[int, Execution]] = None
 
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def _advance_clock(
-        self, node: int, extra: Optional[np.ndarray]
-    ) -> np.ndarray:
-        rows = self._clocks[node]
-        row = rows[-1].copy() if rows else np.zeros(self.num_nodes, np.int64)
-        if extra is not None:
-            np.maximum(row, extra, out=row)
-        row[node] += 1
-        rows.append(row)
-        return row
-
-    def _tag(self, eid: EventId, interval: Optional[str]) -> EventId:
+    def _tag(
+        self, eid: EventId, interval: Optional[str], row: np.ndarray
+    ) -> EventId:
         if interval is not None:
-            iv = self._intervals.setdefault(interval, OnlineInterval(interval))
+            iv = self._intervals.get(interval)
+            if iv is None:
+                iv = self._intervals[interval] = OnlineInterval(
+                    interval, self._table
+                )
             if iv.closed:
                 raise ValueError(f"interval {interval!r} is already closed")
-            iv.add(eid)
+            iv.add(eid, row)
         return eid
 
     def internal(
@@ -131,8 +295,8 @@ class OnlineMonitor:
         if time is not None:
             self._now = max(self._now, time)
         eid = self._builder.internal(node, label=label, time=time)
-        self._advance_clock(node, None)
-        return self._tag(eid, interval)
+        row = self._table.advance(node)
+        return self._tag(eid, interval, row)
 
     def send(
         self,
@@ -146,8 +310,8 @@ class OnlineMonitor:
         if time is not None:
             self._now = max(self._now, time)
         handle = self._builder.send(node, label=label, time=time)
-        self._advance_clock(node, None)
-        self._tag(handle.send, interval)
+        row = self._table.advance(node)
+        self._tag(handle.send, interval, row)
         return handle
 
     def recv(
@@ -163,11 +327,11 @@ class OnlineMonitor:
         if time is not None:
             self._now = max(self._now, time)
         s_node, s_idx = handle.send
-        if s_idx > len(self._clocks[s_node]):
+        if s_idx > self._table.count(s_node):
             raise ValueError("receive observed before its send")
         eid = self._builder.recv(node, handle, label=label, time=time)
-        self._advance_clock(node, self._clocks[s_node][s_idx - 1])
-        return self._tag(eid, interval)
+        row = self._table.advance(node, self._table.row(s_node, s_idx))
+        return self._tag(eid, interval, row)
 
     # ------------------------------------------------------------------
     # clock queries
@@ -175,7 +339,7 @@ class OnlineMonitor:
     def clock(self, eid: EventId) -> np.ndarray:
         """Forward vector timestamp of an observed event."""
         node, idx = eid
-        return self._clocks[node][idx - 1]
+        return self._table.row(node, idx)
 
     def precedes(self, a: EventId, b: EventId) -> bool:
         """``a ≺ b`` among observed events."""
@@ -186,10 +350,18 @@ class OnlineMonitor:
     # ------------------------------------------------------------------
     def interval(self, name: str) -> OnlineInterval:
         """Get (or create) the named interval."""
-        return self._intervals.setdefault(name, OnlineInterval(name))
+        iv = self._intervals.get(name)
+        if iv is None:
+            iv = self._intervals[name] = OnlineInterval(name, self._table)
+        return iv
 
     def close(self, name: str) -> List[WatchNotification]:
         """Mark an interval complete; fires any now-decidable watches.
+
+        The interval's close-time folds (``T(∩⇓U_Y)`` and the stacked
+        clock matrices) are computed here, once; every watch that
+        became decidable is evaluated in one batched NumPy pass over
+        the stacked per-atom operand matrices.
 
         Raises
         ------
@@ -202,23 +374,29 @@ class OnlineMonitor:
         if iv.count == 0:
             raise ValueError(f"cannot close empty interval {name!r}")
         iv.closed = True
+        iv._finalize()
         fired: List[WatchNotification] = []
         remaining: List[Tuple[str, Condition]] = []
+        decidable: List[Tuple[str, Condition]] = []
         for wname, cond in self._watches:
             needed = cond.names()
             if all(
                 n in self._intervals and self._intervals[n].closed for n in needed
             ):
+                decidable.append((wname, cond))
+            else:
+                remaining.append((wname, cond))
+        if decidable:
+            verdicts = self._batch_eval_atoms([c for _, c in decidable])
+            for wname, cond in decidable:
                 note = WatchNotification(
                     name=wname,
                     condition=cond,
-                    passed=cond.evaluate(self._atom_eval),
+                    passed=cond.evaluate(lambda atom: verdicts[atom]),
                     decided_at=self._now,
                 )
                 fired.append(note)
                 self.notifications.append(note)
-            else:
-                remaining.append((wname, cond))
         self._watches = remaining
         return fired
 
@@ -237,44 +415,40 @@ class OnlineMonitor:
             raise ValueError(f"interval {name!r} is not closed yet")
         return iv
 
-    def _proxy_bounds(
-        self, iv: OnlineInterval, proxy: Optional[Proxy]
-    ) -> Tuple[Dict[int, int], Dict[int, int]]:
-        """(first, last) index maps of the interval or one of its proxies."""
-        if proxy is None:
-            return iv.first, iv.last
-        if proxy is Proxy.L:
-            return iv.first, iv.first
-        return iv.last, iv.last
-
-    def _eval_base(
+    def _eval(
         self,
         relation: Relation,
-        xfirst: Dict[int, int],
-        xlast: Dict[int, int],
-        yfirst: Dict[int, int],
-        ylast: Dict[int, int],
+        x: OnlineInterval,
+        proxy_x: Optional[Proxy],
+        y: OnlineInterval,
+        proxy_y: Optional[Proxy],
     ) -> bool:
-        nx = sorted(xfirst)
-        y_first_clocks = [self.clock((n, j)) for n, j in sorted(yfirst.items())]
-        y_last_clocks = [self.clock((n, j)) for n, j in sorted(ylast.items())]
-        ty1 = np.minimum.reduce(y_first_clocks)  # T(∩⇓Y)
-        ty2 = np.maximum.reduce(y_last_clocks)  # T(∪⇓Y)
+        """One past-only condition over the maintained vectors.
+
+        The universal/existential rows compare ``T(∩⇓Ŷ)``/``T(∪⇓Ŷ)``
+        against X̂'s dense extremal-index vectors (0 off N_X is neutral:
+        every clock component is ≥ 0, and the ∃-rows mask on
+        ``first ≥ 1``); R2'/R3' scan the stacked per-node clock
+        matrices.  No tagged event is revisited.
+        """
+        xfirst, xlast = x.extremal_vectors(proxy_x)
+        ty1, ty2 = y.past_cuts(proxy_y)
         if relation in (Relation.R1, Relation.R1P):
-            return all(ty1[m] >= xlast[m] for m in nx)
+            return bool(np.all((xlast == 0) | (ty1 >= xlast)))
         if relation is Relation.R2:
-            return all(ty2[m] >= xlast[m] for m in nx)
+            return bool(np.all((xlast == 0) | (ty2 >= xlast)))
         if relation is Relation.R3:
-            return any(ty1[m] >= xfirst[m] for m in nx)
+            return bool(np.any((xfirst >= 1) & (ty1 >= xfirst)))
         if relation in (Relation.R4, Relation.R4P):
-            return any(ty2[m] >= xfirst[m] for m in nx)
+            return bool(np.any((xfirst >= 1) & (ty2 >= xfirst)))
+        first_stack, last_stack = y.clock_stacks(proxy_y)
         if relation is Relation.R2P:
-            return any(
-                all(c[m] >= xlast[m] for m in nx) for c in y_last_clocks
+            return bool(
+                np.any(np.all((xlast == 0) | (last_stack >= xlast), axis=1))
             )
         if relation is Relation.R3P:
-            return all(
-                any(c[m] >= xfirst[m] for m in nx) for c in y_first_clocks
+            return bool(
+                np.all(np.any((xfirst >= 1) & (first_stack >= xfirst), axis=1))
             )
         raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
 
@@ -287,17 +461,82 @@ class OnlineMonitor:
         """Evaluate a relation between two *closed* intervals online.
 
         Semantically identical to the offline engines (for disjoint
-        intervals), but uses only forward clocks.
+        intervals), but uses only forward clocks — and only the
+        incrementally maintained interval vectors, so each query is
+        ``O(|P|)`` (R2'/R3': ``O(|N_Y|·|P|)``) regardless of how many
+        events were tagged.
         """
         if isinstance(spec, str):
             spec = parse_spec(spec)
         x = self._closed(x_name)
         y = self._closed(y_name)
         if isinstance(spec, RelationSpec):
-            xf, xl = self._proxy_bounds(x, spec.proxy_x)
-            yf, yl = self._proxy_bounds(y, spec.proxy_y)
-            return self._eval_base(spec.relation, xf, xl, yf, yl)
-        return self._eval_base(spec, x.first, x.last, y.first, y.last)
+            return self._eval(
+                spec.relation, x, spec.proxy_x, y, spec.proxy_y
+            )
+        return self._eval(spec, x, None, y, None)
+
+    def _batch_eval_atoms(
+        self, conditions: List[Condition]
+    ) -> Dict[Atom, bool]:
+        """Evaluate every distinct atom of ``conditions`` in one pass.
+
+        Atoms whose relation reads only the interval-level past-cut
+        vectors are grouped by relation and answered with a single
+        NumPy reduction over the stacked ``(a, P)`` operand matrices;
+        R2'/R3' atoms (per-node clock-stack scans) are evaluated
+        individually but still vectorized over ``(|N_Y|, P)``.
+        """
+        atoms: List[Atom] = []
+        seen = set()
+        for cond in conditions:
+            for atom in _collect_atoms(cond):
+                if atom not in seen:
+                    seen.add(atom)
+                    atoms.append(atom)
+        groups: Dict[Relation, List[Atom]] = {}
+        verdicts: Dict[Atom, bool] = {}
+        for atom in atoms:
+            spec = atom.spec
+            if isinstance(spec, str):
+                spec = parse_spec(spec)
+            relation = spec.relation if isinstance(spec, RelationSpec) else spec
+            groups.setdefault(relation, []).append(atom)
+        for relation, members in groups.items():
+            if relation not in _VECTOR_RELATIONS:
+                for atom in members:
+                    verdicts[atom] = self.holds(atom.spec, atom.left, atom.right)
+                continue
+            xf_rows, xl_rows, t1_rows, t2_rows = [], [], [], []
+            for atom in members:
+                spec = atom.spec
+                if isinstance(spec, str):
+                    spec = parse_spec(spec)
+                px = spec.proxy_x if isinstance(spec, RelationSpec) else None
+                py = spec.proxy_y if isinstance(spec, RelationSpec) else None
+                x = self._closed(atom.left)
+                y = self._closed(atom.right)
+                xfirst, xlast = x.extremal_vectors(px)
+                ty1, ty2 = y.past_cuts(py)
+                xf_rows.append(xfirst)
+                xl_rows.append(xlast)
+                t1_rows.append(ty1)
+                t2_rows.append(ty2)
+            xfirst = np.stack(xf_rows)
+            xlast = np.stack(xl_rows)
+            ty1 = np.stack(t1_rows)
+            ty2 = np.stack(t2_rows)
+            if relation in (Relation.R1, Relation.R1P):
+                out = np.all((xlast == 0) | (ty1 >= xlast), axis=1)
+            elif relation is Relation.R2:
+                out = np.all((xlast == 0) | (ty2 >= xlast), axis=1)
+            elif relation is Relation.R3:
+                out = np.any((xfirst >= 1) & (ty1 >= xfirst), axis=1)
+            else:  # R4 / R4'
+                out = np.any((xfirst >= 1) & (ty2 >= xfirst), axis=1)
+            for atom, v in zip(members, out.tolist()):
+                verdicts[atom] = v
+        return verdicts
 
     def _atom_eval(self, atom: Atom) -> bool:
         return self.holds(atom.spec, atom.left, atom.right)
@@ -308,31 +547,47 @@ class OnlineMonitor:
     def to_execution(self) -> Execution:
         """Finalise the observed trace into an offline execution.
 
-        The monitor already maintains every forward vector timestamp
-        (they are what the past-only conditions consume), so the
-        execution is seeded with them instead of re-running the forward
-        pass — and the reverse structure stays unbuilt until a
+        The monitor already maintains every forward vector timestamp in
+        its growable columnar table, so the execution adopts the
+        table's version-keyed snapshot instead of re-running the
+        forward pass — and the reverse structure stays unbuilt until a
         future-cut consumer actually asks for it.  Ingestion plus
         finalisation therefore performs **zero** offline clock passes
         (regression-tested via
-        :func:`repro.events.clocks.clock_pass_counts`).
+        :func:`repro.events.clocks.clock_pass_counts`).  The finalised
+        execution is memoized by table version: calling again without
+        new events returns the same object (and hence the same shared
+        :class:`~repro.core.context.AnalysisContext`).
         """
+        version = self._table.version
+        if self._finalized is not None and self._finalized[0] == version:
+            return self._finalized[1]
         trace = self._builder.build()
-        forward = [
-            np.stack(rows)
-            if rows
-            else np.zeros((0, self.num_nodes), dtype=np.int64)
-            for rows in self._clocks
-        ]
-        return Execution(trace, forward_clocks=forward)
+        ex = Execution(trace, forward_clocks=self._table)
+        self._finalized = (version, ex)
+        return ex
 
     def to_context(self):
         """Finalise into a shared :class:`~repro.core.context.AnalysisContext`.
 
         The offline hand-off point: the returned context owns the
-        finalised execution (with the monitor's forward clocks adopted)
-        and the cut cache every offline engine will share.
+        finalised execution (with the monitor's forward clocks adopted
+        zero-copy) and the cut cache every offline engine will share.
         """
         from ..core.context import AnalysisContext
 
         return AnalysisContext.of(self.to_execution())
+
+
+def _collect_atoms(cond: Condition) -> List[Atom]:
+    """All :class:`Atom` leaves of a condition AST."""
+    if isinstance(cond, Atom):
+        return [cond]
+    out: List[Atom] = []
+    for attr in ("operand", "antecedent", "consequent"):
+        sub = getattr(cond, attr, None)
+        if sub is not None:
+            out.extend(_collect_atoms(sub))
+    for sub in getattr(cond, "operands", ()):
+        out.extend(_collect_atoms(sub))
+    return out

@@ -133,6 +133,21 @@ class TestGatherKernelVsNaive:
 
 
 class TestParallelExecutor:
+    def test_jobs_clamped_to_cpu_count(self):
+        """Default clamp caps workers at the core count (oversubscribed
+        pools measured slower than serial on a 1-core host); clamp=False
+        keeps the explicit request."""
+        import os
+
+        ex = Execution(random_trace(2, events_per_node=4, seed=2))
+        cores = os.cpu_count() or 1
+        with ParallelBatchExecutor(ex, jobs=4096) as px:
+            assert px.jobs == cores
+        with ParallelBatchExecutor(ex, jobs=4096, clamp=False) as px:
+            assert px.jobs == 4096
+        with ParallelBatchExecutor(ex) as px:  # default = cpu_count
+            assert px.jobs == cores
+
     def test_pool_matches_serial_and_scalar_over_seeds(self):
         """2-worker pool vs serial fallback vs scalar engine, all 40
         specs, several random executions (deterministic seeds)."""
@@ -155,7 +170,10 @@ class TestParallelExecutor:
                 queries.append((spec, intervals[int(i)], intervals[int(j)]))
 
             scalar = [an.holds(s, x, y) for s, x, y in queries]
-            with ParallelBatchExecutor(ex, jobs=2, min_parallel=1) as px:
+            # clamp=False: exercise real pool mechanics even on 1-core CI
+            with ParallelBatchExecutor(
+                ex, jobs=2, min_parallel=1, clamp=False
+            ) as px:
                 assert px.execute(queries, check_disjoint=False) == scalar
             serial = ParallelBatchExecutor(ex, jobs=1).execute(
                 queries, check_disjoint=False
@@ -187,7 +205,9 @@ class TestParallelExecutor:
         ex = Execution(b.build())
         an = SynchronizationAnalyzer(ex)
         x = an.interval([e0])
-        px = ParallelBatchExecutor(an.context, jobs=2, min_parallel=1)
+        px = ParallelBatchExecutor(
+            an.context, jobs=2, min_parallel=1, clamp=False
+        )
         try:
             px.execute([("R1", x, an.interval([r]))])
             version_before = px._published_version

@@ -1,0 +1,151 @@
+"""The shared ``≪``-subtest verdict cache (Theorem 19/20 factoring).
+
+Accounting properties of
+:class:`~repro.core.evaluator.SharedVerdictCache`: a whole-family query
+on one ordered pair costs a bounded number of distinct subtest
+evaluations (24 total, of which 12 are genuine cut-pair ``≪`` tests —
+well under the 16 ordered Table-2 cut pairs), repeat queries are pure
+cache hits, verdicts are dropped when the execution version bumps, and
+configurations whose semantics the factoring does not cover bypass the
+cache entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.core.evaluator import SynchronizationAnalyzer
+from repro.core.relations import BASE_RELATIONS, FAMILY32, SUBTEST_KEYS
+from repro.events.builder import TraceBuilder
+from repro.events.poset import Execution
+from repro.nonatomic.proxies import ProxyDefinition
+from repro.nonatomic.selection import random_disjoint_pair
+from repro.simulation.workloads import random_execution
+
+
+def _pair(seed=7, nodes=6, k=6):
+    ex = random_execution(nodes, events_per_node=k, msg_prob=0.35, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    x, y = random_disjoint_pair(ex, rng, events_per_node=2)
+    return ex, x, y
+
+
+class TestAccounting:
+    def test_subtest_key_space(self):
+        assert len(SUBTEST_KEYS) == 24
+        from repro.core.relations import SubtestKind, subtest_key
+
+        cut_pair = [k for k in SUBTEST_KEYS if k[0] is SubtestKind.EXISTS_CUT]
+        assert len(cut_pair) == 12  # <= the 16 ordered Table-2 cut pairs
+        # the 8 base relations introduce zero keys beyond the family's
+        family_keys = {subtest_key(s) for s in FAMILY32}
+        assert {subtest_key(r) for r in BASE_RELATIONS} <= family_keys
+
+    def test_all_relations_bounded_cut_pair_evals(self):
+        """The whole 40-spec surface on one ordered pair costs at most
+        16 distinct cut-pair ``≪`` evaluations (measured: 12)."""
+        ex, x, y = _pair()
+        an = SynchronizationAnalyzer(ex)
+        vc = an.verdict_cache
+        assert vc is not None and vc.evals == 0
+
+        an.all_relations(x, y)
+        an.base_relations(x, y)
+        an.strongest(x, y)
+        assert vc.evals == 24
+        assert vc.cut_pair_evals == 12
+        assert vc.cut_pair_evals <= 16
+
+        hits = vc.hits
+        an.all_relations(x, y)  # repeat: pure hits, no new evaluations
+        assert vc.evals == 24 and vc.cut_pair_evals == 12
+        assert vc.hits == hits + 32
+
+    def test_reverse_pair_is_a_separate_fill(self):
+        ex, x, y = _pair()
+        an = SynchronizationAnalyzer(ex)
+        an.all_relations(x, y)
+        an.all_relations(y, x)  # ordered pairs: (y, x) needs its own fill
+        assert an.verdict_cache.evals == 48
+
+    def test_cache_shared_across_analyzers(self):
+        """Analyzers over the same context share one verdict cache."""
+        ex, x, y = _pair()
+        context = AnalysisContext(ex)
+        a1 = SynchronizationAnalyzer(context)
+        a2 = SynchronizationAnalyzer(context)
+        assert a1.verdict_cache is a2.verdict_cache
+        a1.all_relations(x, y)
+        hits = a1.verdict_cache.hits
+        a2.all_relations(x, y)
+        assert a2.verdict_cache.evals == 24
+        assert a2.verdict_cache.hits == hits + 32
+
+
+class TestInvalidation:
+    def test_version_bump_drops_verdicts(self):
+        b = TraceBuilder(2)
+        e0 = b.internal(0)
+        m = b.send(0)
+        r = b.recv(1, m)
+        ex = Execution(b.build())
+        an = SynchronizationAnalyzer(ex)
+        x = an.interval([e0])
+        y = an.interval([r])
+        first = an.all_relations(x, y)
+        vc = an.verdict_cache
+        assert vc.evals == 24
+
+        e1 = b.internal(1)
+        an.context.extend(b.build())
+        y2 = an.interval([r, e1])
+        again = an.all_relations(x, y2)  # refill on the grown execution
+        assert vc.evals == 48  # the old fill was dropped, not reused
+
+        cold = SynchronizationAnalyzer(
+            Execution(b.build()), engine="naive"
+        )
+        cx = cold.interval([e0])
+        assert again == {
+            spec: cold.holds(spec, cx, cold.interval([r, e1]))
+            for spec in FAMILY32
+        }
+        # the pre-growth result set is still internally consistent
+        assert set(first) == set(FAMILY32)
+
+    def test_noop_growth_still_invalidates_conservatively(self):
+        """Even a no-event extension bumps the version: invalidation is
+        keyed on the bump, never on guessing which verdicts survive."""
+        ex, x, y = _pair()
+        an = SynchronizationAnalyzer(ex)
+        before = an.all_relations(x, y)
+        an.context.extend(ex.trace)
+        vc = an.verdict_cache
+        assert an.all_relations(x, y) == before  # refilled, identical
+        assert vc.evals == 48
+
+
+class TestBypass:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(engine="naive"),
+            dict(engine="polynomial"),
+            dict(counted=True),
+            dict(proxy_definition=ProxyDefinition.GLOBAL),
+        ],
+        ids=["naive", "polynomial", "counted", "global-proxies"],
+    )
+    def test_uncovered_configurations_bypass(self, kwargs):
+        ex, x, y = _pair()
+        an = SynchronizationAnalyzer(ex, check_disjoint=False, **kwargs)
+        assert an.verdict_cache is None
+
+    def test_bypassed_results_still_agree(self):
+        ex, x, y = _pair()
+        cached = SynchronizationAnalyzer(ex)
+        naive = SynchronizationAnalyzer(ex, engine="naive")
+        assert cached.all_relations(x, y) == naive.all_relations(x, y)
+        assert cached.strongest(x, y) == naive.strongest(x, y)
