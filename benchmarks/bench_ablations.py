@@ -14,7 +14,7 @@ from repro.core.linear import LinearEvaluator
 from repro.core.relations import BASE_RELATIONS
 from repro.nonatomic.proxies import ProxyDefinition
 
-from .conftest import fresh_intervals, make_pair, make_pairs
+from .conftest import fresh_intervals, make_pair
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,6 @@ interval, cuts, proxies) and asserts their structural invariants — the
 machine-checkable content of the drawings.
 """
 
-import pytest
 
 from repro.simulation.scenarios import figure1, figure2, figure3
 from repro.viz.spacetime import render

@@ -78,5 +78,5 @@ def test_fit_exponents(benchmark):
     assert b_poly > 1.6, totals["polynomial"]
     assert b_lin < 1.3, totals["linear"]
     # and the linear engine never loses
-    for p, l in zip(totals["polynomial"], totals["linear"]):
+    for p, l in zip(totals["polynomial"], totals["linear"], strict=True):
         assert l <= p

@@ -22,7 +22,7 @@ INTERVALS = random_intervals(EX, K, events_per_node=2, seed=14)
 
 def test_scalar_loop(benchmark):
     lin = LinearEvaluator(EX)
-    mats = IntervalSetMatrices(INTERVALS)  # warm cut caches for parity
+    IntervalSetMatrices(INTERVALS)  # warm cut caches for parity
 
     def run():
         return [

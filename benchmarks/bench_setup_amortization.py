@@ -18,7 +18,6 @@ and prints the break-even query count.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.context import AnalysisContext, CutCache
 from repro.core.cuts import cut_stats, cuts_of

@@ -5,7 +5,6 @@ Not paper experiments — capacity characterisation of the layers the
 experiments stand on, so regressions in the substrate are visible.
 """
 
-import pytest
 
 from repro.events.clocks import compute_forward_clocks, compute_reverse_clocks
 from repro.events.poset import Execution

@@ -10,7 +10,7 @@ pytest fixtures.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Tuple
+from collections.abc import Callable
 
 import numpy as np
 
@@ -29,7 +29,7 @@ __all__ = [
 ]
 
 
-def disjoint_intervals(ex: Execution, k: int) -> List[NonatomicEvent]:
+def disjoint_intervals(ex: Execution, k: int) -> list[NonatomicEvent]:
     """Partition the execution's events into ``k`` disjoint intervals.
 
     Every ordered pair from the result satisfies the evaluation
@@ -46,7 +46,7 @@ def disjoint_intervals(ex: Execution, k: int) -> List[NonatomicEvent]:
 
 def random_intervals(
     ex: Execution, count: int, events_per_node: int = 2, seed: int = 14
-) -> List[NonatomicEvent]:
+) -> list[NonatomicEvent]:
     """``count`` independently sampled random intervals over ``ex``."""
     rng = np.random.default_rng(seed)
     return [
@@ -68,7 +68,7 @@ def spanning_interval(
     return NonatomicEvent(ex, ids)
 
 
-def best_of(fn: Callable, reps: int = 5) -> Tuple[float, object]:
+def best_of(fn: Callable, reps: int = 5) -> tuple[float, object]:
     """``(best wall-clock seconds, last result)`` over ``reps`` runs."""
     best, result = float("inf"), None
     for _ in range(reps):
@@ -81,14 +81,14 @@ def best_of(fn: Callable, reps: int = 5) -> Tuple[float, object]:
 # ----------------------------------------------------------------------
 # streaming-ingestion workloads (bench_online_monitor + bench_report)
 # ----------------------------------------------------------------------
-def stream_schedule(trace) -> List[tuple]:
+def stream_schedule(trace) -> list[tuple]:
     """A causally valid global replay order for a recorded trace.
 
     Returns ``(node, event, send_eid)`` triples — exactly what a
     monitoring point would observe: per-node program order, every
     receive after its send.
     """
-    order: List[tuple] = []
+    order: list[tuple] = []
     emitted = set()
     pos = [0] * trace.num_nodes
     progressed = True
@@ -128,9 +128,9 @@ def stream_online(trace, chunk: int, spec: str = "R2"):
     om = OnlineMonitor(trace.num_nodes)
     handles = {}
     counts = [0] * trace.num_nodes
-    closed: List[str] = []
+    closed: list[str] = []
     done = set()
-    verdicts: List[bool] = []
+    verdicts: list[bool] = []
     for node, ev, send in stream_schedule(trace):
         iname = _chunk_name(node, counts[node], chunk)
         if ev.kind.name == "SEND":
@@ -169,9 +169,9 @@ def stream_rebuild_baseline(trace, chunk: int, spec: str = "R2"):
     handles = {}
     counts = [0] * trace.num_nodes
     tags: dict = {}
-    closed: List[str] = []
+    closed: list[str] = []
     done = set()
-    verdicts: List[bool] = []
+    verdicts: list[bool] = []
     for node, ev, send in stream_schedule(trace):
         iname = _chunk_name(node, counts[node], chunk)
         if ev.kind.name == "SEND":

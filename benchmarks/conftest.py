@@ -8,7 +8,6 @@ two orders of magnitude in the node count for scaling fits.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 import pytest
@@ -27,7 +26,7 @@ def make_pair(
     events_per_node: int = 6,
     seed: int = 0,
     spread: int | None = None,
-) -> Tuple[Execution, NonatomicEvent, NonatomicEvent]:
+) -> tuple[Execution, NonatomicEvent, NonatomicEvent]:
     """One execution plus a disjoint X/Y pair spanning ``spread`` nodes
     (default: all of them)."""
     ex = random_execution(
@@ -43,7 +42,7 @@ def make_pair(
 
 def make_pairs(
     ex: Execution, count: int, seed: int = 7
-) -> List[Tuple[NonatomicEvent, NonatomicEvent]]:
+) -> list[tuple[NonatomicEvent, NonatomicEvent]]:
     """A batch of disjoint pairs over one execution."""
     rng = np.random.default_rng(seed)
     return [random_disjoint_pair(ex, rng, events_per_node=2) for _ in range(count)]

@@ -16,7 +16,7 @@ Connects the paper's count claims to measurements:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -62,7 +62,7 @@ def predicted_comparisons(
     raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
 
 
-def worst_case_comparisons(n_x: int, n_y: int, engine: str = "linear") -> Dict[Relation, int]:
+def worst_case_comparisons(n_x: int, n_y: int, engine: str = "linear") -> dict[Relation, int]:
     """The full per-relation count table for one ``(|N_X|, |N_Y|)``."""
     return {
         rel: predicted_comparisons(rel, n_x, n_y, engine)
@@ -73,9 +73,9 @@ def worst_case_comparisons(n_x: int, n_y: int, engine: str = "linear") -> Dict[R
 def measure_comparisons(
     engine_factory: Callable[[Execution, ComparisonCounter], object],
     execution: Execution,
-    pairs: Iterable[Tuple[NonatomicEvent, NonatomicEvent]],
+    pairs: Iterable[tuple[NonatomicEvent, NonatomicEvent]],
     relations: Sequence[Relation] = BASE_RELATIONS,
-) -> Dict[Relation, List[int]]:
+) -> dict[Relation, list[int]]:
     """Measure actual comparison counts per relation over interval pairs.
 
     ``engine_factory(execution, counter)`` must build an engine whose
@@ -89,7 +89,7 @@ def measure_comparisons(
 
     counter = ComparisonCounter()
     engine = engine_factory(execution, counter)
-    out: Dict[Relation, List[int]] = {rel: [] for rel in relations}
+    out: dict[Relation, list[int]] = {rel: [] for rel in relations}
     pairs = list(pairs)
     for x, y in pairs:
         # pre-warm cut caches so only query comparisons are counted
@@ -103,7 +103,7 @@ def measure_comparisons(
     return out
 
 
-def fit_power_law(ns: Sequence[float], counts: Sequence[float]) -> Tuple[float, float]:
+def fit_power_law(ns: Sequence[float], counts: Sequence[float]) -> tuple[float, float]:
     """Least-squares fit ``count ≈ a · n^b``; returns ``(b, a)``.
 
     Used to verify scaling shapes: the linear engine's counts fit

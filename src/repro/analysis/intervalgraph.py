@@ -17,7 +17,7 @@ relations to that level:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 import networkx as nx
 
@@ -35,7 +35,7 @@ __all__ = [
 _DEFAULT_ORDER = RelationSpec(Relation.R1, Proxy.U, Proxy.L)
 
 
-def _names(intervals: Sequence[NonatomicEvent]) -> List[str]:
+def _names(intervals: Sequence[NonatomicEvent]) -> list[str]:
     return [
         iv.name if iv.name is not None else f"I{k}"
         for k, iv in enumerate(intervals)
@@ -44,7 +44,7 @@ def _names(intervals: Sequence[NonatomicEvent]) -> List[str]:
 
 def interval_order_graph(
     intervals: Sequence[NonatomicEvent],
-    spec: Union[str, Relation, RelationSpec] = _DEFAULT_ORDER,
+    spec: str | Relation | RelationSpec = _DEFAULT_ORDER,
 ) -> "nx.DiGraph":
     """Digraph with an edge ``a → b`` whenever ``spec(a, b)`` holds.
 
@@ -59,7 +59,7 @@ def interval_order_graph(
     if len(set(names)) != len(names):
         raise ValueError("interval names must be unique")
     g = nx.DiGraph()
-    for name, iv in zip(names, intervals):
+    for name, iv in zip(names, intervals, strict=True):
         g.add_node(name, interval=iv)
     if len(intervals) >= 2:
         mats = IntervalSetMatrices(list(intervals))
@@ -77,7 +77,7 @@ def interval_order_graph(
 
 def concurrent_pairs(
     intervals: Sequence[NonatomicEvent],
-) -> List[Tuple[str, str]]:
+) -> list[tuple[str, str]]:
     """Interval pairs with no causal coupling at all.
 
     A pair is *fully concurrent* when ``R4`` holds in neither
@@ -88,7 +88,7 @@ def concurrent_pairs(
     if len(intervals) < 2:
         return []
     matrix = IntervalSetMatrices(list(intervals)).relation_matrix(Relation.R4)
-    out: List[Tuple[str, str]] = []
+    out: list[tuple[str, str]] = []
     for i in range(len(intervals)):
         for j in range(i + 1, len(intervals)):
             if not matrix[i, j] and not matrix[j, i]:
@@ -98,8 +98,8 @@ def concurrent_pairs(
 
 def serialization_layers(
     intervals: Sequence[NonatomicEvent],
-    spec: Union[str, Relation, RelationSpec] = _DEFAULT_ORDER,
-) -> List[List[str]]:
+    spec: str | Relation | RelationSpec = _DEFAULT_ORDER,
+) -> list[list[str]]:
     """Topological generations of the interval order.
 
     Layer ``t`` holds the intervals whose every ``spec``-predecessor

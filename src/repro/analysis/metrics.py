@@ -10,7 +10,6 @@ by the examples' reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -51,7 +50,7 @@ def concurrency_ratio(execution: Execution, sample: int | None = None,
     return concurrent / len(cross)
 
 
-def critical_path(execution: Execution) -> Tuple[int, Tuple[EventId, ...]]:
+def critical_path(execution: Execution) -> tuple[int, tuple[EventId, ...]]:
     """The longest causal chain of real events.
 
     Returns ``(length, chain)``; the chain is one witness path.  This

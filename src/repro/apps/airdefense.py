@@ -29,15 +29,11 @@ makes one battery fire on a stale cue before confirmation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from ..core.evaluator import SynchronizationAnalyzer
-from ..core.relations import Relation, RelationSpec
 from ..events.poset import Execution
 from ..monitor.checker import CheckReport, ConditionChecker
-from ..monitor.predicates import parse_condition
 from ..nonatomic.event import NonatomicEvent
-from ..nonatomic.proxies import Proxy
 from ..nonatomic.selection import by_label
 from ..simulation.engine import simulate
 from ..simulation.network import ConstantLatency, Network
@@ -66,7 +62,7 @@ class _Radar(Process):
 class _Fusion(Process):
     """Confirms the track after a quorum of plots, then commands fire."""
 
-    def __init__(self, quorum: int, batteries: Tuple[int, ...]) -> None:
+    def __init__(self, quorum: int, batteries: tuple[int, ...]) -> None:
         self.quorum = quorum
         self.batteries = batteries
         self.reports = 0
@@ -117,16 +113,16 @@ class AirDefenseScenario:
     execution: Execution
     detection: NonatomicEvent
     confirmation: NonatomicEvent
-    launches: Tuple[NonatomicEvent, ...]
+    launches: tuple[NonatomicEvent, ...]
 
-    def bindings(self) -> Dict[str, NonatomicEvent]:
+    def bindings(self) -> dict[str, NonatomicEvent]:
         """Interval bindings for the condition checker."""
         out = {"detection": self.detection, "confirmation": self.confirmation}
         for i, l in enumerate(self.launches):
             out[f"launch{i}"] = l
         return out
 
-    def conditions(self) -> Dict[str, str]:
+    def conditions(self) -> dict[str, str]:
         """The scenario's safety conditions (textual specs)."""
         conds = {
             "confirmed-after-detected": "R3'(detection, confirmation)",
@@ -145,7 +141,7 @@ class AirDefenseScenario:
 
         return AnalysisContext.of(self.execution)
 
-    def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
+    def check(self, engine: str = "linear") -> dict[str, CheckReport]:
         """Evaluate every safety condition; returns per-condition reports.
 
         All engines (and repeat checks) share the scenario's context,
@@ -165,8 +161,8 @@ def air_defense_scenario(
     num_radars: int = 3,
     num_batteries: int = 2,
     plots_per_radar: int = 2,
-    quorum: Optional[int] = None,
-    premature_battery: Optional[int] = None,
+    quorum: int | None = None,
+    premature_battery: int | None = None,
     seed: int = 0,
 ) -> AirDefenseScenario:
     """Simulate the air-defence engagement and collect its intervals.
@@ -186,7 +182,7 @@ def air_defense_scenario(
         )
     fusion = num_radars
     batteries = tuple(fusion + 1 + i for i in range(num_batteries))
-    processes: List[Process] = [
+    processes: list[Process] = [
         _Radar(fusion, plots_per_radar) for _ in range(num_radars)
     ]
     processes.append(_Fusion(quorum, batteries))

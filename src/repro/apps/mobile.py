@@ -22,7 +22,6 @@ the home agent's reroute acknowledgement — condition 2 then fails.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from ..core.evaluator import SynchronizationAnalyzer
 from ..events.builder import TraceBuilder
@@ -43,11 +42,11 @@ class RoamingScenario:
 
     execution: Execution
     setup: NonatomicEvent
-    handoffs: Tuple[NonatomicEvent, ...]  # station-side handoff steps
-    reroutes: Tuple[NonatomicEvent, ...]  # home-agent reroute steps
-    epochs: Tuple[NonatomicEvent, ...]  # data deliveries per residency
+    handoffs: tuple[NonatomicEvent, ...]  # station-side handoff steps
+    reroutes: tuple[NonatomicEvent, ...]  # home-agent reroute steps
+    epochs: tuple[NonatomicEvent, ...]  # data deliveries per residency
 
-    def bindings(self) -> Dict[str, NonatomicEvent]:
+    def bindings(self) -> dict[str, NonatomicEvent]:
         """Interval bindings for the condition checker."""
         out = {"setup": self.setup}
         for k, h in enumerate(self.handoffs):
@@ -58,9 +57,9 @@ class RoamingScenario:
             out[f"epoch{k}"] = e
         return out
 
-    def conditions(self) -> Dict[str, str]:
+    def conditions(self) -> dict[str, str]:
         """The roaming-correctness conditions."""
-        conds: Dict[str, str] = {}
+        conds: dict[str, str] = {}
         for k in range(len(self.handoffs) - 1):
             conds[f"handoff{k}-serialised"] = (
                 f"R1(U,L)(handoff{k}, handoff{k + 1})"
@@ -81,7 +80,7 @@ class RoamingScenario:
 
         return AnalysisContext.of(self.execution)
 
-    def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
+    def check(self, engine: str = "linear") -> dict[str, CheckReport]:
         """Evaluate every condition (cuts shared through the context)."""
         checker = ConditionChecker(
             SynchronizationAnalyzer(self.context, engine=engine)

@@ -25,7 +25,7 @@ verifies the constraints, returning the offending unit pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -58,7 +58,7 @@ def stream_trace(
     streams: Sequence[str] = ("video",),
     disorder: int = 0,
     seed: int | np.random.Generator = 0,
-) -> Tuple[Execution, Dict[str, NonatomicEvent]]:
+) -> tuple[Execution, dict[str, NonatomicEvent]]:
     """A source (node 0) delivering stream units to every sink.
 
     Each unit ``k`` of stream ``s`` is sent from the source to all
@@ -78,7 +78,7 @@ def stream_trace(
     b = TraceBuilder(num_sinks + 1)
     t = 0.0
     # queue[(sink)] holds (deliver_after_unit, handle, label)
-    pending: List[Tuple[int, int, object, str]] = []  # (due_unit, sink, handle, label)
+    pending: list[tuple[int, int, object, str]] = []  # (due_unit, sink, handle, label)
     total_units = 0
     for k in range(units):
         for s in streams:
@@ -100,11 +100,11 @@ def stream_trace(
         t += 1.0
         b.recv(sink, h, label=label, time=t)
     ex = b.execute()
-    intervals: Dict[str, NonatomicEvent] = {}
+    intervals: dict[str, NonatomicEvent] = {}
     for s in streams:
         intervals.update(by_label_prefix(ex, f"{s}:"))
     # restrict each unit interval to its delivery (receive) events
-    out: Dict[str, NonatomicEvent] = {}
+    out: dict[str, NonatomicEvent] = {}
     for label, iv in intervals.items():
         recv_ids = [
             eid for eid in iv.ids
@@ -126,10 +126,10 @@ class StreamSyncChecker:
 
     def check_intra_stream(
         self,
-        units: Dict[str, NonatomicEvent],
+        units: dict[str, NonatomicEvent],
         stream: str,
         lag: int = 1,
-    ) -> List[SyncViolation]:
+    ) -> list[SyncViolation]:
         """Check ``R2(unit_k, unit_{k+lag})`` for every ``k``.
 
         R2 (*every delivery of unit k precedes some delivery of unit
@@ -153,17 +153,17 @@ class StreamSyncChecker:
         )
         return [
             SyncViolation(a, bb, f"intra-stream lag-{lag}")
-            for (a, bb), ok in zip(checks, answers)
+            for (a, bb), ok in zip(checks, answers, strict=True)
             if not ok
         ]
 
     def check_inter_stream(
         self,
-        units: Dict[str, NonatomicEvent],
+        units: dict[str, NonatomicEvent],
         lead_stream: str,
         follow_stream: str,
         skew: int = 0,
-    ) -> List[SyncViolation]:
+    ) -> list[SyncViolation]:
         """Lip-sync style check: unit ``k`` of the lead stream must begin
         delivering before the following stream finishes unit ``k + skew``
         everywhere (``R4`` from lead proxies into follower's end proxy —
@@ -184,6 +184,6 @@ class StreamSyncChecker:
         )
         return [
             SyncViolation(a, bb, f"inter-stream skew-{skew}")
-            for (a, bb), ok in zip(checks, answers)
+            for (a, bb), ok in zip(checks, answers, strict=True)
             if not ok
         ]

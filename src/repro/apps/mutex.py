@@ -21,7 +21,6 @@ an optional fault injection that violates exclusion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,7 +73,7 @@ class MutualExclusionChecker:
         self.context = AnalysisContext.of(execution)
         self.analyzer = SynchronizationAnalyzer(self.context, engine=engine)
 
-    def occupancies(self, prefix: str = "cs:") -> Dict[str, NonatomicEvent]:
+    def occupancies(self, prefix: str = "cs:") -> dict[str, NonatomicEvent]:
         """Collect occupancies: one interval per distinct ``prefix``
         label in the trace."""
         return by_label_prefix(self.execution, prefix)
@@ -86,7 +85,7 @@ class MutualExclusionChecker:
             _R1_UL, y, x
         )
 
-    def check(self, prefix: str = "cs:") -> List[ExclusionViolation]:
+    def check(self, prefix: str = "cs:") -> list[ExclusionViolation]:
         """All violating occupancy pairs (empty = exclusion holds).
 
         The 2·C(k,2) ``R1(U,L)`` queries are answered through
@@ -110,7 +109,7 @@ class MutualExclusionChecker:
             if not (answers[i] or answers[n + i])
         ]
 
-    def check_vectorised(self, prefix: str = "cs:") -> List[ExclusionViolation]:
+    def check_vectorised(self, prefix: str = "cs:") -> list[ExclusionViolation]:
         """Same verdicts as :meth:`check` via one all-pairs matrix.
 
         Builds the ``R1(U,L)`` matrix over all occupancies with
@@ -122,7 +121,7 @@ class MutualExclusionChecker:
             return []
         m = self.context.matrices(occs).spec_matrix(_R1_UL)
         serialised = m | m.T
-        violations: List[ExclusionViolation] = []
+        violations: list[ExclusionViolation] = []
         for i in range(len(occs)):
             for j in range(i + 1, len(occs)):
                 if not serialised[i, j]:
@@ -136,7 +135,7 @@ def token_mutex_trace(
     replicas: int = 2,
     violate: bool = False,
     seed: int | np.random.Generator = 0,
-) -> Tuple[Execution, Dict[str, NonatomicEvent]]:
+) -> tuple[Execution, dict[str, NonatomicEvent]]:
     """Token-based mutual exclusion over a replicated resource.
 
     A token circulates; the holder of occupancy ``j`` performs

@@ -24,7 +24,6 @@ module wraps it with interval extraction and checking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from ..core.evaluator import SynchronizationAnalyzer
 from ..events.poset import Execution
@@ -42,20 +41,20 @@ class ControlLoop:
 
     execution: Execution
     periods: int
-    samples: Tuple[NonatomicEvent, ...]
-    applies: Tuple[NonatomicEvent, ...]
+    samples: tuple[NonatomicEvent, ...]
+    applies: tuple[NonatomicEvent, ...]
 
-    def bindings(self) -> Dict[str, NonatomicEvent]:
+    def bindings(self) -> dict[str, NonatomicEvent]:
         """Named intervals for the condition checker."""
-        out: Dict[str, NonatomicEvent] = {}
+        out: dict[str, NonatomicEvent] = {}
         for p in range(self.periods):
             out[f"sample{p}"] = self.samples[p]
             out[f"apply{p}"] = self.applies[p]
         return out
 
-    def conditions(self) -> Dict[str, str]:
+    def conditions(self) -> dict[str, str]:
         """The loop's invariants as textual specs."""
-        conds: Dict[str, str] = {}
+        conds: dict[str, str] = {}
         for p in range(self.periods):
             conds[f"round{p}-causal"] = f"R1(U,L)(sample{p}, apply{p})"
         for p in range(self.periods - 1):
@@ -70,7 +69,7 @@ class ControlLoop:
 
         return AnalysisContext.of(self.execution)
 
-    def check(self, engine: str = "linear") -> Dict[str, CheckReport]:
+    def check(self, engine: str = "linear") -> dict[str, CheckReport]:
         """Evaluate every invariant (cuts shared through the context)."""
         checker = ConditionChecker(
             SynchronizationAnalyzer(self.context, engine=engine)

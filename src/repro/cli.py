@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from .analysis.metrics import summarize
 from .core.context import AnalysisContext
@@ -29,6 +29,7 @@ from .core.evaluator import SynchronizationAnalyzer
 from .core.relations import FAMILY32
 from .events.poset import Execution
 from .events.serialization import load, save
+from .lint.cli import add_lint_arguments, run_lint
 from .monitor.checker import ConditionChecker
 from .nonatomic.selection import by_label
 from .simulation import workloads
@@ -126,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "pair of closed intervals as the stream runs")
 
     sub.add_parser("figures", help="print the paper's figures")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (REP001-REP005)",
+    )
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -238,7 +245,7 @@ def _cmd_stream(args) -> int:
         om.watch(name, cond)
 
     handles: dict = {}
-    closed: List[str] = []
+    closed: list[str] = []
     pos = [0] * trace.num_nodes
     progressed = True
     while progressed:
@@ -312,10 +319,11 @@ _COMMANDS = {
     "check": _cmd_check,
     "stream": _cmd_stream,
     "figures": _cmd_figures,
+    "lint": run_lint,
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:

@@ -32,7 +32,6 @@ shared y (e.g. R2' provides an *upper* witness while R3 consumes a
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
 
 from .relations import Relation
 
@@ -52,7 +51,7 @@ def _canon(rel: Relation) -> Relation:
 # Strongest guaranteed composition a(X,Y) ∧ b(Y,Z) ⟹ table[a][b](X,Z),
 # for pairwise-disjoint, non-empty X, Y, Z.  None = nothing guaranteed.
 _R = Relation
-COMPOSITION_TABLE: Dict[Tuple[Relation, Relation], Optional[Relation]] = {
+COMPOSITION_TABLE: dict[tuple[Relation, Relation], Relation | None] = {
     (_R.R1, _R.R1): _R.R1,
     (_R.R1, _R.R2P): _R.R2P,
     (_R.R1, _R.R2): _R.R2P,
@@ -94,7 +93,7 @@ COMPOSITION_TABLE: Dict[Tuple[Relation, Relation], Optional[Relation]] = {
 }
 
 
-def compose(a: Relation, b: Relation) -> Optional[Relation]:
+def compose(a: Relation, b: Relation) -> Relation | None:
     """The strongest relation guaranteed by ``a(X, Y) ∧ b(Y, Z)``.
 
     Valid for pairwise-disjoint, non-empty X, Y, Z; synonym inputs
@@ -114,7 +113,7 @@ def compose(a: Relation, b: Relation) -> Optional[Relation]:
 #: would dominate each other.  R2/R3': an alternating strictly
 #: ascending chain, impossible in a finite poset.  R4/R4' are *not*
 #: asymmetric: different witness pairs may point both ways.
-MUTUALLY_EXCLUSIVE_WITH_CONVERSE: FrozenSet[Relation] = frozenset(
+MUTUALLY_EXCLUSIVE_WITH_CONVERSE: frozenset[Relation] = frozenset(
     {
         Relation.R1,
         Relation.R1P,

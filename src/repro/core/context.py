@@ -29,8 +29,11 @@ so independent consumers amortize each other's setup work.
 
 from __future__ import annotations
 
+# repro: dtype-strict
+
 import weakref
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -47,15 +50,27 @@ from .cuts import (
     cut_C4,
     cut_stats,
 )
+from .versioning import versioned_state
+
+if TYPE_CHECKING:
+    from ..events.trace import Trace
+    from ..nonatomic.proxies import ProxyDefinition
+    from .evaluator import SharedVerdictCache
+    from .pairwise import IntervalSetMatrices
 
 __all__ = ["AnalysisContext", "CutCache"]
 
 #: Cache key: the interval's component id set (its mathematical identity).
-_IntervalKey = FrozenSet[EventId]
+_IntervalKey = frozenset[EventId]
 
 _CUT_FNS = {"C1": cut_C1, "C2": cut_C2, "C3": cut_C3, "C4": cut_C4}
 
 
+@versioned_state(
+    version="_version",
+    caches=("_cuts", "_extremal"),
+    guards=("invalidate", "_fresh"),
+)
 class CutCache:
     """Memoized cut quadruples and extremal vectors for one execution.
 
@@ -82,8 +97,8 @@ class CutCache:
     def __init__(self, execution: Execution) -> None:
         self._execution = execution
         self._version = execution.version
-        self._cuts: Dict[Tuple[_IntervalKey, str], Cut] = {}
-        self._extremal: Dict[_IntervalKey, Tuple[np.ndarray, np.ndarray]] = {}
+        self._cuts: dict[tuple[_IntervalKey, str], Cut] = {}
+        self._extremal: dict[_IntervalKey, tuple[np.ndarray, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -140,7 +155,7 @@ class CutCache:
     # ------------------------------------------------------------------
     # extremal index vectors
     # ------------------------------------------------------------------
-    def extremal(self, x: NonatomicEvent) -> Tuple[np.ndarray, np.ndarray]:
+    def extremal(self, x: NonatomicEvent) -> tuple[np.ndarray, np.ndarray]:
         """``(first, last)`` per-node extremal index vectors of ``x``.
 
         Length-``|P|`` read-only int64 arrays with 0 encoding "node not
@@ -189,9 +204,9 @@ class CutCache:
             name: np.empty((k, num_nodes), dtype=np.int64)
             for name in ("c1", "c2", "c3", "c4", "first", "last")
         }
-        missing: List[int] = []
-        dups: List[Tuple[int, int]] = []
-        filled: Dict[_IntervalKey, int] = {}
+        missing: list[int] = []
+        dups: list[tuple[int, int]] = []
+        filled: dict[_IntervalKey, int] = {}
         for i, x in enumerate(intervals):
             self._check_interval(x)
             key = x.ids
@@ -250,6 +265,9 @@ _SHARED: "weakref.WeakKeyDictionary[Execution, AnalysisContext]" = (
 )
 
 
+# ``_verdicts`` is deliberately untracked: each SharedVerdictCache entry
+# freshness-checks itself against the execution version on every read.
+@versioned_state(version="_mats_version", caches=("_mats",), guards=())
 class AnalysisContext:
     """Shared evaluation substrate for one execution.
 
@@ -275,9 +293,9 @@ class AnalysisContext:
             execution = execution.execution
         self._execution = execution
         self._cut_cache = CutCache(execution)
-        self._mats: Dict[Tuple[_IntervalKey, ...], object] = {}
+        self._mats: dict[tuple[_IntervalKey, ...], object] = {}
         self._mats_version = execution.version
-        self._verdicts: Dict[object, object] = {}
+        self._verdicts: dict[object, object] = {}
 
     @classmethod
     def of(cls, execution: "Execution | AnalysisContext") -> "AnalysisContext":
@@ -320,7 +338,7 @@ class AnalysisContext:
     # interval helpers
     # ------------------------------------------------------------------
     def interval(
-        self, ids: Iterable[EventId], name: Optional[str] = None
+        self, ids: Iterable[EventId], name: str | None = None
     ) -> NonatomicEvent:
         """Create a nonatomic event over this context's execution."""
         return NonatomicEvent(self._execution, ids, name=name)
@@ -333,14 +351,14 @@ class AnalysisContext:
         """One memoized Table-2 cut of ``x`` (``"C1"``..``"C4"``)."""
         return self._cut_cache.cut(x, which)
 
-    def extremal(self, x: NonatomicEvent) -> Tuple[np.ndarray, np.ndarray]:
+    def extremal(self, x: NonatomicEvent) -> tuple[np.ndarray, np.ndarray]:
         """Memoized ``(first, last)`` extremal index vectors of ``x``."""
         return self._cut_cache.extremal(x)
 
     # ------------------------------------------------------------------
     # batched structures
     # ------------------------------------------------------------------
-    def matrices(self, intervals: Sequence[NonatomicEvent]):
+    def matrices(self, intervals: Sequence[NonatomicEvent]) -> IntervalSetMatrices:
         """An :class:`~repro.core.pairwise.IntervalSetMatrices` stack
         over ``intervals`` whose rows are drawn from the cut cache
         (folds already paid are not repeated).
@@ -366,7 +384,7 @@ class AnalysisContext:
             self._mats[key] = mats
         return mats
 
-    def verdict_cache(self, proxy_definition):
+    def verdict_cache(self, proxy_definition: ProxyDefinition) -> SharedVerdictCache:
         """The shared ``≪``-subtest verdict cache for one proxy
         definition (created on first use).
 
@@ -387,7 +405,7 @@ class AnalysisContext:
     # ------------------------------------------------------------------
     # growth
     # ------------------------------------------------------------------
-    def extend(self, trace) -> "AnalysisContext":
+    def extend(self, trace: Trace) -> "AnalysisContext":
         """Grow the underlying execution (append-only) and invalidate.
 
         Delegates to :meth:`Execution.extend`; the version bump makes

@@ -9,7 +9,6 @@ tests assert the measured counts against the theorems' bounds exactly.
 
 from __future__ import annotations
 
-from typing import Dict
 
 __all__ = ["ComparisonCounter", "NULL_COUNTER"]
 
@@ -26,7 +25,7 @@ class ComparisonCounter:
 
     def __init__(self) -> None:
         self.total: int = 0
-        self.by_category: Dict[str, int] = {}
+        self.by_category: dict[str, int] = {}
 
     def add(self, n: int = 1, category: str | None = None) -> None:
         """Record ``n`` comparisons (optionally under ``category``)."""

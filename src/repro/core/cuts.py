@@ -30,14 +30,20 @@ This module implements:
 
 from __future__ import annotations
 
+# repro: hot, dtype-strict
+
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
+
+if TYPE_CHECKING:
+    from .relations import SubtestKind
 
 __all__ = [
     "Cut",
@@ -134,12 +140,12 @@ class Cut:
         node, idx = eid
         return 0 <= node < len(self._vec) and 0 <= idx <= self._vec[node]
 
-    def surface_ids(self) -> Tuple[EventId, ...]:
+    def surface_ids(self) -> tuple[EventId, ...]:
         """``S(C)`` (Definition 6): the latest event of the cut at every
         node — possibly a dummy ``⊥_i`` (index 0) or ``⊤_i``."""
         return tuple((i, int(v)) for i, v in enumerate(self._vec))
 
-    def real_surface_ids(self) -> Tuple[EventId, ...]:
+    def real_surface_ids(self) -> tuple[EventId, ...]:
         """The surface events that are real (excluding ``⊥``/``⊤``)."""
         ex = self._execution
         return tuple(
@@ -149,12 +155,12 @@ class Cut:
         )
 
     @property
-    def support(self) -> Tuple[int, ...]:
+    def support(self) -> tuple[int, ...]:
         """Nodes whose prefix extends beyond ``⊥_i`` (``c[i] >= 1``)."""
         return tuple(int(i) for i in np.flatnonzero(self._vec >= 1))
 
     @property
-    def node_set(self) -> Tuple[int, ...]:
+    def node_set(self) -> tuple[int, ...]:
         """``N_C`` per Definition 1: nodes contributing a *real* event."""
         ex = self._execution
         return tuple(
@@ -165,11 +171,11 @@ class Cut:
         """True iff the cut is ``E^⊥`` (contains only the ``⊥_i``)."""
         return not self._vec.any()
 
-    def event_ids(self) -> Set[EventId]:
+    def event_ids(self) -> set[EventId]:
         """All *real* event ids in the cut (``O(|C|)``; for small cuts,
         tests and reference computations)."""
         ex = self._execution
-        out: Set[EventId] = set()
+        out: set[EventId] = set()
         for i, v in enumerate(self._vec):
             hi = min(int(v), ex.num_real(i))
             out.update((i, j) for j in range(1, hi + 1))
@@ -443,7 +449,7 @@ def _stats_from_extrema(
     c4 = beyond - np.minimum.reduceat(rev[li], starts, axis=0)
     first = np.zeros((k, num_nodes), dtype=np.int64)
     last = np.zeros((k, num_nodes), dtype=np.int64)
-    row_of = np.repeat(np.arange(k), counts)
+    row_of = np.repeat(np.arange(k, dtype=np.intp), counts)
     first[row_of, nodes] = first_idx
     last[row_of, nodes] = last_idx
     for mat in (c1, c2, c3, c4, first, last):
@@ -505,13 +511,13 @@ def cut_stats_from_arrays(
     clock matrices but no :class:`~repro.events.poset.Execution`.
     Per-node extremal events are derived from each id group here.
     """
-    nodes_l: List[int] = []
-    first_l: List[int] = []
-    last_l: List[int] = []
+    nodes_l: list[int] = []
+    first_l: list[int] = []
+    last_l: list[int] = []
     counts = np.empty(len(id_groups), dtype=np.intp)
     for g, ids in enumerate(id_groups):
-        first: Dict[int, int] = {}
-        last: Dict[int, int] = {}
+        first: dict[int, int] = {}
+        last: dict[int, int] = {}
         for node, idx in ids:
             if node not in first or idx < first[node]:
                 first[node] = idx
@@ -538,7 +544,7 @@ def cut_stats_from_extrema(
     rev: np.ndarray,
     offsets: np.ndarray,
     lengths: np.ndarray,
-    extrema: Sequence[Tuple[Sequence[int], Sequence[int], Sequence[int]]],
+    extrema: Sequence[tuple[Sequence[int], Sequence[int], Sequence[int]]],
 ) -> CutStats:
     """:func:`cut_stats` over raw arrays and precomputed extrema.
 
@@ -571,7 +577,7 @@ def cut_stats_from_extrema(
 
 def batch_quadruples(
     execution: Execution, intervals: Sequence[NonatomicEvent]
-) -> List[CutQuadruple]:
+) -> list[CutQuadruple]:
     """The cut quadruples of many intervals via one columnar fill.
 
     Semantically ``[cuts_of(iv) for iv in intervals]`` without the
@@ -613,7 +619,7 @@ def not_ll(c: Cut, cp: Cut) -> bool:
     return not ll(c, cp)
 
 
-def evaluate_subtest(kind, y_vec: np.ndarray, x_vec: np.ndarray) -> bool:
+def evaluate_subtest(kind: "SubtestKind", y_vec: np.ndarray, x_vec: np.ndarray) -> bool:
     """Evaluate one canonical ``≪`` subtest (Theorem 19/20 factoring).
 
     ``kind`` is a :class:`~repro.core.relations.SubtestKind`; ``y_vec``
@@ -642,7 +648,7 @@ def evaluate_subtest(kind, y_vec: np.ndarray, x_vec: np.ndarray) -> bool:
 # the paper notes below the definition.  These are O(|P| + |C|) and
 # exist to be property-tested against the canonical vector form.
 
-def _surface_non_bottom(c: Cut) -> List[EventId]:
+def _surface_non_bottom(c: Cut) -> list[EventId]:
     return [eid for eid in c.surface_ids() if eid[1] != 0]
 
 
@@ -697,22 +703,28 @@ def not_ll_form4(c: Cut, cp: Cut) -> bool:
 # ----------------------------------------------------------------------
 # slow reference constructions (oracles and baselines)
 # ----------------------------------------------------------------------
-def reference_past_set(execution: Execution, eid: EventId) -> FrozenSet[EventId]:
+def reference_past_set(execution: Execution, eid: EventId) -> frozenset[EventId]:
     """``↓e`` as an explicit set of real events, computed from pairwise
     precedence tests (no condensation).  Oracle for :func:`past_cut`."""
     return frozenset(
-        other for other in execution.iter_ids() if execution.leq(other, eid)
+        other
+        # repro-lint: disable=REP004 -- deliberately slow reference oracle
+        for other in execution.iter_ids()
+        if execution.leq(other, eid)
     )
 
 
 def reference_future_cut_set(
     execution: Execution, eid: EventId
-) -> FrozenSet[EventId]:
+) -> frozenset[EventId]:
     """``e↑`` as an explicit set of real events, straight from
     Definition 9: all events not ``≽ e`` plus, per node, the earliest
     event ``≽ e``.  Oracle for :func:`future_cut` (real part)."""
     not_future = {
-        other for other in execution.iter_ids() if not execution.leq(eid, other)
+        other
+        # repro-lint: disable=REP004 -- deliberately slow reference oracle
+        for other in execution.iter_ids()
+        if not execution.leq(eid, other)
     }
     for i in range(execution.num_nodes):
         for j in range(1, execution.num_real(i) + 1):

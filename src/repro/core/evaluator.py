@@ -14,7 +14,7 @@ comparing the three evaluation strategies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import Proxy, ProxyDefinition, proxy_of
 from .context import AnalysisContext
 from .counting import ComparisonCounter
+from .versioning import versioned_state
 from .hierarchy import evaluate_all_pruned, maximal_true
 from .linear import LinearEvaluator
 from .naive import NaiveEvaluator
@@ -51,10 +52,10 @@ _N_CUT_PAIR = sum(
     1 for k in SUBTEST_KEYS if k[0] is SubtestKind.EXISTS_CUT
 )
 
-SpecLike = Union[str, Relation, RelationSpec]
+SpecLike = str | Relation | RelationSpec
 
 #: One batch query: ``(spec, X, Y)``.
-Query = Tuple[SpecLike, NonatomicEvent, NonatomicEvent]
+Query = tuple[SpecLike, NonatomicEvent, NonatomicEvent]
 
 #: Engine registry: name -> evaluator class.
 ENGINES = {
@@ -64,6 +65,11 @@ ENGINES = {
 }
 
 
+@versioned_state(
+    version="_version",
+    caches=("_verdicts", "_operands"),
+    guards=("invalidate", "_fresh"),
+)
 class SharedVerdictCache:
     """Memoized ``≪``-subtest verdicts shared across whole-family queries.
 
@@ -109,8 +115,8 @@ class SharedVerdictCache:
         self.context = AnalysisContext.of(context)
         self.proxy_definition = proxy_definition
         self._version = self.context.execution.version
-        self._verdicts: Dict[tuple, Dict[tuple, bool]] = {}
-        self._operands: Dict[frozenset, Dict[Tuple[str, str], np.ndarray]] = {}
+        self._verdicts: dict[tuple, dict[tuple, bool]] = {}
+        self._operands: dict[frozenset, dict[tuple[str, str], np.ndarray]] = {}
         self.evals = 0
         self.cut_pair_evals = 0
         self.hits = 0
@@ -125,12 +131,13 @@ class SharedVerdictCache:
         if self.context.execution.version != self._version:
             self.invalidate()
 
-    def _rows(self, z: NonatomicEvent) -> Dict[Tuple[str, str], np.ndarray]:
+    def _rows(self, z: NonatomicEvent) -> dict[tuple[str, str], np.ndarray]:
         """Operand rows of ``z``: stat name × proxy tag → |P| vector.
 
         One batched cut fill over ``(L_Z, U_Z)`` supplies all twelve
         rows any subtest key can select.
         """
+        self._fresh()
         rec = self._operands.get(z.ids)
         if rec is None:
             proxies = (
@@ -147,15 +154,16 @@ class SharedVerdictCache:
 
     def _fill_pair(
         self, pair: tuple, x: NonatomicEvent, y: NonatomicEvent
-    ) -> Dict[tuple, bool]:
+    ) -> dict[tuple, bool]:
         """Evaluate all 24 distinct subtests of ``(x, y)`` batched.
 
         Each subtest kind is answered by one stacked ``(k, P)``
         comparison + one axis reduction — three NumPy passes decide
         every verdict the 40-spec query surface can ask for.
         """
+        self._fresh()
         rx, ry = self._rows(x), self._rows(y)
-        verdicts: Dict[tuple, bool] = {}
+        verdicts: dict[tuple, bool] = {}
         for kind, keys in _KEYS_BY_KIND:
             ymat = np.stack([ry[yop] for _, yop, _ in keys])
             xmat = np.stack([rx[xop] for _, _, xop in keys])
@@ -165,7 +173,7 @@ class SharedVerdictCache:
                 out = (ymat >= xmat).all(axis=1)
             else:  # FORALL_FUTURE
                 out = ((ymat == 0) | (ymat >= xmat)).all(axis=1)
-            for key, v in zip(keys, out.tolist()):
+            for key, v in zip(keys, out.tolist(), strict=True):
                 verdicts[key] = v
         self.evals += len(SUBTEST_KEYS)
         self.cut_pair_evals += _N_CUT_PAIR
@@ -249,7 +257,7 @@ class SynchronizationAnalyzer:
         check_disjoint: bool = True,
         jobs: int = 1,
         parallel_threshold: int = 1024,
-        **engine_kwargs,
+        **engine_kwargs: object,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -343,7 +351,7 @@ class SynchronizationAnalyzer:
         self,
         queries: "Sequence[Query] | Iterable[Query]",
         min_group: int = 4,
-    ) -> List[bool]:
+    ) -> list[bool]:
         """Answer many ``(spec, X, Y)`` queries, batched.
 
         The planner groups queries by relation spec; every group with at
@@ -386,15 +394,15 @@ class SynchronizationAnalyzer:
                 proxy_definition=self.proxy_definition,
                 check_disjoint=self.check_disjoint,
             )
-        out: List[bool] = [False] * len(qs)
+        out: list[bool] = [False] * len(qs)
         check = self.check_disjoint
 
         # single planning pass: validate, parse, group by spec (hashing
         # each *distinct spec object* once — RelationSpec hashing is not
         # free at planner scale) and assign interval rows as we go.
         # group record: [query indices, x rows, y rows, row_of, intervals]
-        groups: Dict[Union[Relation, RelationSpec], list] = {}
-        group_of_obj: Dict[int, list] = {}
+        groups: dict[Relation | RelationSpec, list] = {}
+        group_of_obj: dict[int, list] = {}
         for i, (spec, x, y) in enumerate(qs):
             if check and not x.ids.isdisjoint(y.ids):
                 self._check_pair(x, y)  # raises with the full message
@@ -439,7 +447,7 @@ class SynchronizationAnalyzer:
             # one fancy-indexed gather instead of per-query scalar reads
             verdicts = matrix[np.asarray(xs, dtype=np.intp),
                               np.asarray(ys, dtype=np.intp)]
-            for i, v in zip(idxs, verdicts.tolist()):
+            for i, v in zip(idxs, verdicts.tolist(), strict=True):
                 out[i] = v
         return out
 
@@ -472,7 +480,7 @@ class SynchronizationAnalyzer:
 
     def base_relations(
         self, x: NonatomicEvent, y: NonatomicEvent
-    ) -> Dict[Relation, bool]:
+    ) -> dict[Relation, bool]:
         """Evaluate all 8 base relations ``R(X, Y)``."""
         self._check_pair(x, y)
         return {r: self._family_holds(r, x, y) for r in BASE_RELATIONS}
@@ -482,7 +490,7 @@ class SynchronizationAnalyzer:
         x: NonatomicEvent,
         y: NonatomicEvent,
         prune: bool = False,
-    ) -> Dict[RelationSpec, bool]:
+    ) -> dict[RelationSpec, bool]:
         """Evaluate all 32 family relations ``r(X, Y)``.
 
         With ``prune=True``, results implied by already-evaluated ones
@@ -509,7 +517,7 @@ class SynchronizationAnalyzer:
 
     def strongest(
         self, x: NonatomicEvent, y: NonatomicEvent
-    ) -> Tuple[RelationSpec, ...]:
+    ) -> tuple[RelationSpec, ...]:
         """The strongest 32-family relations holding between x and y.
 
         These are the maximal true relations under the implication
@@ -525,7 +533,7 @@ class SynchronizationAnalyzer:
         intervals: "Iterable[NonatomicEvent]",
         spec: SpecLike,
         mask_diagonal: bool = True,
-    ):
+    ) -> np.ndarray:
         """``M[i, j] = spec(intervals[i], intervals[j])`` for all pairs.
 
         Delegates to the vectorised kernel of

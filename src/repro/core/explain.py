@@ -12,14 +12,13 @@ and the examples use it for narrative output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
 
-import numpy as np
 
-from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
-from .cuts import cut_C1, cut_C2, cut_C3, cut_C4
+from collections.abc import Iterable
+
+from .cuts import Cut, cut_C1, cut_C2, cut_C3, cut_C4
 from .relations import Relation, RelationSpec, parse_spec
 
 __all__ = ["Comparison", "Explanation", "explain"]
@@ -49,10 +48,10 @@ class Explanation:
     relation: Relation
     holds: bool
     mode: str  # "forall-x" | "forall-y" | "exists"
-    cut_pair: Tuple[str, str]  # names of the cuts compared
-    scanned_nodes: Tuple[int, ...]
-    comparisons: Tuple[Comparison, ...]
-    witness_node: Optional[int]  # decisive node (if short-circuited)
+    cut_pair: tuple[str, str]  # names of the cuts compared
+    scanned_nodes: tuple[int, ...]
+    comparisons: tuple[Comparison, ...]
+    witness_node: int | None  # decisive node (if short-circuited)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         verdict = "holds" if self.holds else "fails"
@@ -67,9 +66,11 @@ class Explanation:
         return "\n".join(lines)
 
 
-def _forall_x(relation, past_cut_name, past, x):
-    comparisons = []
-    witness = None
+def _forall_x(
+    relation: Relation, past_cut_name: str, past: Cut, x: NonatomicEvent
+) -> Explanation:
+    comparisons: list[Comparison] = []
+    witness: int | None = None
     holds = True
     v = past.vector
     for i in x.node_set:
@@ -95,9 +96,11 @@ def _forall_x(relation, past_cut_name, past, x):
     )
 
 
-def _forall_y(relation, fut_cut_name, fut, y):
-    comparisons = []
-    witness = None
+def _forall_y(
+    relation: Relation, fut_cut_name: str, fut: Cut, y: NonatomicEvent
+) -> Explanation:
+    comparisons: list[Comparison] = []
+    witness: int | None = None
     holds = True
     w = fut.vector
     for i in y.node_set:
@@ -123,9 +126,16 @@ def _forall_y(relation, fut_cut_name, fut, y):
     )
 
 
-def _exists(relation, past_name, past, fut_name, fut, nodes):
-    comparisons = []
-    witness = None
+def _exists(
+    relation: Relation,
+    past_name: str,
+    past: Cut,
+    fut_name: str,
+    fut: Cut,
+    nodes: Iterable[int],
+) -> Explanation:
+    comparisons: list[Comparison] = []
+    witness: int | None = None
     holds = False
     v, w = past.vector, fut.vector
     for i in nodes:
@@ -152,7 +162,7 @@ def _exists(relation, past_name, past, fut_name, fut, nodes):
 
 
 def explain(
-    spec: Union[str, Relation, RelationSpec],
+    spec: str | Relation | RelationSpec,
     x: NonatomicEvent,
     y: NonatomicEvent,
     proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,

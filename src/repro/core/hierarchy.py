@@ -31,7 +31,7 @@ ablation A-3 in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple, Union
+from collections.abc import Callable, Iterable
 
 import networkx as nx
 
@@ -47,10 +47,10 @@ __all__ = [
     "evaluate_all_pruned",
 ]
 
-RelLike = Union[Relation, RelationSpec]
+RelLike = Relation | RelationSpec
 
 #: Direct implication edges between base relations (non-empty X, Y).
-BASE_IMPLICATIONS: Tuple[Tuple[Relation, Relation], ...] = (
+BASE_IMPLICATIONS: tuple[tuple[Relation, Relation], ...] = (
     (Relation.R1, Relation.R1P),
     (Relation.R1P, Relation.R1),
     (Relation.R4, Relation.R4P),
@@ -104,12 +104,12 @@ def family_dag() -> "nx.DiGraph":
 
 
 _FAMILY_DAG: "nx.DiGraph | None" = None
-_REACH_CACHE: Dict[RelLike, FrozenSet[RelLike]] = {}
-_ANC_CACHE: Dict[RelLike, FrozenSet[RelLike]] = {}
-_ORDER_CACHE: Dict[Tuple[RelLike, ...], Tuple[RelLike, ...]] = {}
+_REACH_CACHE: dict[RelLike, frozenset[RelLike]] = {}
+_ANC_CACHE: dict[RelLike, frozenset[RelLike]] = {}
+_ORDER_CACHE: dict[tuple[RelLike, ...], tuple[RelLike, ...]] = {}
 
 
-def _descendants(a: RelLike) -> FrozenSet[RelLike]:
+def _descendants(a: RelLike) -> frozenset[RelLike]:
     cached = _REACH_CACHE.get(a)
     if cached is None:
         g = base_dag() if isinstance(a, Relation) else family_dag()
@@ -118,7 +118,7 @@ def _descendants(a: RelLike) -> FrozenSet[RelLike]:
     return cached
 
 
-def _ancestors(a: RelLike) -> FrozenSet[RelLike]:
+def _ancestors(a: RelLike) -> frozenset[RelLike]:
     cached = _ANC_CACHE.get(a)
     if cached is None:
         g = base_dag() if isinstance(a, Relation) else family_dag()
@@ -127,7 +127,7 @@ def _ancestors(a: RelLike) -> FrozenSet[RelLike]:
     return cached
 
 
-def _topological_order(universe: Tuple[RelLike, ...]) -> Tuple[RelLike, ...]:
+def _topological_order(universe: tuple[RelLike, ...]) -> tuple[RelLike, ...]:
     """Strongest-first visit order over ``universe``, memoized.
 
     The hierarchy is a fixed module-level structure, so the
@@ -139,7 +139,7 @@ def _topological_order(universe: Tuple[RelLike, ...]) -> Tuple[RelLike, ...]:
     if cached is None:
         g = base_dag() if isinstance(universe[0], Relation) else family_dag()
         condensation = nx.condensation(g.subgraph(universe))
-        order: List[RelLike] = []
+        order: list[RelLike] = []
         for scc in nx.topological_sort(condensation):
             order.extend(condensation.nodes[scc]["members"])
         cached = _ORDER_CACHE[universe] = tuple(order)
@@ -157,7 +157,7 @@ def implies(a: RelLike, b: RelLike) -> bool:
     return a == b or b in _descendants(a)
 
 
-def maximal_true(results: Dict[RelLike, bool]) -> Tuple[RelLike, ...]:
+def maximal_true(results: dict[RelLike, bool]) -> tuple[RelLike, ...]:
     """The strongest relations that hold: true entries not implied by
     any *strictly stronger* true entry.
 
@@ -165,7 +165,7 @@ def maximal_true(results: Dict[RelLike, bool]) -> Tuple[RelLike, ...]:
     do not eliminate each other: both are reported when maximal.
     """
     true_set = [r for r, v in results.items() if v]
-    out: List[RelLike] = []
+    out: list[RelLike] = []
     for r in true_set:
         dominated = any(
             other != r
@@ -181,7 +181,7 @@ def maximal_true(results: Dict[RelLike, bool]) -> Tuple[RelLike, ...]:
 def evaluate_all_pruned(
     evaluate: Callable[[RelLike], bool],
     universe: Iterable[RelLike] = FAMILY32,
-) -> Tuple[Dict[RelLike, bool], int]:
+) -> tuple[dict[RelLike, bool], int]:
     """Evaluate every relation in ``universe`` with hierarchy pruning.
 
     Relations are visited strongest-first (topological order).  Each
@@ -200,7 +200,7 @@ def evaluate_all_pruned(
     order = _topological_order(universe)
     members = frozenset(universe)
 
-    known: Dict[RelLike, bool] = {}
+    known: dict[RelLike, bool] = {}
     evaluations = 0
     for r in order:
         if r in known:

@@ -65,7 +65,7 @@ DESIGN.md §2 for the equality caveat the paper glosses in Section 2.2.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent

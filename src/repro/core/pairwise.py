@@ -26,7 +26,10 @@ is 1–2 orders of magnitude faster than the per-pair Python loop (see
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+# repro: hot, dtype-strict
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +37,9 @@ from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
 from .cuts import CutStats, cut_stats
 from .relations import Relation, RelationSpec, subtest_key
+
+if TYPE_CHECKING:
+    from .context import CutCache
 
 #: Synonym collapse for matrix memoization: R1 ≡ R1' and R4 ≡ R4' share
 #: one kernel pass (the broadcasting forms are literally identical).
@@ -64,7 +70,7 @@ class IntervalSetMatrices:
                  "last", "_memo")
 
     def __init__(
-        self, intervals: Sequence[NonatomicEvent], cache=None
+        self, intervals: Sequence[NonatomicEvent], cache: "CutCache | None" = None
     ) -> None:
         if not intervals:
             raise ValueError("need at least one interval")
@@ -74,7 +80,7 @@ class IntervalSetMatrices:
                 raise ValueError("intervals belong to different executions")
         self.intervals = tuple(intervals)
         self.cache = cache
-        self._memo: Dict[tuple, np.ndarray] = {}
+        self._memo: dict[tuple, np.ndarray] = {}
         # One vectorized columnar pass fills all six (k, P) matrices
         # (gather + segmented reduction over the clock tables); with a
         # cache, rows already folded are reused and cold rows deposited.
@@ -158,7 +164,6 @@ def _relation_matrix_from(
     """Core broadcasting kernel: rows index X, columns index Y."""
     # Shapes: X-side tensors are (k, 1, P); Y-side are (1, k, P).
     lastX = xs.last[:, None, :]
-    firstX = xs.first[:, None, :]
     c3X = xs.c3[:, None, :]
     c4X = xs.c4[:, None, :]
     c1Y = ys.c1[None, :, :]

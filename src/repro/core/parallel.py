@@ -48,10 +48,12 @@ diagnostics are never polluted by inherited worker state.
 
 from __future__ import annotations
 
+# repro: hot, dtype-strict
+
 import os
 import weakref
-from multiprocessing import get_context, shared_memory
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from multiprocessing import get_context, pool, shared_memory
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -67,17 +69,17 @@ from .relations import Relation, RelationSpec, parse_spec
 __all__ = ["ParallelBatchExecutor"]
 
 #: One extremal-encoded interval on the wire: (nodes, firsts, lasts).
-_Extrema = Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+_Extrema = tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]
 
 #: One normalized query on the wire: (base relation, x row, y row).
-_Item = Tuple[Relation, int, int]
+_Item = tuple[Relation, int, int]
 
 
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
 #: Per-worker substrate, filled by :func:`_worker_init`.
-_WORKER: Dict[str, object] = {}
+_WORKER: dict[str, object] = {}
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -105,7 +107,7 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 def _worker_init(
     fwd_name: str,
     rev_name: str,
-    shape: Tuple[int, int],
+    shape: tuple[int, int],
     offsets: np.ndarray,
     lengths: np.ndarray,
 ) -> None:
@@ -131,8 +133,8 @@ def _worker_init(
 
 
 def _worker_eval(
-    payload: Tuple[List[_Item], List[_Extrema]],
-) -> List[bool]:
+    payload: tuple[list[_Item], list[_Extrema]],
+) -> list[bool]:
     """Evaluate one query shard against the shared substrate."""
     items, extrema = payload
     stats = cut_stats_from_extrema(
@@ -141,7 +143,7 @@ def _worker_eval(
         extrema,
     )
     out = np.empty(len(items), dtype=bool)
-    groups: Dict[Relation, Tuple[List[int], List[int], List[int]]] = {}
+    groups: dict[Relation, tuple[list[int], list[int], list[int]]] = {}
     for pos, (rel, xr, yr) in enumerate(items):
         positions, xs, ys = groups.setdefault(rel, ([], [], []))
         positions.append(pos)
@@ -155,7 +157,7 @@ def _worker_eval(
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
-def _release(resources: Dict[str, object]) -> None:
+def _release(resources: dict[str, object]) -> None:
     """Tear down the pool and the published shared blocks (idempotent)."""
     pool = resources.pop("pool", None)
     if pool is not None:
@@ -205,6 +207,9 @@ class ParallelBatchExecutor:
     interpreter exit.
     """
 
+    __slots__ = ("context", "jobs", "min_parallel", "_resources",
+                 "_published_version", "_finalizer", "__weakref__")
+
     def __init__(
         self,
         context: "AnalysisContext | object",
@@ -217,7 +222,7 @@ class ParallelBatchExecutor:
         if clamp:
             self.jobs = min(self.jobs, os.cpu_count() or 1)
         self.min_parallel = int(min_parallel)
-        self._resources: Dict[str, object] = {"pool": None, "shms": []}
+        self._resources: dict[str, object] = {"pool": None, "shms": []}
         self._published_version: "int | None" = None
         self._finalizer = weakref.finalize(self, _release, self._resources)
 
@@ -234,10 +239,10 @@ class ParallelBatchExecutor:
     def __enter__(self) -> "ParallelBatchExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> "pool.Pool":
         """The live pool against the current execution version.
 
         Publishes the columnar matrices into shared memory and spawns
@@ -257,20 +262,34 @@ class ParallelBatchExecutor:
         fwd = ex.forward_table
         rev = ex.reverse_table  # force the reverse pass before publishing
         nbytes = max(fwd.data.nbytes, 1)
-        shm_f = shared_memory.SharedMemory(create=True, size=nbytes)
-        shm_r = shared_memory.SharedMemory(create=True, size=nbytes)
-        shape = fwd.data.shape
-        np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_f.buf)[:] = fwd.data
-        np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_r.buf)[:] = rev.data
-        pool = get_context().Pool(
-            processes=self.jobs,
-            initializer=_worker_init,
-            initargs=(
-                shm_f.name, shm_r.name, shape,
-                np.asarray(fwd.offsets), np.asarray(fwd.lengths),
-            ),
-        )
-        self._resources["shms"] = [shm_f, shm_r]
+        # Publication must not leak on a mid-publication failure (second
+        # allocation failing, worker startup dying): segments are created
+        # under a try that closes+unlinks every one already allocated
+        # before re-raising (REP003 shared-memory lifecycle).
+        shms: list[shared_memory.SharedMemory] = []
+        try:
+            shm_f = shared_memory.SharedMemory(create=True, size=nbytes)
+            shms.append(shm_f)
+            shm_r = shared_memory.SharedMemory(create=True, size=nbytes)
+            shms.append(shm_r)
+            shape = fwd.data.shape
+            np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_f.buf)[:] = fwd.data
+            np.ndarray(shape, dtype=CLOCK_DTYPE, buffer=shm_r.buf)[:] = rev.data
+            pool = get_context().Pool(
+                processes=self.jobs,
+                initializer=_worker_init,
+                initargs=(
+                    shm_f.name, shm_r.name, shape,
+                    np.asarray(fwd.offsets, dtype=np.int64),
+                    np.asarray(fwd.lengths, dtype=np.int64),
+                ),
+            )
+        except BaseException:
+            for shm in shms:
+                shm.close()
+                shm.unlink()
+            raise
+        self._resources["shms"] = shms
         self._resources["pool"] = pool
         self._published_version = ex.version
         return pool
@@ -280,10 +299,10 @@ class ParallelBatchExecutor:
     # ------------------------------------------------------------------
     def _normalize(
         self,
-        queries: Sequence[Tuple[object, NonatomicEvent, NonatomicEvent]],
+        queries: Sequence[tuple[object, NonatomicEvent, NonatomicEvent]],
         proxy_definition: ProxyDefinition,
         check_disjoint: bool,
-    ) -> Tuple[List[Tuple[Relation, int, int]], List[_Extrema]]:
+    ) -> tuple[list[tuple[Relation, int, int]], list[_Extrema]]:
         """Resolve every query to (base relation, x row, y row).
 
         Spec strings are parsed; 32-family members are replaced by
@@ -293,9 +312,9 @@ class ParallelBatchExecutor:
         the only per-interval data that ever crosses to a worker.
         """
         ex = self.context.execution
-        row_of: Dict[FrozenSet[EventId], int] = {}
-        extrema: List[_Extrema] = []
-        items: List[Tuple[Relation, int, int]] = []
+        row_of: dict[frozenset[EventId], int] = {}
+        extrema: list[_Extrema] = []
+        items: list[tuple[Relation, int, int]] = []
 
         def row(iv: NonatomicEvent) -> int:
             r = row_of.get(iv.ids)
@@ -338,7 +357,7 @@ class ParallelBatchExecutor:
         queries: "Sequence[Tuple[object, NonatomicEvent, NonatomicEvent]] | Iterable",
         proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
         check_disjoint: bool = True,
-    ) -> List[bool]:
+    ) -> list[bool]:
         """Answer many ``(spec, X, Y)`` queries; results in input order.
 
         Verdicts are identical to the serial planner's (and to scalar
@@ -355,9 +374,9 @@ class ParallelBatchExecutor:
         payloads = []
         for lo, hi in self._shards(len(items)):
             shard = items[lo:hi]
-            local_row: Dict[int, int] = {}
-            local_extrema: List[_Extrema] = []
-            local_items: List[_Item] = []
+            local_row: dict[int, int] = {}
+            local_extrema: list[_Extrema] = []
+            local_items: list[_Item] = []
             for rel, xr, yr in shard:
                 lx = local_row.get(xr)
                 if lx is None:
@@ -369,24 +388,24 @@ class ParallelBatchExecutor:
                     local_extrema.append(extrema[yr])
                 local_items.append((rel, lx, ly))
             payloads.append((local_items, local_extrema))
-        out: List[bool] = []
+        out: list[bool] = []
         for verdicts in pool.map(_worker_eval, payloads):
             out.extend(verdicts)
         return out
 
-    def _shards(self, n: int) -> List[Tuple[int, int]]:
+    def _shards(self, n: int) -> list[tuple[int, int]]:
         """Contiguous, near-even shard bounds — one per worker."""
         shards = min(self.jobs, n) or 1
-        bounds = np.linspace(0, n, shards + 1, dtype=int)
+        bounds = np.linspace(0, n, shards + 1, dtype=np.int64)
         return [
             (int(lo), int(hi))
-            for lo, hi in zip(bounds[:-1], bounds[1:])
+            for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
             if hi > lo
         ]
 
     def _serial(
-        self, items: List[Tuple[Relation, int, int]], extrema: List[_Extrema]
-    ) -> List[bool]:
+        self, items: list[tuple[Relation, int, int]], extrema: list[_Extrema]
+    ) -> list[bool]:
         """The in-process fallback: same kernels, no pool."""
         ex = self.context.execution
         fwd = ex.forward_table
@@ -395,7 +414,7 @@ class ParallelBatchExecutor:
             fwd.data, rev.data, fwd.offsets, fwd.lengths, extrema
         )
         out = np.empty(len(items), dtype=bool)
-        groups: Dict[Relation, Tuple[List[int], List[int], List[int]]] = {}
+        groups: dict[Relation, tuple[list[int], list[int], list[int]]] = {}
         for pos, (rel, xr, yr) in enumerate(items):
             positions, xs, ys = groups.setdefault(rel, ([], [], []))
             positions.append(pos)

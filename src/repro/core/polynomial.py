@@ -18,7 +18,6 @@ synchronization relations requires |N_X| × |N_Y| integer comparisons"*.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from ..events.event import EventId
 from ..events.poset import Execution
@@ -32,7 +31,7 @@ __all__ = ["PolynomialEvaluator"]
 
 # Which extremal events each relation's quantifiers range over.
 # "last" = per-node greatest component events, "first" = per-node least.
-_X_DOMAIN: Dict[Relation, str] = {
+_X_DOMAIN: dict[Relation, str] = {
     Relation.R1: "last",
     Relation.R1P: "last",
     Relation.R2: "last",
@@ -42,7 +41,7 @@ _X_DOMAIN: Dict[Relation, str] = {
     Relation.R4: "first",
     Relation.R4P: "first",
 }
-_Y_DOMAIN: Dict[Relation, str] = {
+_Y_DOMAIN: dict[Relation, str] = {
     Relation.R1: "first",
     Relation.R1P: "first",
     Relation.R2: "last",
@@ -81,7 +80,7 @@ class PolynomialEvaluator:
         return self.execution.precedes(a, b)
 
     @staticmethod
-    def _domain(interval: NonatomicEvent, which: str) -> Tuple[EventId, ...]:
+    def _domain(interval: NonatomicEvent, which: str) -> tuple[EventId, ...]:
         return interval.last_ids() if which == "last" else interval.first_ids()
 
     def evaluate(

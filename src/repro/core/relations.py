@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Tuple
+from collections.abc import Callable, Iterable
 
 from ..events.event import EventId
 from ..nonatomic.proxies import Proxy
@@ -97,7 +97,7 @@ class Relation(enum.Enum):
 
 
 #: The eight base relations, in Table 1 order.
-BASE_RELATIONS: Tuple[Relation, ...] = (
+BASE_RELATIONS: tuple[Relation, ...] = (
     Relation.R1,
     Relation.R1P,
     Relation.R2,
@@ -148,7 +148,7 @@ class RelationSpec:
 
 
 #: All 32 members of the family, ordered by (relation, proxy_x, proxy_y).
-FAMILY32: Tuple[RelationSpec, ...] = tuple(
+FAMILY32: tuple[RelationSpec, ...] = tuple(
     RelationSpec(rel, px, py)
     for rel in BASE_RELATIONS
     for px in (Proxy.L, Proxy.U)
@@ -211,7 +211,7 @@ class SubtestKind(enum.Enum):
 #: A subtest key: ``(kind, (y_stat, Ŷ), (x_stat, X̂))`` where the stat
 #: names select rows of :class:`~repro.core.cuts.CutStats` computed for
 #: the L/U proxies of Y and X respectively.
-SubtestKey = Tuple[SubtestKind, Tuple[str, str], Tuple[str, str]]
+SubtestKey = tuple[SubtestKind, tuple[str, str], tuple[str, str]]
 
 # Proxy coincidences used to canonicalise *base* relations onto proxy
 # operand rows (Section 2.5: proxies carry one component event per node):
@@ -256,10 +256,10 @@ def _compute_subtest_key(spec: "Relation | RelationSpec") -> SubtestKey:
     else:
         rel, px, py = spec, None, None
 
-    def yop(stat: str) -> Tuple[str, str]:
+    def yop(stat: str) -> tuple[str, str]:
         return (stat, py if py is not None else _CANON_Y[stat])
 
-    def xop(stat: str) -> Tuple[str, str]:
+    def xop(stat: str) -> tuple[str, str]:
         return (stat, px if px is not None else _CANON_X[stat])
 
     if rel in (Relation.R1, Relation.R1P):
@@ -283,7 +283,7 @@ _KEY_CACHE: "dict[Relation | RelationSpec, SubtestKey]" = {}
 
 
 #: The distinct subtest keys across all 40 evaluable specs (24 of them).
-SUBTEST_KEYS: Tuple[SubtestKey, ...] = tuple(
+SUBTEST_KEYS: tuple[SubtestKey, ...] = tuple(
     dict.fromkeys(
         [subtest_key(spec) for spec in FAMILY32]
         + [subtest_key(rel) for rel in BASE_RELATIONS]

@@ -20,7 +20,6 @@ an internal event then receives)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from .event import Event, EventId, EventKind
 from .poset import Execution
@@ -58,8 +57,8 @@ class TraceBuilder:
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
-        self._events: List[List[Event]] = [[] for _ in range(num_nodes)]
-        self._messages: List[Message] = []
+        self._events: list[list[Event]] = [[] for _ in range(num_nodes)]
+        self._messages: list[Message] = []
         self._received: set[EventId] = set()
 
     @property
@@ -71,7 +70,7 @@ class TraceBuilder:
         """Number of events appended to ``node`` so far."""
         return len(self._events[node])
 
-    def last_id(self, node: int) -> Optional[EventId]:
+    def last_id(self, node: int) -> EventId | None:
         """Identifier of the most recent event on ``node`` (or None)."""
         k = len(self._events[node])
         return (node, k) if k else None
@@ -83,9 +82,9 @@ class TraceBuilder:
         self,
         node: int,
         kind: EventKind,
-        label: Optional[str],
-        time: Optional[float],
-        payload,
+        label: str | None,
+        time: float | None,
+        payload: object,
     ) -> EventId:
         if not (0 <= node < len(self._events)):
             raise ValueError(f"no such node: {node}")
@@ -100,9 +99,9 @@ class TraceBuilder:
         self,
         node: int,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
-        payload=None,
+        label: str | None = None,
+        time: float | None = None,
+        payload: object = None,
     ) -> EventId:
         """Append an internal event on ``node``; returns its id."""
         return self._append(node, EventKind.INTERNAL, label, time, payload)
@@ -111,9 +110,9 @@ class TraceBuilder:
         self,
         node: int,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
-        payload=None,
+        label: str | None = None,
+        time: float | None = None,
+        payload: object = None,
     ) -> MessageHandle:
         """Append a send event on ``node``; returns a message handle."""
         eid = self._append(node, EventKind.SEND, label, time, payload)
@@ -124,9 +123,9 @@ class TraceBuilder:
         node: int,
         handle: MessageHandle,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
-        payload=None,
+        label: str | None = None,
+        time: float | None = None,
+        payload: object = None,
     ) -> EventId:
         """Append a receive event on ``node`` matched to ``handle``.
 
@@ -147,8 +146,8 @@ class TraceBuilder:
         src: int,
         dst: int,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
+        label: str | None = None,
+        time: float | None = None,
     ) -> tuple[EventId, EventId]:
         """Convenience: append a send on ``src`` immediately received on
         ``dst``.  Returns ``(send_id, recv_id)``."""

@@ -50,8 +50,10 @@ attributable.
 
 from __future__ import annotations
 
+# repro: hot, dtype-strict
+
 import os
-from typing import Dict, List, Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -83,10 +85,10 @@ CLOCK_DTYPE = np.int32
 #: tests use it to assert that lazy code paths (e.g. the online
 #: monitor's ingestion) never trigger a pass they should not pay for.
 #: See the module docstring for the worker-process contract.
-_PASS_COUNTS: Dict[str, int] = {"forward": 0, "reverse": 0, "extend": 0}
+_PASS_COUNTS: dict[str, int] = {"forward": 0, "reverse": 0, "extend": 0}
 
 
-def clock_pass_counts(include_pid: bool = False) -> Dict[str, int]:
+def clock_pass_counts(include_pid: bool = False) -> dict[str, int]:
     """A snapshot of this process's pass counters.
 
     Keys ``forward``/``reverse``/``extend``; with ``include_pid``, also
@@ -95,7 +97,7 @@ def clock_pass_counts(include_pid: bool = False) -> Dict[str, int]:
     worker pool must collect one snapshot per worker rather than read
     the parent's — the pid tag makes misaggregated numbers attributable.
     """
-    snap: Dict[str, int] = dict(_PASS_COUNTS)
+    snap: dict[str, int] = dict(_PASS_COUNTS)
     if include_pid:
         snap["pid"] = os.getpid()
     return snap
@@ -172,7 +174,7 @@ class ClockTable:
         """All of ``node``'s rows as a ``(k_i, P)`` view (zero-copy)."""
         return self.data[self.offsets[node]:self.offsets[node + 1]]
 
-    def views(self) -> List[np.ndarray]:
+    def views(self) -> list[np.ndarray]:
         """Per-node ``(k_i, P)`` views, in node order (zero-copy)."""
         return [self.node_view(i) for i in range(self.num_nodes)]
 
@@ -220,16 +222,26 @@ class GrowableClockTable:
     __slots__ = ("_blocks", "_counts", "_version", "_snapshot",
                  "_snapshot_version")
 
+    # Version-discipline contract enforced by `python -m repro lint`
+    # (REP001/REP005); the decorator form lives in repro.core.versioning,
+    # which this layer cannot import (core depends on events).
+    _REPRO_VERSIONED = {
+        "version": "_version",
+        "state": ("_blocks", "_counts"),
+        "caches": ("_snapshot",),
+        "guards": (),
+    }
+
     def __init__(self, num_nodes: int, capacity: int = 16) -> None:
         if num_nodes <= 0:
             raise ValueError("need at least one node")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self._blocks: List[np.ndarray] = [
+        self._blocks: list[np.ndarray] = [
             np.zeros((capacity, num_nodes), dtype=CLOCK_DTYPE)
             for _ in range(num_nodes)
         ]
-        self._counts: List[int] = [0] * num_nodes
+        self._counts: list[int] = [0] * num_nodes
         self._version = 0
         self._snapshot: "ClockTable | None" = None
         self._snapshot_version = -1
@@ -258,7 +270,7 @@ class GrowableClockTable:
         return self._counts[node]
 
     @property
-    def lengths(self) -> Tuple[int, ...]:
+    def lengths(self) -> tuple[int, ...]:
         """Per-node appended event counts."""
         return tuple(self._counts)
 
@@ -329,7 +341,7 @@ class GrowableClockTable:
 
 def _run_clock_pass(
     lengths: Sequence[int],
-    cross_deps: Mapping[EventId, Tuple[EventId, ...]],
+    cross_deps: Mapping[EventId, tuple[EventId, ...]],
     prior: "ClockTable | None" = None,
 ) -> ClockTable:
     """Generic forward vector-clock pass over the columnar matrix.
@@ -374,7 +386,7 @@ def _run_clock_pass(
             done[i] = k
     # waiters[(m, d)] = nodes whose next event is blocked until node m
     # has completed d events.
-    waiters: Dict[EventId, List[int]] = {}
+    waiters: dict[EventId, list[int]] = {}
     stack = list(range(num_nodes))
     processed = sum(done)
 
@@ -418,9 +430,9 @@ def _run_clock_pass(
     return ClockTable(data, lengths)
 
 
-def _forward_cross_deps(trace: Trace) -> Dict[EventId, Tuple[EventId, ...]]:
+def _forward_cross_deps(trace: Trace) -> dict[EventId, tuple[EventId, ...]]:
     """Cross-node dependencies for the forward pass: recv depends on send."""
-    deps: Dict[EventId, Tuple[EventId, ...]] = {}
+    deps: dict[EventId, tuple[EventId, ...]] = {}
     for msg in trace.messages:
         deps[msg.recv] = deps.get(msg.recv, ()) + (msg.send,)
     return deps
@@ -479,7 +491,7 @@ def compute_reverse_table(trace: Trace) -> ClockTable:
         node, idx = eid
         return (node, lengths[node] - idx + 1)
 
-    cross: Dict[EventId, Tuple[EventId, ...]] = {}
+    cross: dict[EventId, tuple[EventId, ...]] = {}
     for msg in trace.messages:
         r_send = rev(msg.send)
         cross[r_send] = cross.get(r_send, ()) + (rev(msg.recv),)
@@ -512,7 +524,7 @@ def _table_from_node_matrices(matrices: Sequence[np.ndarray]) -> ClockTable:
 # ----------------------------------------------------------------------
 # per-node list API (thin wrappers over the columnar tables)
 # ----------------------------------------------------------------------
-def compute_forward_clocks(trace: Trace) -> List[np.ndarray]:
+def compute_forward_clocks(trace: Trace) -> list[np.ndarray]:
     """Forward vector timestamps (Definition 13) for every real event.
 
     Returns one read-only ``(k_i, P)`` matrix per node whose row
@@ -529,7 +541,7 @@ def compute_forward_clocks(trace: Trace) -> List[np.ndarray]:
 
 def extend_forward_clocks(
     trace: Trace, prior: Sequence[np.ndarray]
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Advance forward timestamps to cover an append-only trace extension.
 
     Per-node-matrix wrapper over :func:`extend_forward_table`; ``prior``
@@ -544,7 +556,7 @@ def extend_forward_clocks(
     return extend_forward_table(trace, _table_from_node_matrices(prior)).views()
 
 
-def compute_reverse_clocks(trace: Trace) -> List[np.ndarray]:
+def compute_reverse_clocks(trace: Trace) -> list[np.ndarray]:
     """Reverse vector timestamps (Definition 14) for every real event.
 
     Returns one read-only ``(k_i, P)`` matrix per node whose row

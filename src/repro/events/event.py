@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any
 
 __all__ = [
     "EventId",
@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 #: An event identifier: ``(node, local_index)``.
-EventId = Tuple[int, int]
+EventId = tuple[int, int]
 
 
 class EventKind(enum.Enum):
@@ -83,8 +83,8 @@ class Event:
     node: int
     index: int
     kind: EventKind = EventKind.INTERNAL
-    label: Optional[str] = None
-    time: Optional[float] = None
+    label: str | None = None
+    time: float | None = None
     payload: Any = field(default=None, compare=False)
 
     @property

@@ -18,7 +18,6 @@ the documentation to motivate vector clocks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from .event import EventId
 from .trace import Trace
@@ -26,7 +25,7 @@ from .trace import Trace
 __all__ = ["compute_lamport_clocks", "lamport_order_violations"]
 
 
-def compute_lamport_clocks(trace: Trace) -> Dict[EventId, int]:
+def compute_lamport_clocks(trace: Trace) -> dict[EventId, int]:
     """Scalar Lamport timestamps for every real event.
 
     ``L(e) = L(previous local event) + 1``, maximised with
@@ -39,9 +38,9 @@ def compute_lamport_clocks(trace: Trace) -> Dict[EventId, int]:
     for msg in trace.messages:
         send_of[msg.recv] = msg.send
 
-    clocks: Dict[EventId, int] = {}
+    clocks: dict[EventId, int] = {}
     done = [0] * num_nodes
-    waiters: Dict[EventId, List[int]] = {}
+    waiters: dict[EventId, list[int]] = {}
     stack = list(range(num_nodes))
     while stack:
         node = stack.pop()
@@ -68,7 +67,7 @@ def compute_lamport_clocks(trace: Trace) -> Dict[EventId, int]:
 
 def lamport_order_violations(
     trace: Trace, sample: int | None = None, seed: int = 0
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     """Count scalar-order lies: pairs with ``L(a) < L(b)`` but ``a ⊀ b``.
 
     Returns ``(violations, pairs_checked)`` over all (or ``sample``)

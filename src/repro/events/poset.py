@@ -15,7 +15,9 @@ the precedence methods.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+# repro: hot
+
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -27,14 +29,21 @@ from .clocks import (
     compute_reverse_table,
     extend_forward_table,
 )
-from .event import Event, EventId, EventKind
+from typing import TYPE_CHECKING
+
+from .event import Event, EventId
 from .trace import Trace, TraceError
+
+if TYPE_CHECKING:
+    import networkx as nx
 
 __all__ = ["Execution", "Ordering"]
 
 
 class Ordering:
     """Symbolic outcomes of :meth:`Execution.compare`."""
+
+    __slots__ = ()
 
     BEFORE = "before"
     AFTER = "after"
@@ -82,6 +91,19 @@ class Execution:
 
     __slots__ = ("_trace", "_fwd", "_rev", "_lengths", "_version", "__weakref__")
 
+    # Version-discipline contract enforced by `python -m repro lint`
+    # (REP001): growing the substrate must bump `_version` so every
+    # derived cache (CutCache, SharedVerdictCache, published
+    # shared-memory clocks) can detect staleness.  `_rev` is reset to
+    # None on growth rather than freshness-checked on read, so it is
+    # deliberately not registered as a cache.
+    _REPRO_VERSIONED = {
+        "version": "_version",
+        "state": ("_trace", "_fwd", "_lengths"),
+        "caches": (),
+        "guards": (),
+    }
+
     def __init__(
         self,
         trace: Trace,
@@ -92,8 +114,8 @@ class Execution:
             self._fwd = compute_forward_table(trace)
         else:
             self._fwd = self._adopt_forward(trace, forward_clocks)
-        self._rev: Optional[ClockTable] = None
-        self._lengths: Tuple[int, ...] = tuple(
+        self._rev: ClockTable | None = None
+        self._lengths: tuple[int, ...] = tuple(
             trace.num_real(i) for i in range(trace.num_nodes)
         )
         self._version = 0
@@ -169,7 +191,7 @@ class Execution:
         return self._trace.num_nodes
 
     @property
-    def lengths(self) -> Tuple[int, ...]:
+    def lengths(self) -> tuple[int, ...]:
         """Per-node real event counts ``(k_0, ..., k_{P-1})``."""
         return self._lengths
 
@@ -312,7 +334,7 @@ class Execution:
     # ------------------------------------------------------------------
     # causal past / future enumeration
     # ------------------------------------------------------------------
-    def causal_past_ids(self, eid: EventId) -> Set[EventId]:
+    def causal_past_ids(self, eid: EventId) -> set[EventId]:
         """All real event ids ``e'`` with ``e' ≼ eid`` (the set ``↓e``).
 
         ``O(|E|)`` via the forward clock: ``T(eid)[i]`` is exactly the
@@ -325,14 +347,14 @@ class Execution:
             for j in range(1, int(clock[i]) + 1)
         }
 
-    def causal_future_ids(self, eid: EventId) -> Set[EventId]:
+    def causal_future_ids(self, eid: EventId) -> set[EventId]:
         """All real event ids ``e'`` with ``e' ≽ eid``.
 
         ``O(|E|)`` via the reverse clock: the node-``i`` events in the
         causal future are the last ``T^R(eid)[i]`` events of ``E_i``.
         """
         rclock = self.rclock(eid)
-        out: Set[EventId] = set()
+        out: set[EventId] = set()
         for i in range(self.num_nodes):
             k = self._lengths[i]
             out.update((i, j) for j in range(k - int(rclock[i]) + 1, k + 1))
@@ -407,7 +429,7 @@ class Execution:
     # ------------------------------------------------------------------
     # interop
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> "nx.DiGraph":
         """The covering digraph of real events (local + message edges).
 
         Returns a :class:`networkx.DiGraph` whose transitive closure is

@@ -22,7 +22,7 @@ Payloads are serialised only when JSON-representable.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any
 
 from .event import Event, EventKind
 from .trace import Message, Trace, TraceError
@@ -32,8 +32,8 @@ __all__ = ["trace_to_dict", "trace_from_dict", "dumps", "loads", "save", "load"]
 SCHEMA_VERSION = 1
 
 
-def _event_to_dict(ev: Event) -> Dict[str, Any]:
-    out: Dict[str, Any] = {"kind": ev.kind.value}
+def _event_to_dict(ev: Event) -> dict[str, Any]:
+    out: dict[str, Any] = {"kind": ev.kind.value}
     if ev.label is not None:
         out["label"] = ev.label
     if ev.time is not None:
@@ -48,7 +48,7 @@ def _event_to_dict(ev: Event) -> Dict[str, Any]:
     return out
 
 
-def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
     """Convert a trace to a JSON-ready dictionary."""
     return {
         "version": SCHEMA_VERSION,
@@ -63,7 +63,7 @@ def trace_to_dict(trace: Trace) -> Dict[str, Any]:
     }
 
 
-def trace_from_dict(data: Dict[str, Any]) -> Trace:
+def trace_from_dict(data: dict[str, Any]) -> Trace:
     """Reconstruct a trace from :func:`trace_to_dict` output.
 
     Raises
@@ -76,7 +76,7 @@ def trace_from_dict(data: Dict[str, Any]) -> Trace:
         raise TraceError(f"unsupported trace schema version: {version!r}")
     try:
         num_nodes = int(data["num_nodes"])
-        raw_events: List[List[Dict[str, Any]]] = data["events"]
+        raw_events: list[list[dict[str, Any]]] = data["events"]
         raw_messages = data["messages"]
     except (KeyError, TypeError) as exc:
         raise TraceError(f"malformed trace payload: {exc}") from exc
@@ -84,9 +84,9 @@ def trace_from_dict(data: Dict[str, Any]) -> Trace:
         raise TraceError(
             f"num_nodes={num_nodes} but {len(raw_events)} event lists present"
         )
-    events: List[List[Event]] = []
+    events: list[list[Event]] = []
     for node, per_node in enumerate(raw_events):
-        row: List[Event] = []
+        row: list[Event] = []
         for pos, rec in enumerate(per_node):
             try:
                 kind = EventKind(rec.get("kind", "internal"))
@@ -133,5 +133,5 @@ def save(trace: Trace, path: str, **json_kwargs: Any) -> None:
 
 def load(path: str) -> Trace:
     """Read a trace previously written by :func:`save`."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return trace_from_dict(json.load(fh))

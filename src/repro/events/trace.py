@@ -15,7 +15,7 @@ A ..."*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 from .event import Event, EventId, EventKind
 
@@ -77,14 +77,14 @@ class Trace:
         events: Sequence[Sequence[Event]],
         messages: Sequence[Message] = (),
     ) -> None:
-        self._events: Tuple[Tuple[Event, ...], ...] = tuple(
+        self._events: tuple[tuple[Event, ...], ...] = tuple(
             tuple(per_node) for per_node in events
         )
-        self._messages: Tuple[Message, ...] = tuple(messages)
+        self._messages: tuple[Message, ...] = tuple(messages)
         self._num_nodes = len(self._events)
         self._validate_events()
-        self._send_of: Dict[EventId, EventId] = {}
-        self._recv_of: Dict[EventId, EventId] = {}
+        self._send_of: dict[EventId, EventId] = {}
+        self._recv_of: dict[EventId, EventId] = {}
         self._validate_messages()
 
     # ------------------------------------------------------------------
@@ -144,7 +144,7 @@ class Trace:
         return self._num_nodes
 
     @property
-    def messages(self) -> Tuple[Message, ...]:
+    def messages(self) -> tuple[Message, ...]:
         """All message edges of the trace."""
         return self._messages
 
@@ -157,7 +157,7 @@ class Trace:
         """Total number of real events across all nodes."""
         return sum(len(per_node) for per_node in self._events)
 
-    def events_of(self, node: int) -> Tuple[Event, ...]:
+    def events_of(self, node: int) -> tuple[Event, ...]:
         """The real events of ``node`` in local order."""
         return self._events[node]
 
@@ -215,6 +215,6 @@ class Trace:
         )
 
 
-def _node_lengths(trace: Trace) -> List[int]:
+def _node_lengths(trace: Trace) -> list[int]:
     """Per-node real event counts (helper shared by clock routines)."""
     return [trace.num_real(i) for i in range(trace.num_nodes)]

@@ -26,7 +26,8 @@ Local predicates are evaluated on *local states*: predicate
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -66,7 +67,7 @@ def possibly(
     execution: "Execution | AnalysisContext",
     predicate: GlobalPredicate,
     limit: int = 200_000,
-) -> Optional[StateVector]:
+) -> StateVector | None:
     """``Possibly(φ)``: the first (lowest-level) satisfying consistent
     global state, or None.
 
@@ -94,7 +95,7 @@ def definitely(
     state, φ was unavoidable.
     """
     lattice = GlobalStateLattice(_as_execution(execution), limit=limit)
-    frontier: List[StateVector] = (
+    frontier: list[StateVector] = (
         [] if predicate(lattice.bottom) else [lattice.bottom]
     )
     if not frontier:
@@ -120,9 +121,9 @@ def definitely(
 
 def possibly_conjunctive(
     execution: "Execution | AnalysisContext",
-    locals_: Dict[int, LocalPredicate],
-    limit: Optional[int] = None,
-) -> Optional[StateVector]:
+    locals_: dict[int, LocalPredicate],
+    limit: int | None = None,
+) -> StateVector | None:
     """Garg–Waldecker detection of a weak conjunctive predicate.
 
     ``locals_`` maps each constrained node to its local predicate;
@@ -145,13 +146,13 @@ def possibly_conjunctive(
     if not nodes:
         return tuple(0 for _ in lengths)
 
-    def first_satisfying(node: int, start: int) -> Optional[int]:
+    def first_satisfying(node: int, start: int) -> int | None:
         for idx in range(start, lengths[node] + 1):
             if locals_[node](node, idx):
                 return idx
         return None
 
-    cand: Dict[int, int] = {}
+    cand: dict[int, int] = {}
     for node in nodes:
         idx = first_satisfying(node, 0)
         if idx is None:

@@ -26,7 +26,7 @@ an optional ``limit`` guard so misuse fails loudly instead of hanging.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from ..events.poset import Execution
 __all__ = ["GlobalStateLattice", "StateVector"]
 
 #: A consistent global state as a tuple of per-node prefix lengths.
-StateVector = Tuple[int, ...]
+StateVector = tuple[int, ...]
 
 
 class GlobalStateLattice:
@@ -88,7 +88,7 @@ class GlobalStateLattice:
                     return False
         return True
 
-    def enabled_advances(self, state: StateVector) -> List[int]:
+    def enabled_advances(self, state: StateVector) -> list[int]:
         """Nodes whose next event can be appended consistently.
 
         Node ``i`` is enabled iff it has a next event whose causal past
@@ -96,7 +96,7 @@ class GlobalStateLattice:
         its send has happened.
         """
         ex = self.execution
-        out: List[int] = []
+        out: list[int] = []
         for i, c in enumerate(state):
             nxt = c + 1
             if nxt > self._lengths[i]:
@@ -111,7 +111,7 @@ class GlobalStateLattice:
                 out.append(i)
         return out
 
-    def successors(self, state: StateVector) -> List[StateVector]:
+    def successors(self, state: StateVector) -> list[StateVector]:
         """The consistent states one event beyond ``state``."""
         return [
             state[:i] + (state[i] + 1,) + state[i + 1 :]
@@ -137,14 +137,14 @@ class GlobalStateLattice:
     # ------------------------------------------------------------------
     # traversal
     # ------------------------------------------------------------------
-    def levels(self) -> Iterator[List[StateVector]]:
+    def levels(self) -> Iterator[list[StateVector]]:
         """Level-order traversal: level t holds the consistent states
         with exactly t events.  The classic Cooper–Marzullo sweep."""
-        current: Set[StateVector] = {self.bottom}
+        current: set[StateVector] = {self.bottom}
         visited = 1
         while current:
             yield sorted(current)
-            nxt: Set[StateVector] = set()
+            nxt: set[StateVector] = set()
             for state in current:
                 for succ in self.successors(state):
                     if succ not in nxt:

@@ -21,7 +21,7 @@ This module provides:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ __all__ = [
 
 def sample_observation(
     execution: Execution, rng: np.random.Generator
-) -> List[EventId]:
+) -> list[EventId]:
     """One random observation (linear extension) of the execution.
 
     Drawn by repeatedly advancing a uniformly chosen enabled node —
@@ -48,7 +48,7 @@ def sample_observation(
     """
     lattice = GlobalStateLattice(execution)
     state = list(lattice.bottom)
-    order: List[EventId] = []
+    order: list[EventId] = []
     total = sum(execution.lengths)
     while len(order) < total:
         enabled = lattice.enabled_advances(tuple(state))
@@ -60,7 +60,7 @@ def sample_observation(
 
 def observation_states(
     execution: Execution, order: Sequence[EventId]
-) -> List[StateVector]:
+) -> list[StateVector]:
     """The consistent-global-state path induced by an observation.
 
     Returns ``len(order) + 1`` states from bottom to the final state.
@@ -73,7 +73,7 @@ def observation_states(
     if not is_observation(execution, order):
         raise ValueError("sequence is not a linear extension of ≺")
     state = [0] * execution.num_nodes
-    path: List[StateVector] = [tuple(state)]
+    path: list[StateVector] = [tuple(state)]
     for node, idx in order:
         state[node] = idx
         path.append(tuple(state))
@@ -112,7 +112,7 @@ def count_observations(execution: Execution, limit: int = 200_000) -> int:
     count itself is returned as a Python int of any size).
     """
     lattice = GlobalStateLattice(execution, limit=limit)
-    paths: Dict[StateVector, int] = {lattice.bottom: 1}
+    paths: dict[StateVector, int] = {lattice.bottom: 1}
     for level in lattice.levels():
         for state in level:
             count = paths[state]

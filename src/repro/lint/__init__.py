@@ -1,0 +1,22 @@
+"""Project-specific static analysis for the repro codebase.
+
+A dependency-free (stdlib ``ast``) linter enforcing invariants the
+generic tools cannot see: cache/version discipline (REP001, REP005),
+the canonical clock dtype (REP002), shared-memory lifecycles (REP003),
+and hot-path hygiene (REP004).  Run it as ``python -m repro lint``.
+"""
+
+from .baseline import Baseline, partition
+from .engine import RULES, FileContext, Finding, Rule, run_file, run_paths
+from . import rules as _rules  # noqa: F401  (side effect: rule registration)
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "RULES",
+    "Rule",
+    "partition",
+    "run_file",
+    "run_paths",
+]

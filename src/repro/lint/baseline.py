@@ -1,0 +1,108 @@
+"""Baseline support: grandfathering known findings.
+
+The baseline is a checked-in JSON file listing findings that are
+acknowledged but not yet fixed.  Each entry matches on
+``(path, rule, message)`` — line numbers drift with unrelated edits, so
+they are recorded for humans but ignored for matching.  Matching is
+multiset-style: an entry absorbs at most ``count`` findings, so a
+regression that *adds* a second instance of a baselined finding still
+fails the run.  Entries carry an optional ``justification`` string;
+``repro lint --write-baseline`` preserves justifications for entries
+that survive the rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = ["Baseline", "partition"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: entry key -> (budget, justification)."""
+
+    entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    justifications: dict[tuple[str, str, str], str] = field(default_factory=dict)
+    lines: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline format version {data.get('version')!r}"
+            )
+        baseline = cls()
+        for item in data.get("findings", []):
+            key = (item["path"], item["rule"], item["message"])
+            baseline.entries[key] = baseline.entries.get(key, 0) + int(
+                item.get("count", 1)
+            )
+            if "justification" in item:
+                baseline.justifications[key] = item["justification"]
+            if "line" in item:
+                baseline.lines[key] = int(item["line"])
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        baseline = cls()
+        for f in findings:
+            key = f.key()
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+            baseline.lines.setdefault(key, f.line)
+            if previous is not None and key in previous.justifications:
+                baseline.justifications[key] = previous.justifications[key]
+        return baseline
+
+    def save(self, path: Path) -> None:
+        findings = []
+        for key in sorted(self.entries):
+            fpath, rule, message = key
+            item: dict[str, object] = {
+                "path": fpath,
+                "rule": rule,
+                "message": message,
+            }
+            if self.entries[key] != 1:
+                item["count"] = self.entries[key]
+            if key in self.lines:
+                item["line"] = self.lines[key]
+            if key in self.justifications:
+                item["justification"] = self.justifications[key]
+            findings.append(item)
+        payload = {"version": _FORMAT_VERSION, "findings": findings}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """Split findings into (new, grandfathered) and report stale entries.
+
+    Stale entries are baseline lines whose finding no longer occurs —
+    a nudge to prune the file (``--write-baseline`` does it).
+    """
+    budget = dict(baseline.entries)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        key = f.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    return new, old, stale

@@ -1,0 +1,142 @@
+"""Command-line front end: ``python -m repro lint [paths...]``.
+
+Output is one ``path:line:col: RULE message`` line per finding (the
+ruff/flake8 convention, so editors and CI annotators parse it for
+free).  Exit status: 0 when every finding is grandfathered by the
+baseline (or there are none), 1 when new findings exist, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, partition
+from .engine import RULES, run_paths
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+DEFAULT_BASELINE = Path("lint-baseline.json")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather all current findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-rule finding count summary",
+    )
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if DEFAULT_BASELINE.exists() or args.write_baseline:
+        return DEFAULT_BASELINE
+    return None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    # Rule modules self-register on import (run_paths triggers it), but
+    # --list-rules must see them without a run.
+    from . import rules as _rules  # noqa: F401
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            entry = RULES[code]
+            print(f"{code} [{entry.severity}] {entry.name}: {entry.description}")
+        return 0
+
+    paths: list[Path] = list(args.paths) if args.paths else [Path("src")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such path: {p}", file=sys.stderr)
+        return 2
+
+    findings = run_paths(paths)
+
+    baseline_path = _resolve_baseline_path(args)
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+
+    if args.write_baseline:
+        if baseline_path is None:  # pragma: no cover - argparse default covers it
+            baseline_path = DEFAULT_BASELINE
+        Baseline.from_findings(findings, previous=baseline).save(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}", file=sys.stderr
+        )
+        return 0
+
+    new, grandfathered, stale = partition(findings, baseline)
+    for f in new:
+        print(f.render())
+    if grandfathered:
+        print(
+            f"({len(grandfathered)} baselined finding(s) suppressed)",
+            file=sys.stderr,
+        )
+    for key in stale:
+        print(
+            f"stale baseline entry (finding no longer occurs): "
+            f"{key[0]} {key[1]} {key[2]!r}",
+            file=sys.stderr,
+        )
+    if args.statistics and new:
+        counts: dict = {}
+        for f in new:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        print("--")
+        for code in sorted(counts):
+            print(f"{counts[code]:5d}  {code}  {RULES[code].name}")
+    if new:
+        noun = "finding" if len(new) == 1 else "findings"
+        print(f"{len(new)} {noun}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-specific static analysis (REP001-REP005)",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Rule modules; importing this package registers every rule."""
+
+from . import dtype, hotpath, shm, versioning
+
+__all__ = ["dtype", "hotpath", "shm", "versioning"]

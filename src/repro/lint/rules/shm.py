@@ -1,0 +1,96 @@
+"""REP003 — shared-memory lifecycle.
+
+A ``multiprocessing.shared_memory.SharedMemory(create=True)`` segment is
+a kernel object: if the creating process raises between creation and
+publication to the worker pool, the segment leaks until reboot (or the
+resource tracker's exit-time complaint).  Every creating call must be
+dominated by a construct that guarantees ``close()`` *and* ``unlink()``
+on the failure path:
+
+* a ``with`` statement whose context expression owns the call, or
+* an enclosing ``try`` whose handlers or ``finally`` block contain both
+  a ``.close()`` and a ``.unlink()`` call.
+
+Attaching calls (``SharedMemory(name=...)`` without ``create=True``)
+are the consumer side and out of scope — consumers must ``close()`` but
+never ``unlink()``, and their lifetime is tied to worker teardown.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, rule
+
+
+def _is_creating_shm_call(node: ast.Call) -> bool:
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+    if name != "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _contains_cleanup(nodes: Iterator[ast.AST]) -> tuple[bool, bool]:
+    has_close = False
+    has_unlink = False
+    for stmt in nodes:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                if sub.func.attr == "close":
+                    has_close = True
+                elif sub.func.attr == "unlink":
+                    has_unlink = True
+    return has_close, has_unlink
+
+
+@rule(
+    "REP003",
+    "shared-memory-lifecycle",
+    severity="error",
+    description=(
+        "SharedMemory(create=True) must be dominated by a with statement "
+        "or a try whose cleanup path reaches close() and unlink()"
+    ),
+)
+def check_shm_lifecycle(ctx: FileContext) -> Iterator[tuple[object, str]]:
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and _is_creating_shm_call(node)):
+            continue
+        protected = False
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                # Owned by a with-item context expression?
+                for item in ancestor.items:
+                    if any(sub is node for sub in ast.walk(item.context_expr)):
+                        protected = True
+                        break
+                if protected:
+                    break
+            if isinstance(ancestor, ast.Try):
+                # Only counts if the call sits in the try body (not in a
+                # handler/else, where the try no longer shields it).
+                in_body = any(
+                    any(sub is node for sub in ast.walk(stmt))
+                    for stmt in ancestor.body
+                )
+                if not in_body:
+                    continue
+                cleanup_stmts = list(ancestor.finalbody)
+                for handler in ancestor.handlers:
+                    cleanup_stmts.extend(handler.body)
+                has_close, has_unlink = _contains_cleanup(iter(cleanup_stmts))
+                if has_close and has_unlink:
+                    protected = True
+                    break
+        if not protected:
+            yield (
+                node,
+                "SharedMemory(create=True) can leak the segment on an "
+                "exception before publication; wrap in try/finally (or a "
+                "handler) that reaches close() and unlink()",
+            )

@@ -10,7 +10,7 @@ Problem 4 applied to application-level requirements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple, Union
+from collections.abc import Mapping
 
 from ..core.evaluator import SynchronizationAnalyzer
 from ..nonatomic.event import NonatomicEvent
@@ -36,10 +36,10 @@ class CheckReport:
 
     condition: Condition
     passed: bool
-    atoms: Tuple[AtomOutcome, ...]
+    atoms: tuple[AtomOutcome, ...]
 
     @property
-    def failing_atoms(self) -> Tuple[AtomOutcome, ...]:
+    def failing_atoms(self) -> tuple[AtomOutcome, ...]:
         """Atoms that evaluated False (diagnostic aid; note that under
         negations a False atom is not necessarily the *cause* of a
         failed condition)."""
@@ -67,7 +67,7 @@ class ConditionChecker:
 
     def check(
         self,
-        condition: Union[str, Condition],
+        condition: str | Condition,
         bindings: Mapping[str, NonatomicEvent],
     ) -> CheckReport:
         """Check one condition.
@@ -92,7 +92,7 @@ class ConditionChecker:
             raise KeyError(
                 f"condition mentions unbound interval(s): {sorted(missing)}"
             )
-        outcomes: Dict[Atom, bool] = {}
+        outcomes: dict[Atom, bool] = {}
 
         def atom_eval(atom: Atom) -> bool:
             if atom not in outcomes:
@@ -110,9 +110,9 @@ class ConditionChecker:
 
     def check_all(
         self,
-        conditions: Mapping[str, Union[str, Condition]],
+        conditions: Mapping[str, str | Condition],
         bindings: Mapping[str, NonatomicEvent],
-    ) -> Dict[str, CheckReport]:
+    ) -> dict[str, CheckReport]:
         """Check a named set of conditions against shared bindings."""
         return {
             name: self.check(cond, bindings) for name, cond in conditions.items()

@@ -51,8 +51,9 @@ per-atom operand matrices).
 
 from __future__ import annotations
 
+# repro: hot, dtype-strict
+
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -110,25 +111,25 @@ class OnlineInterval:
     )
 
     def __init__(
-        self, name: str, table: Optional[GrowableClockTable] = None
+        self, name: str, table: GrowableClockTable | None = None
     ) -> None:
         self.name = name
-        self.first: Dict[int, int] = {}
-        self.last: Dict[int, int] = {}
+        self.first: dict[int, int] = {}
+        self.last: dict[int, int] = {}
         self.count = 0
         self.closed = False
         self._table = table
-        self._min_first: Optional[np.ndarray] = None
-        self._max_first: Optional[np.ndarray] = None
-        self._max_last: Optional[np.ndarray] = None
-        self._first_vec: Optional[np.ndarray] = None
-        self._last_vec: Optional[np.ndarray] = None
-        self._min_last: Optional[np.ndarray] = None
-        self._first_stack: Optional[np.ndarray] = None
-        self._last_stack: Optional[np.ndarray] = None
+        self._min_first: np.ndarray | None = None
+        self._max_first: np.ndarray | None = None
+        self._max_last: np.ndarray | None = None
+        self._first_vec: np.ndarray | None = None
+        self._last_vec: np.ndarray | None = None
+        self._min_last: np.ndarray | None = None
+        self._first_stack: np.ndarray | None = None
+        self._last_stack: np.ndarray | None = None
         self._dirty = True
 
-    def add(self, eid: EventId, row: Optional[np.ndarray] = None) -> None:
+    def add(self, eid: EventId, row: np.ndarray | None = None) -> None:
         """Tag event ``eid`` into the interval.
 
         ``row`` is the event's forward clock row; when omitted it is
@@ -164,7 +165,7 @@ class OnlineInterval:
         self._dirty = True
 
     @property
-    def node_set(self) -> Tuple[int, ...]:
+    def node_set(self) -> tuple[int, ...]:
         """Nodes the interval spans (sorted)."""
         return tuple(sorted(self.first))
 
@@ -192,8 +193,8 @@ class OnlineInterval:
         self._dirty = False
 
     def past_cuts(
-        self, proxy: Optional[Proxy]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, proxy: Proxy | None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``(T(∩⇓Ŷ), T(∪⇓Ŷ))`` for the interval or one of its proxies.
 
         ``T(∩⇓Y) = T(∩⇓L_Y)`` and ``T(∪⇓Y) = T(∪⇓U_Y)`` (the proxy
@@ -209,8 +210,8 @@ class OnlineInterval:
         return self._min_first, self._max_last
 
     def extremal_vectors(
-        self, proxy: Optional[Proxy]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, proxy: Proxy | None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Dense ``(first, last)`` local-index vectors (0 off the node
         set) of the interval or one of its proxies."""
         if proxy is Proxy.L:
@@ -220,8 +221,8 @@ class OnlineInterval:
         return self._first_vec, self._last_vec
 
     def clock_stacks(
-        self, proxy: Optional[Proxy]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, proxy: Proxy | None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Stacked ``(|N_Y|, P)`` first/last clock matrices (node-sorted
         rows) of the interval or one of its proxies."""
         if self._dirty:
@@ -260,17 +261,17 @@ class OnlineMonitor:
         self._builder = TraceBuilder(num_nodes)
         self.num_nodes = num_nodes
         self._table = GrowableClockTable(num_nodes)
-        self._intervals: Dict[str, OnlineInterval] = {}
-        self._watches: List[Tuple[str, Condition]] = []
-        self.notifications: List[WatchNotification] = []
+        self._intervals: dict[str, OnlineInterval] = {}
+        self._watches: list[tuple[str, Condition]] = []
+        self.notifications: list[WatchNotification] = []
         self._now = 0.0
-        self._finalized: Optional[Tuple[int, Execution]] = None
+        self._finalized: tuple[int, Execution] | None = None
 
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
     def _tag(
-        self, eid: EventId, interval: Optional[str], row: np.ndarray
+        self, eid: EventId, interval: str | None, row: np.ndarray
     ) -> EventId:
         if interval is not None:
             iv = self._intervals.get(interval)
@@ -287,9 +288,9 @@ class OnlineMonitor:
         self,
         node: int,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
-        interval: Optional[str] = None,
+        label: str | None = None,
+        time: float | None = None,
+        interval: str | None = None,
     ) -> EventId:
         """Observe an internal event (optionally tagged into an interval)."""
         if time is not None:
@@ -302,9 +303,9 @@ class OnlineMonitor:
         self,
         node: int,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
-        interval: Optional[str] = None,
+        label: str | None = None,
+        time: float | None = None,
+        interval: str | None = None,
     ) -> MessageHandle:
         """Observe a send event; returns the handle for its receive."""
         if time is not None:
@@ -319,9 +320,9 @@ class OnlineMonitor:
         node: int,
         handle: MessageHandle,
         *,
-        label: Optional[str] = None,
-        time: Optional[float] = None,
-        interval: Optional[str] = None,
+        label: str | None = None,
+        time: float | None = None,
+        interval: str | None = None,
     ) -> EventId:
         """Observe the receive matching ``handle``."""
         if time is not None:
@@ -355,7 +356,7 @@ class OnlineMonitor:
             iv = self._intervals[name] = OnlineInterval(name, self._table)
         return iv
 
-    def close(self, name: str) -> List[WatchNotification]:
+    def close(self, name: str) -> list[WatchNotification]:
         """Mark an interval complete; fires any now-decidable watches.
 
         The interval's close-time folds (``T(∩⇓U_Y)`` and the stacked
@@ -375,9 +376,9 @@ class OnlineMonitor:
             raise ValueError(f"cannot close empty interval {name!r}")
         iv.closed = True
         iv._finalize()
-        fired: List[WatchNotification] = []
-        remaining: List[Tuple[str, Condition]] = []
-        decidable: List[Tuple[str, Condition]] = []
+        fired: list[WatchNotification] = []
+        remaining: list[tuple[str, Condition]] = []
+        decidable: list[tuple[str, Condition]] = []
         for wname, cond in self._watches:
             needed = cond.names()
             if all(
@@ -400,7 +401,7 @@ class OnlineMonitor:
         self._watches = remaining
         return fired
 
-    def watch(self, name: str, condition: Union[str, Condition]) -> None:
+    def watch(self, name: str, condition: str | Condition) -> None:
         """Register a condition to evaluate once its intervals close."""
         if isinstance(condition, str):
             condition = parse_condition(condition)
@@ -419,9 +420,9 @@ class OnlineMonitor:
         self,
         relation: Relation,
         x: OnlineInterval,
-        proxy_x: Optional[Proxy],
+        proxy_x: Proxy | None,
         y: OnlineInterval,
-        proxy_y: Optional[Proxy],
+        proxy_y: Proxy | None,
     ) -> bool:
         """One past-only condition over the maintained vectors.
 
@@ -454,7 +455,7 @@ class OnlineMonitor:
 
     def holds(
         self,
-        spec: Union[str, Relation, RelationSpec],
+        spec: str | Relation | RelationSpec,
         x_name: str,
         y_name: str,
     ) -> bool:
@@ -477,8 +478,8 @@ class OnlineMonitor:
         return self._eval(spec, x, None, y, None)
 
     def _batch_eval_atoms(
-        self, conditions: List[Condition]
-    ) -> Dict[Atom, bool]:
+        self, conditions: list[Condition]
+    ) -> dict[Atom, bool]:
         """Evaluate every distinct atom of ``conditions`` in one pass.
 
         Atoms whose relation reads only the interval-level past-cut
@@ -487,15 +488,15 @@ class OnlineMonitor:
         R2'/R3' atoms (per-node clock-stack scans) are evaluated
         individually but still vectorized over ``(|N_Y|, P)``.
         """
-        atoms: List[Atom] = []
+        atoms: list[Atom] = []
         seen = set()
         for cond in conditions:
             for atom in _collect_atoms(cond):
                 if atom not in seen:
                     seen.add(atom)
                     atoms.append(atom)
-        groups: Dict[Relation, List[Atom]] = {}
-        verdicts: Dict[Atom, bool] = {}
+        groups: dict[Relation, list[Atom]] = {}
+        verdicts: dict[Atom, bool] = {}
         for atom in atoms:
             spec = atom.spec
             if isinstance(spec, str):
@@ -534,7 +535,7 @@ class OnlineMonitor:
                 out = np.any((xfirst >= 1) & (ty1 >= xfirst), axis=1)
             else:  # R4 / R4'
                 out = np.any((xfirst >= 1) & (ty2 >= xfirst), axis=1)
-            for atom, v in zip(members, out.tolist()):
+            for atom, v in zip(members, out.tolist(), strict=True):
                 verdicts[atom] = v
         return verdicts
 
@@ -579,11 +580,11 @@ class OnlineMonitor:
         return AnalysisContext.of(self.to_execution())
 
 
-def _collect_atoms(cond: Condition) -> List[Atom]:
+def _collect_atoms(cond: Condition) -> list[Atom]:
     """All :class:`Atom` leaves of a condition AST."""
     if isinstance(cond, Atom):
         return [cond]
-    out: List[Atom] = []
+    out: list[Atom] = []
     for attr in ("operand", "antecedent", "consequent"):
         sub = getattr(cond, attr, None)
         if sub is not None:

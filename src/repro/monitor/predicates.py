@@ -33,7 +33,6 @@ from __future__ import annotations
 import abc
 import re
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple, Union
 
 from ..core.relations import Relation, RelationSpec, parse_spec
 
@@ -57,7 +56,7 @@ class Condition(abc.ABC):
     """A boolean synchronization condition over named intervals."""
 
     @abc.abstractmethod
-    def names(self) -> FrozenSet[str]:
+    def names(self) -> frozenset[str]:
         """All interval names the condition mentions."""
 
     @abc.abstractmethod
@@ -78,11 +77,11 @@ class Condition(abc.ABC):
 class Atom(Condition):
     """One relation applied to two named intervals."""
 
-    spec: Union[Relation, RelationSpec]
+    spec: Relation | RelationSpec
     left: str
     right: str
 
-    def names(self) -> FrozenSet[str]:
+    def names(self) -> frozenset[str]:
         return frozenset((self.left, self.right))
 
     def evaluate(self, atom_eval) -> bool:
@@ -99,7 +98,7 @@ class Not(Condition):
 
     operand: Condition
 
-    def names(self) -> FrozenSet[str]:
+    def names(self) -> frozenset[str]:
         return self.operand.names()
 
     def evaluate(self, atom_eval) -> bool:
@@ -113,9 +112,9 @@ class Not(Condition):
 class And(Condition):
     """Logical conjunction."""
 
-    operands: Tuple[Condition, ...]
+    operands: tuple[Condition, ...]
 
-    def names(self) -> FrozenSet[str]:
+    def names(self) -> frozenset[str]:
         return frozenset().union(*(c.names() for c in self.operands))
 
     def evaluate(self, atom_eval) -> bool:
@@ -129,9 +128,9 @@ class And(Condition):
 class Or(Condition):
     """Logical disjunction."""
 
-    operands: Tuple[Condition, ...]
+    operands: tuple[Condition, ...]
 
-    def names(self) -> FrozenSet[str]:
+    def names(self) -> frozenset[str]:
         return frozenset().union(*(c.names() for c in self.operands))
 
     def evaluate(self, atom_eval) -> bool:
@@ -148,7 +147,7 @@ class Implies(Condition):
     antecedent: Condition
     consequent: Condition
 
-    def names(self) -> FrozenSet[str]:
+    def names(self) -> frozenset[str]:
         return self.antecedent.names() | self.consequent.names()
 
     def evaluate(self, atom_eval) -> bool:
@@ -171,8 +170,8 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {"and", "or", "not"}
 
 
-def _tokenize(text: str) -> List[Tuple[str, str]]:
-    tokens: List[Tuple[str, str]] = []
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
     pos = 0
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
@@ -204,10 +203,10 @@ class _Parser:
         self.tokens = _tokenize(text)
         self.pos = 0
 
-    def peek(self) -> Tuple[str, str]:
+    def peek(self) -> tuple[str, str]:
         return self.tokens[self.pos]
 
-    def advance(self) -> Tuple[str, str]:
+    def advance(self) -> tuple[str, str]:
         tok = self.tokens[self.pos]
         self.pos += 1
         return tok

@@ -15,7 +15,8 @@ implements:
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, Tuple
+from collections.abc import Iterable, Iterator
+from typing import Any
 
 from ..events.event import EventId
 from ..events.poset import Execution
@@ -59,8 +60,8 @@ class NonatomicEvent:
         id_set = frozenset((int(n), int(j)) for n, j in ids)
         if not id_set:
             raise ValueError("a nonatomic event must contain at least one event")
-        first: Dict[int, int] = {}
-        last: Dict[int, int] = {}
+        first: dict[int, int] = {}
+        last: dict[int, int] = {}
         for node, idx in id_set:
             if not execution.is_real((node, idx)):
                 raise ValueError(
@@ -71,13 +72,13 @@ class NonatomicEvent:
             if node not in last or idx > last[node]:
                 last[node] = idx
         self._execution = execution
-        self._ids: FrozenSet[EventId] = id_set
+        self._ids: frozenset[EventId] = id_set
         self._name = name
         self._first = first
         self._last = last
-        self._nodes: Tuple[int, ...] = tuple(sorted(first))
+        self._nodes: tuple[int, ...] = tuple(sorted(first))
         #: scratch cache used by the cut machinery (Key Idea 1)
-        self.cache: Dict[Any, Any] = {}
+        self.cache: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # accessors
@@ -88,7 +89,7 @@ class NonatomicEvent:
         return self._execution
 
     @property
-    def ids(self) -> FrozenSet[EventId]:
+    def ids(self) -> frozenset[EventId]:
         """The component atomic event identifiers."""
         return self._ids
 
@@ -98,7 +99,7 @@ class NonatomicEvent:
         return self._name
 
     @property
-    def node_set(self) -> Tuple[int, ...]:
+    def node_set(self) -> tuple[int, ...]:
         """``N_X`` (Definition 1): nodes where X has component events,
         sorted ascending."""
         return self._nodes
@@ -122,15 +123,15 @@ class NonatomicEvent:
         """Local index of the greatest component event on ``node``."""
         return self._last[node]
 
-    def first_ids(self) -> Tuple[EventId, ...]:
+    def first_ids(self) -> tuple[EventId, ...]:
         """Per-node least component events — ``L_X`` under Definition 2."""
         return tuple((n, self._first[n]) for n in self._nodes)
 
-    def last_ids(self) -> Tuple[EventId, ...]:
+    def last_ids(self) -> tuple[EventId, ...]:
         """Per-node greatest component events — ``U_X`` under Definition 2."""
         return tuple((n, self._last[n]) for n in self._nodes)
 
-    def restrict(self, node: int) -> Tuple[EventId, ...]:
+    def restrict(self, node: int) -> tuple[EventId, ...]:
         """``X_i = X ∩ E_i``: the component events on ``node``, ordered."""
         return tuple(
             sorted(eid for eid in self._ids if eid[0] == node)

@@ -16,7 +16,7 @@ mechanisms a monitoring layer uses:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ __all__ = [
 
 
 def by_label(
-    execution: Execution, label: str, name: Optional[str] = None
+    execution: Execution, label: str, name: str | None = None
 ) -> NonatomicEvent:
     """The interval of all events carrying exactly ``label``.
 
@@ -51,14 +51,14 @@ def by_label(
 
 def by_label_prefix(
     execution: Execution, prefix: str
-) -> Dict[str, NonatomicEvent]:
+) -> dict[str, NonatomicEvent]:
     """Group events by label under a common prefix.
 
     Returns a mapping ``label -> interval`` for every distinct label
     starting with ``prefix``.  Useful for e.g. collecting all critical
     section occupancies tagged ``"cs:..."``.
     """
-    groups: Dict[str, List[EventId]] = {}
+    groups: dict[str, list[EventId]] = {}
     for ev in execution.trace.iter_events():
         if ev.label is not None and ev.label.startswith(prefix):
             groups.setdefault(ev.label, []).append(ev.eid)
@@ -72,8 +72,8 @@ def by_window(
     execution: Execution,
     t_start: float,
     t_end: float,
-    nodes: Optional[Sequence[int]] = None,
-    name: Optional[str] = None,
+    nodes: Sequence[int] | None = None,
+    name: str | None = None,
 ) -> NonatomicEvent:
     """The interval of all events with ``t_start <= time <= t_end``.
 
@@ -101,11 +101,11 @@ def by_window(
 def random_interval(
     execution: Execution,
     rng: np.random.Generator,
-    num_nodes: Optional[int] = None,
+    num_nodes: int | None = None,
     events_per_node: int = 2,
-    nodes: Optional[Sequence[int]] = None,
+    nodes: Sequence[int] | None = None,
     exclude: Sequence[EventId] = (),
-    name: Optional[str] = None,
+    name: str | None = None,
 ) -> NonatomicEvent:
     """A reproducible random nonatomic event.
 
@@ -142,7 +142,7 @@ def random_interval(
         num_nodes = int(rng.integers(1, len(pool) + 1))
     num_nodes = min(num_nodes, len(pool))
     chosen_nodes = rng.choice(len(pool), size=num_nodes, replace=False)
-    ids: List[EventId] = []
+    ids: list[EventId] = []
     for pos in chosen_nodes:
         node = pool[int(pos)]
         eligible = [
@@ -159,8 +159,8 @@ def random_interval(
 def random_disjoint_pair(
     execution: Execution,
     rng: np.random.Generator,
-    num_nodes_x: Optional[int] = None,
-    num_nodes_y: Optional[int] = None,
+    num_nodes_x: int | None = None,
+    num_nodes_y: int | None = None,
     events_per_node: int = 2,
 ) -> tuple[NonatomicEvent, NonatomicEvent]:
     """Two random intervals with no shared atomic event.

@@ -11,8 +11,8 @@ a logic bug; a temporal one is a scheduling/latency bug).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from collections.abc import Mapping
 
 from ..core.evaluator import SynchronizationAnalyzer
 from ..monitor.predicates import Condition, parse_condition
@@ -45,10 +45,10 @@ class TimedConstraint:
     name: str
     source: str
     target: str
-    causal: Optional[Union[str, Condition]] = None
-    max_latency: Optional[float] = None
-    min_latency: Optional[float] = None
-    anchor: Tuple[str, str] = ("end", "start")
+    causal: str | Condition | None = None
+    max_latency: float | None = None
+    min_latency: float | None = None
+    anchor: tuple[str, str] = ("end", "start")
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,7 +58,7 @@ class TimedReport:
     constraint: TimedConstraint
     causal_ok: bool
     temporal_ok: bool
-    measured_latency: Optional[float]
+    measured_latency: float | None
 
     @property
     def passed(self) -> bool:
@@ -109,7 +109,7 @@ class RealTimeChecker:
                 cond, bindings
             ).passed
 
-        measured: Optional[float] = None
+        measured: float | None = None
         temporal_ok = True
         if constraint.max_latency is not None or constraint.min_latency is not None:
             measured = latency(
@@ -132,7 +132,7 @@ class RealTimeChecker:
         self,
         constraints: Mapping[str, TimedConstraint],
         bindings: Mapping[str, NonatomicEvent],
-    ) -> Dict[str, TimedReport]:
+    ) -> dict[str, TimedReport]:
         """Evaluate a named set of constraints against shared bindings."""
         return {
             name: self.check(c, bindings) for name, c in constraints.items()

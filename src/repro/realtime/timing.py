@@ -19,7 +19,7 @@ Events without timestamps make these undefined —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -60,7 +60,7 @@ def interval_span(x: NonatomicEvent) -> IntervalSpan:
     UntimedEventError
         If any component event lacks a timestamp.
     """
-    times: List[float] = []
+    times: list[float] = []
     for eid in x.ids:
         t = x.execution.event(eid).time
         if t is None:
@@ -74,7 +74,7 @@ def interval_span(x: NonatomicEvent) -> IntervalSpan:
 def latency(
     x: NonatomicEvent,
     y: NonatomicEvent,
-    anchor: Tuple[str, str] = ("end", "start"),
+    anchor: tuple[str, str] = ("end", "start"),
 ) -> float:
     """Elapsed physical time from ``x`` to ``y``.
 
@@ -99,7 +99,7 @@ def latency(
 class JitterStats:
     """Period statistics of a recurring interval family."""
 
-    periods: Tuple[float, ...]  # successive start-to-start gaps
+    periods: tuple[float, ...]  # successive start-to-start gaps
     mean: float
     stdev: float
     min: float

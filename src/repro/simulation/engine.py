@@ -19,7 +19,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -56,9 +57,9 @@ class _Item:
     kind: str = field(compare=False)
     node: int = field(compare=False)
     payload: Any = field(compare=False, default=None)
-    label: Optional[str] = field(compare=False, default=None)
+    label: str | None = field(compare=False, default=None)
     src: int = field(compare=False, default=-1)
-    handle: Optional[MessageHandle] = field(compare=False, default=None)
+    handle: MessageHandle | None = field(compare=False, default=None)
     tag: Any = field(compare=False, default=None)
 
 
@@ -97,7 +98,7 @@ class Simulator:
     ) -> None:
         if not processes:
             raise ValueError("need at least one process")
-        self.processes: Tuple[Process, ...] = tuple(processes)
+        self.processes: tuple[Process, ...] = tuple(processes)
         self.network = network if network is not None else Network()
         self.rng = np.random.default_rng(seed)
         self.max_time = float(max_time)
@@ -109,7 +110,7 @@ class Simulator:
         self.now: float = 0.0
         self.num_nodes = len(self.processes)
         self._builder = TraceBuilder(self.num_nodes)
-        self._queue: List[_Item] = []
+        self._queue: list[_Item] = []
         self._seq = itertools.count()
         self._stop_requested = False
         self._sent = 0

@@ -10,7 +10,6 @@ contributes no causality edge.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -96,7 +95,7 @@ class Network:
         self.latency = latency if latency is not None else ConstantLatency()
         self.fifo = fifo
         self.drop_prob = float(drop_prob)
-        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self._last_delivery: dict[tuple[int, int], float] = {}
 
     def reset(self) -> None:
         """Clear per-channel FIFO state (called between simulations)."""

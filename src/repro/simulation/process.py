@@ -11,7 +11,7 @@ analysis needs.
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, TYPE_CHECKING
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class Context:
         """The simulation-wide random generator (seeded, reproducible)."""
         return self._sim.rng
 
-    def internal(self, label: Optional[str] = None, payload: Any = None) -> EventId:
+    def internal(self, label: str | None = None, payload: Any = None) -> EventId:
         """Record an internal event."""
         return self._sim._record_internal(self.node, label, payload)
 
@@ -61,13 +61,13 @@ class Context:
         self,
         dst: int,
         payload: Any = None,
-        label: Optional[str] = None,
+        label: str | None = None,
     ) -> EventId:
         """Record a send event and hand the message to the network."""
         return self._sim._record_send(self.node, dst, payload, label)
 
     def broadcast(
-        self, payload: Any = None, label: Optional[str] = None
+        self, payload: Any = None, label: str | None = None
     ) -> list[EventId]:
         """Send to every other node; returns the send event ids."""
         return [
@@ -96,7 +96,7 @@ class Process(abc.ABC):
         """Called once at time 0 (node order)."""
 
     def on_message(
-        self, ctx: Context, payload: Any, label: Optional[str], src: int
+        self, ctx: Context, payload: Any, label: str | None, src: int
     ) -> None:
         """Called when a message addressed to this node is delivered.
 

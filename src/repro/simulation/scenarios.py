@@ -22,9 +22,8 @@ structure faithfully and are used by the figure-regeneration example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
-from ..core.cuts import Cut, CutQuadruple, cuts_of
+from ..core.cuts import CutQuadruple, cuts_of
 from ..events.builder import TraceBuilder
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent

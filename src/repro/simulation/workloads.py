@@ -25,7 +25,6 @@ deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 
@@ -86,7 +85,7 @@ def random_trace(
         raise ValueError("events_per_node must be >= min_events_per_node")
     rng = _rng_of(seed)
     b = TraceBuilder(num_nodes)
-    in_flight: dict[int, List[MessageHandle]] = {i: [] for i in range(num_nodes)}
+    in_flight: dict[int, list[MessageHandle]] = {i: [] for i in range(num_nodes)}
     step = 0
     active = list(range(num_nodes))
     while active:
@@ -131,7 +130,7 @@ def ring_trace(num_nodes: int, rounds: int = 3, work_per_hop: int = 1) -> Trace:
     b = TraceBuilder(num_nodes)
     t = 0.0
     handle = None
-    for rnd in range(rounds):
+    for _rnd in range(rounds):
         for node in range(num_nodes):
             if handle is not None:
                 t += 1.0
@@ -161,7 +160,7 @@ def pipeline_trace(num_stages: int, items: int = 5, work_per_item: int = 1) -> T
     b = TraceBuilder(num_stages)
     t = 0.0
     # per-stage queue of (item, handle) awaiting receive
-    inbox: List[List[tuple[int, MessageHandle]]] = [[] for _ in range(num_stages)]
+    inbox: list[list[tuple[int, MessageHandle]]] = [[] for _ in range(num_stages)]
     for j in range(items):
         t += 1.0
         for _ in range(work_per_item):
@@ -358,7 +357,7 @@ def scatter_gather_trace(
     num_workers: int,
     jobs: int = 3,
     work_per_task: int = 2,
-    straggler: Optional[int] = None,
+    straggler: int | None = None,
 ) -> Trace:
     """Map-reduce style scatter/gather jobs against one coordinator.
 

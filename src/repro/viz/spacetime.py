@@ -18,7 +18,7 @@ last) render at the margins.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from collections.abc import Mapping
 
 from ..core.cuts import Cut
 from ..events.event import EventKind
@@ -36,8 +36,8 @@ _KIND_CHAR = {
 
 def render(
     execution: Execution,
-    intervals: Optional[Mapping[str, NonatomicEvent]] = None,
-    cuts: Optional[Mapping[str, Cut]] = None,
+    intervals: Mapping[str, NonatomicEvent] | None = None,
+    cuts: Mapping[str, Cut] | None = None,
     show_messages: bool = True,
     cell_width: int = 2,
 ) -> str:
@@ -62,7 +62,7 @@ def render(
         raise ValueError("cell_width must be >= 2")
     intervals = dict(intervals or {})
     cuts = dict(cuts or {})
-    member_char: Dict[tuple, str] = {}
+    member_char: dict[tuple, str] = {}
     for name, iv in intervals.items():
         ch = (name or "X")[0].upper()
         for eid in iv.ids:

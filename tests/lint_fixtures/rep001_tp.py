@@ -1,0 +1,31 @@
+"""True positives for REP001: mutations without version discipline."""
+
+
+class BadStateMutator:
+    _REPRO_VERSIONED = {
+        "version": "_version",
+        "state": ("_trace",),
+        "caches": ("_memo",),
+        "guards": ("invalidate",),
+    }
+    __slots__ = ("_trace", "_memo", "_version")
+
+    def __init__(self) -> None:
+        self._trace = []
+        self._memo = {}
+        self._version = 0
+
+    def append(self, item) -> None:
+        # REP001: mutates state without bumping _version
+        self._trace.append(item)
+
+    def rebind(self, items) -> None:
+        # REP001: rebinds state without bumping _version
+        self._trace = list(items)
+
+    def refill(self, key, value) -> None:
+        # REP001: writes the cache with no bump, guard, or version check
+        self._memo[key] = value
+
+    def invalidate(self) -> None:
+        self._memo.clear()

@@ -1,0 +1,15 @@
+# repro: dtype-strict
+"""True negatives for REP002: explicit, canonical dtypes."""
+
+import numpy as np
+
+CLOCK_DTYPE = np.int32
+
+canonical = np.zeros((4, 4), dtype=CLOCK_DTYPE)
+positional = np.empty((4,), CLOCK_DTYPE)
+indexing = np.arange(10, dtype=np.intp)
+wide_on_purpose = np.asarray([1, 2, 3], dtype=np.int64)
+flags = np.empty(6, dtype=bool)
+follows_operands = np.stack([canonical, canonical])
+same_shape = np.zeros_like(canonical)
+cast = positional.astype(np.int64)

@@ -1,0 +1,12 @@
+# repro: dtype-strict
+"""True positives for REP002: sloppy dtypes in a strict module."""
+
+import numpy as np
+
+CLOCK_DTYPE = np.int32
+
+missing = np.zeros((4, 4))
+platform_width = np.asarray([1, 2, 3], dtype=int)
+hardcoded = np.empty(8, dtype=np.int32)
+hardcoded_string = np.full((2, 2), 0, dtype="int32")
+widened = np.arange(10).astype(int)

@@ -1,0 +1,30 @@
+"""True negatives for REP003: creation dominated by cleanup."""
+
+from contextlib import closing
+from multiprocessing import shared_memory
+
+
+def guarded_create(nbytes):
+    shms = []
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        shms.append(shm)
+        return shms
+    except BaseException:
+        for s in shms:
+            s.close()
+            s.unlink()
+        raise
+
+
+def with_create(nbytes):
+    with closing(shared_memory.SharedMemory(create=True, size=nbytes)) as shm:
+        try:
+            return bytes(shm.buf[:1])
+        finally:
+            shm.unlink()
+
+
+def attach_only(name):
+    # Consumer side: attaching is out of scope for REP003.
+    return shared_memory.SharedMemory(name=name)

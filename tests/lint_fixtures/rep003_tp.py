@@ -1,0 +1,19 @@
+"""True positives for REP003: leak-prone SharedMemory creation."""
+
+from multiprocessing import shared_memory
+
+
+def naked_create(nbytes):
+    # REP003: an exception between here and publication leaks the segment
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm
+
+
+def try_without_unlink(nbytes):
+    try:
+        # REP003: the cleanup path closes but never unlinks
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        return shm
+    except Exception:
+        shm.close()
+        raise

@@ -1,0 +1,36 @@
+# repro: hot
+"""True negatives for REP004: slotted, columnar, suppressed."""
+
+from dataclasses import dataclass
+
+
+class Slotted:
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+
+@dataclass(frozen=True, slots=True)
+class SlottedRecord:
+    lo: int
+    hi: int
+
+
+class TraceError(Exception):
+    """Exception types are exempt from the __slots__ requirement."""
+
+
+def collect(execution, acc=None):
+    if acc is None:
+        acc = []
+    # repro-lint: disable=REP004 -- deliberately slow reference oracle
+    for eid in execution.iter_ids():
+        acc.append(eid)
+    return acc
+
+
+def columnar(table):
+    # Row-wise NumPy work, not per-event Python iteration.
+    return table.data.sum(axis=1)

@@ -1,0 +1,21 @@
+# repro: hot
+"""True positives for REP004: interpreter-bound habits in a hot module."""
+
+
+class PerIntervalRecord:
+    # REP004: no __slots__, instantiated in bulk
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+
+def collect(execution, acc=[]):
+    # REP004 (x2): mutable default + per-event Python loop
+    for eid in execution.iter_ids():
+        acc.append(eid)
+    return acc
+
+
+def widths(execution):
+    # REP004: per-event comprehension
+    return [len(e) for e in execution.events]

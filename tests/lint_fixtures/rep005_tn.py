@@ -1,0 +1,39 @@
+"""True negatives for REP005: guarded or version-checked reads."""
+
+
+class FreshReader:
+    _REPRO_VERSIONED = {
+        "version": "_version",
+        "state": (),
+        "caches": ("_verdicts",),
+        "guards": ("invalidate", "_fresh"),
+    }
+    __slots__ = ("_verdicts", "_version", "_source")
+
+    def __init__(self, source) -> None:
+        self._verdicts = {}
+        self._version = 0
+        self._source = source
+
+    def holds(self, pair):
+        self._fresh()
+        return self._verdicts.get(pair)
+
+    def compare_first(self, pair):
+        if self._version != self._source.version:
+            self._verdicts.clear()
+            self._version = self._source.version
+        return self._verdicts.get(pair)
+
+    def write_only(self, pair, verdict) -> None:
+        self._fresh()
+        self._verdicts[pair] = verdict
+
+    def _fresh(self) -> None:
+        if self._version != self._source.version:
+            self._verdicts.clear()
+            self._version = self._source.version
+
+    def invalidate(self) -> None:
+        self._verdicts.clear()
+        self._version += 1

@@ -1,0 +1,33 @@
+"""True positives for REP005: cache reads with no freshness check."""
+
+
+class StaleReader:
+    _REPRO_VERSIONED = {
+        "version": "_version",
+        "state": (),
+        "caches": ("_verdicts",),
+        "guards": ("invalidate", "_fresh"),
+    }
+    __slots__ = ("_verdicts", "_version")
+
+    def __init__(self) -> None:
+        self._verdicts = {}
+        self._version = 0
+
+    def holds(self, pair):
+        # REP005: serves a possibly-stale memo; no guard, no comparison
+        return self._verdicts.get(pair)
+
+    def late_check(self, pair, current):
+        # REP005: the read happens before the version comparison
+        cached = self._verdicts.get(pair)
+        if self._version != current:
+            self._fresh()
+        return cached
+
+    def _fresh(self) -> None:
+        self._verdicts.clear()
+
+    def invalidate(self) -> None:
+        self._verdicts.clear()
+        self._version += 1

@@ -9,7 +9,6 @@ disjoint nonatomic event pairs from the resulting execution.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from hypothesis import strategies as st
 
@@ -28,7 +27,7 @@ __all__ = [
 
 
 def build_trace_from_ops(
-    num_nodes: int, ops: List[Tuple[int, int, int]]
+    num_nodes: int, ops: list[tuple[int, int, int]]
 ) -> Trace:
     """Deterministically build a trace from drawn operations.
 
@@ -41,7 +40,7 @@ def build_trace_from_ops(
       to ``node`` (internal event if none).
     """
     b = TraceBuilder(num_nodes)
-    in_flight: List[List] = [[] for _ in range(num_nodes)]
+    in_flight: list[list] = [[] for _ in range(num_nodes)]
     t = 0.0
     for node, action, aux in ops:
         node %= num_nodes
@@ -89,7 +88,7 @@ def executions(draw, max_nodes: int = 5, max_ops: int = 40) -> Execution:
 
 def _draw_interval(
     draw, ex: Execution, exclude: set, name: str
-) -> Optional[NonatomicEvent]:
+) -> NonatomicEvent | None:
     pool = [eid for eid in ex.iter_ids() if eid not in exclude]
     if not pool:
         return None
@@ -110,7 +109,7 @@ def _draw_interval(
 @st.composite
 def execution_with_pair(
     draw, max_nodes: int = 5, max_ops: int = 40
-) -> Tuple[Execution, NonatomicEvent, NonatomicEvent]:
+) -> tuple[Execution, NonatomicEvent, NonatomicEvent]:
     """An execution with two disjoint nonatomic events X and Y.
 
     Executions are drawn with at least two events so disjoint non-empty
@@ -139,7 +138,7 @@ def execution_with_pair(
 @st.composite
 def execution_with_intervals(
     draw, k: int = 3, max_nodes: int = 5, max_ops: int = 40
-) -> Tuple[Execution, List[NonatomicEvent]]:
+) -> tuple[Execution, list[NonatomicEvent]]:
     """An execution with ``k`` (possibly overlapping) intervals."""
     ex = draw(executions(max_nodes=max_nodes, max_ops=max_ops))
     out = []

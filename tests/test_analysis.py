@@ -1,6 +1,5 @@
 """Tests for complexity accounting and scaling fits."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.complexity import (
@@ -58,7 +57,7 @@ class TestMeasureComparisons:
             lambda e, c: LinearEvaluator(e, counter=c), ex, pairs
         )
         for rel, values in counts.items():
-            for (x, y), v in zip(pairs, values):
+            for (x, y), v in zip(pairs, values, strict=True):
                 assert v <= predicted_comparisons(rel, x.width, y.width)
 
     def test_polynomial_within_budget(self, rng):
@@ -67,8 +66,8 @@ class TestMeasureComparisons:
         counts = measure_comparisons(
             lambda e, c: PolynomialEvaluator(e, counter=c), ex, pairs
         )
-        for rel, values in counts.items():
-            for (x, y), v in zip(pairs, values):
+        for _rel, values in counts.items():
+            for (x, y), v in zip(pairs, values, strict=True):
                 assert v <= x.width * y.width
 
 

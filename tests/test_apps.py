@@ -1,7 +1,6 @@
 """Tests for the application layers (mutex, multimedia, air defence,
 process control)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.airdefense import air_defense_scenario

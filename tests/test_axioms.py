@@ -6,8 +6,6 @@ composition entry (too strong) or a wrong asymmetry claim would be
 found by hypothesis within a few hundred instances.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +17,7 @@ from repro.core.axioms import (
 )
 from repro.core.hierarchy import implies
 from repro.core.linear import LinearEvaluator
-from repro.core.relations import BASE_RELATIONS, Relation
+from repro.core.relations import Relation
 from repro.events.builder import TraceBuilder
 from repro.nonatomic.event import NonatomicEvent
 
@@ -60,7 +58,7 @@ def execution_with_triple(draw):
     # force non-empty groups
     assignment[0], assignment[1], assignment[2] = 0, 1, 2
     groups = {0: [], 1: [], 2: []}
-    for pos, grp in zip(picks, assignment):
+    for pos, grp in zip(picks, assignment, strict=True):
         groups[grp].append(ids[pos])
     x = NonatomicEvent(ex, groups[0], name="X")
     y = NonatomicEvent(ex, groups[1], name="Y")

@@ -7,7 +7,6 @@ fixed posets and property-based on random ones.
 """
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

@@ -96,7 +96,7 @@ class TestColumnarCutFill:
     @settings(max_examples=30, deadline=None)
     def test_batch_quadruples_matches_folds(self, ex_ivs):
         ex, intervals = ex_ivs
-        for quad, iv in zip(batch_quadruples(ex, intervals), intervals):
+        for quad, iv in zip(batch_quadruples(ex, intervals), intervals, strict=True):
             expect = cuts_of(iv)
             for name in ("c1", "c2", "c3", "c4"):
                 np.testing.assert_array_equal(

@@ -17,7 +17,6 @@ Property tests for the amortization layer:
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 import pytest
@@ -50,12 +49,12 @@ def _clone(x: NonatomicEvent) -> NonatomicEvent:
     return NonatomicEvent(x.execution, x.ids, name=x.name)
 
 
-def _replay(num_nodes: int, ops: List[Tuple[int, int, int]]) -> Trace:
+def _replay(num_nodes: int, ops: list[tuple[int, int, int]]) -> Trace:
     """Deterministically replay ops into a trace (one internal per node
     first, so every prefix of ``ops`` yields a valid trace that the
     full replay extends append-only)."""
     b = TraceBuilder(num_nodes)
-    in_flight: List[List] = [[] for _ in range(num_nodes)]
+    in_flight: list[list] = [[] for _ in range(num_nodes)]
     t = 0.0
     for node in range(num_nodes):
         t += 1.0
@@ -142,7 +141,7 @@ class TestCutCache:
 
     def test_interval_of_foreign_execution_rejected(self):
         b = TraceBuilder(2)
-        e0 = b.internal(0)
+        b.internal(0)
         b.internal(1)
         ex = b.execute()
         b2 = TraceBuilder(2)
@@ -236,7 +235,7 @@ class TestBatchPlanner:
             if x is not y
         ]
         batched = an.batch_holds(queries)  # 12 per spec -> vectorised
-        for (spec, x, y), got in zip(queries, batched):
+        for (spec, x, y), got in zip(queries, batched, strict=True):
             assert got == an.holds(spec, x, y), (spec, x.name, y.name)
 
     def test_small_groups_fall_back_to_scalar(self):

@@ -6,10 +6,8 @@ so a refactor that breaks a walkthrough fails CI rather than a reader.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -5,7 +5,6 @@ import itertools
 import pytest
 from hypothesis import given, settings
 
-from repro.events.builder import TraceBuilder
 from repro.globalstates.detection import (
     definitely,
     possibly,

@@ -1,6 +1,5 @@
 """Tests for the implication hierarchy and pruned batch evaluation."""
 
-import networkx as nx
 import pytest
 from hypothesis import given, settings
 

@@ -3,15 +3,13 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.events.builder import TraceBuilder
 from repro.events.clocks import CyclicTraceError
 from repro.events.lamport import (
     compute_lamport_clocks,
     lamport_order_violations,
 )
-from repro.events.poset import Execution
 
-from .strategies import executions, traces
+from .strategies import executions
 
 
 class TestComputation:

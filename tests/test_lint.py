@@ -1,0 +1,214 @@
+"""The repro linter: rule detections, suppressions, baseline, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import RULES, Baseline, partition, run_file, run_paths
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+
+
+def codes_in(path: Path) -> list:
+    return [f.rule for f in run_file(path)]
+
+
+# ---------------------------------------------------------------------------
+# per-rule fixtures: every rule has at least one true positive and one
+# clean (true negative) fixture.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("code", ALL_RULES)
+def test_rule_registered(code):
+    assert code in RULES
+    assert RULES[code].severity in ("warning", "error")
+    assert RULES[code].description
+
+
+@pytest.mark.parametrize("code", ALL_RULES)
+def test_true_positive_fixture(code):
+    path = FIXTURES / f"{code.lower()}_tp.py"
+    assert code in codes_in(path), f"{path.name} should trigger {code}"
+
+
+@pytest.mark.parametrize("code", ALL_RULES)
+def test_true_negative_fixture(code):
+    path = FIXTURES / f"{code.lower()}_tn.py"
+    assert code not in codes_in(path), f"{path.name} should not trigger {code}"
+
+
+def test_rep001_counts_each_offending_method():
+    findings = [f for f in run_file(FIXTURES / "rep001_tp.py") if f.rule == "REP001"]
+    methods = {f.message.split("'")[1] for f in findings}
+    assert methods == {
+        "BadStateMutator.append",
+        "BadStateMutator.rebind",
+        "BadStateMutator.refill",
+    }
+
+
+def test_rep004_distinguishes_all_three_habits():
+    messages = [
+        f.message for f in run_file(FIXTURES / "rep004_tp.py") if f.rule == "REP004"
+    ]
+    assert any("lacks __slots__" in m for m in messages)
+    assert any("mutable default" in m for m in messages)
+    assert any("per-event Python loop" in m for m in messages)
+    assert any("comprehension" in m for m in messages)
+
+
+def test_rep005_flags_late_version_check():
+    findings = [f for f in run_file(FIXTURES / "rep005_tp.py") if f.rule == "REP005"]
+    assert len(findings) == 2  # holds() and late_check()
+
+
+# ---------------------------------------------------------------------------
+# pragmas and suppressions
+# ---------------------------------------------------------------------------
+
+def test_gated_rules_require_module_pragma(tmp_path):
+    # Same content as a dtype violation, but without the pragma: silent.
+    src = "import numpy as np\narr = np.zeros(5)\n"
+    path = tmp_path / "untagged.py"
+    path.write_text(src)
+    assert codes_in(path) == []
+    path.write_text("# repro: dtype-strict\n" + src)
+    assert "REP002" in codes_in(path)
+
+
+def test_trailing_suppression_silences_own_line(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# repro: dtype-strict\n"
+        "import numpy as np\n"
+        "arr = np.zeros(5)  # repro-lint: disable=REP002 -- fixture\n"
+    )
+    assert codes_in(path) == []
+
+
+def test_standalone_suppression_silences_next_line(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# repro: dtype-strict\n"
+        "import numpy as np\n"
+        "# repro-lint: disable=REP002 -- fixture\n"
+        "arr = np.zeros(5)\n"
+        "other = np.zeros(5)\n"
+    )
+    findings = run_file(path)
+    assert [f.rule for f in findings] == ["REP002"]
+    assert findings[0].line == 5  # only the unsuppressed line reports
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# repro: dtype-strict\n"
+        "import numpy as np\n"
+        "arr = np.zeros(5)  # repro-lint: disable=REP004 -- wrong rule\n"
+    )
+    assert codes_in(path) == ["REP002"]
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n")
+    findings = run_file(path)
+    assert [f.rule for f in findings] == ["PARSE"]
+
+
+# ---------------------------------------------------------------------------
+# baseline round trip
+# ---------------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    findings = run_file(FIXTURES / "rep001_tp.py")
+    assert findings
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(baseline_path)
+    loaded = Baseline.load(baseline_path)
+    new, grandfathered, stale = partition(findings, loaded)
+    assert new == []
+    assert len(grandfathered) == len(findings)
+    assert stale == []
+
+
+def test_baseline_budget_catches_regressions(tmp_path):
+    findings = run_file(FIXTURES / "rep001_tp.py")
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(baseline_path)
+    loaded = Baseline.load(baseline_path)
+    # A second instance of an already-baselined finding is still new.
+    doubled = findings + [findings[0]]
+    new, _, _ = partition(doubled, loaded)
+    assert new == [findings[0]]
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    findings = run_file(FIXTURES / "rep001_tp.py")
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(baseline_path)
+    loaded = Baseline.load(baseline_path)
+    new, _, stale = partition(findings[1:], loaded)
+    assert new == []
+    assert len(stale) == 1
+
+
+def test_baseline_preserves_justifications(tmp_path):
+    findings = run_file(FIXTURES / "rep001_tp.py")
+    baseline_path = tmp_path / "baseline.json"
+    first = Baseline.from_findings(findings)
+    key = findings[0].key()
+    first.justifications[key] = "kept on purpose"
+    first.save(baseline_path)
+    rewritten = Baseline.from_findings(findings, previous=Baseline.load(baseline_path))
+    assert rewritten.justifications[key] == "kept on purpose"
+
+
+def test_checked_in_baseline_is_empty():
+    data = json.loads(
+        (Path(__file__).parent.parent / "lint-baseline.json").read_text()
+    )
+    assert data == {"version": 1, "findings": []}
+
+
+# ---------------------------------------------------------------------------
+# the tree itself lints clean, and the CLI wiring works
+# ---------------------------------------------------------------------------
+
+def test_src_tree_lints_clean():
+    assert run_paths([SRC]) == []
+
+
+def test_cli_exit_codes(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "# repro: dtype-strict\nimport numpy as np\narr = np.zeros(5)\n"
+    )
+    assert repro_main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "REP002" in out and "bad.py:3:" in out
+
+    # Grandfather it, then the same invocation passes.
+    assert repro_main(["lint", str(bad), "--write-baseline"]) == 0
+    assert repro_main(["lint", str(bad)]) == 0
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert repro_main(["lint", str(clean), "--no-baseline"]) == 0
+    assert repro_main(["lint", str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_RULES:
+        assert code in out

@@ -85,6 +85,6 @@ class TestFormEquivalence:
         Section 2.2's transitive arguments rely on."""
         _ex, c, cp = data
         witness = any(
-            v >= 1 and v >= w for v, w in zip(c.vector, cp.vector)
+            v >= 1 and v >= w for v, w in zip(c.vector, cp.vector, strict=True)
         ) or cp.is_bottom()
         assert not_ll(c, cp) == witness

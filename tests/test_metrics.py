@@ -1,6 +1,5 @@
 """Tests for execution structural metrics."""
 
-import pytest
 
 from repro.analysis.metrics import (
     concurrency_ratio,

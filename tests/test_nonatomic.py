@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.nonatomic.event import NonatomicEvent
 
-from .strategies import execution_with_pair, executions
+from .strategies import execution_with_pair
 
 
 class TestConstruction:

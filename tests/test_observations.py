@@ -1,7 +1,6 @@
 """Tests for observations (linear extensions) of executions."""
 
 import itertools
-import math
 
 import numpy as np
 import pytest

@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 from repro.core.linear import LinearEvaluator
 from repro.core.relations import BASE_RELATIONS, FAMILY32
 from repro.monitor.online import OnlineMonitor
-from repro.nonatomic.event import NonatomicEvent
 
 
 def replay_into_monitor(trace):

@@ -6,11 +6,9 @@ checks, at every step, that the incrementally maintained vector clocks
 match a from-scratch offline analysis of the trace so far.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
     precondition,
     rule,

@@ -1,6 +1,5 @@
 """Tests for the vectorised all-pairs relation matrices."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.events.builder import TraceBuilder
-from repro.events.poset import Execution, Ordering
+from repro.events.poset import Ordering
 
 from .strategies import executions
 

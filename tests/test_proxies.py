@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.events.builder import TraceBuilder
 from repro.nonatomic.event import NonatomicEvent
 from repro.nonatomic.proxies import (
     Proxy,

@@ -6,14 +6,12 @@ extensions, and degenerate shapes (empty nodes, single events,
 everything-on-one-node).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.linear import LinearEvaluator
 from repro.core.naive import NaiveEvaluator
 from repro.core.relations import BASE_RELATIONS
 from repro.events.builder import TraceBuilder
-from repro.events.poset import Execution
 from repro.nonatomic.event import NonatomicEvent
 from repro.nonatomic.selection import random_disjoint_pair
 from repro.simulation.engine import simulate
@@ -149,7 +147,7 @@ class TestDegenerateShapes:
         b = TraceBuilder(1)
         b.internal(0)
         ex = b.execute()
-        lin = LinearEvaluator(ex)
+        LinearEvaluator(ex)
         x = NonatomicEvent(ex, [(0, 1)])
         # cannot build a disjoint Y; just verify cuts behave
         from repro.core.cuts import cuts_of

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.cuts import cut_C1, cut_C2, cut_C3, cut_C4
 from repro.core.evaluator import SynchronizationAnalyzer
 from repro.simulation.scenarios import figure1, figure2, figure3
 

@@ -5,7 +5,7 @@ import pytest
 from repro.events.event import EventKind
 from repro.simulation.engine import Simulator, simulate
 from repro.simulation.network import ConstantLatency, Network, UniformLatency
-from repro.simulation.process import Context, FunctionProcess, Process
+from repro.simulation.process import FunctionProcess, Process
 
 
 class PingPong(Process):

@@ -19,7 +19,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.context import AnalysisContext
 from repro.core.cuts import cut_stats, cuts_of
 from repro.core.evaluator import SynchronizationAnalyzer
 from repro.core.linear import LinearEvaluator
@@ -126,7 +125,7 @@ class TestStreamedEqualsColdOffline:
 
         # mid-stream verdicts between consecutive closed intervals
         # (disjoint by construction) == cold offline engine
-        for a, b in zip(closed, closed[1:]):
+        for a, b in zip(closed, closed[1:], strict=False):
             x = NonatomicEvent(cold_ex, tags[a])
             y = NonatomicEvent(cold_ex, tags[b])
             for rel in BASE_RELATIONS:

@@ -122,7 +122,7 @@ class TestSoundSidesAlwaysAgree:
 
     def test_fuzz_sound_scans(self):
         rng = np.random.default_rng(2024)
-        for rep in range(40):
+        for _rep in range(40):
             ex = random_execution(
                 int(rng.integers(2, 6)),
                 events_per_node=int(rng.integers(3, 12)),

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cuts import Cut, cuts_of
+from repro.core.cuts import Cut
 from repro.nonatomic.event import NonatomicEvent
 from repro.simulation.scenarios import figure2
 from repro.viz.spacetime import render, render_cut_table
