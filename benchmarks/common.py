@@ -9,6 +9,7 @@ pytest fixtures.
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Callable
 
@@ -68,14 +69,33 @@ def spanning_interval(
     return NonatomicEvent(ex, ids)
 
 
-def best_of(fn: Callable, reps: int = 5) -> tuple[float, object]:
-    """``(best wall-clock seconds, last result)`` over ``reps`` runs."""
-    best, result = float("inf"), None
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+def best_of(
+    fn: Callable, reps: int = 5, backend: "str | None" = None
+) -> tuple[float, object]:
+    """``(best wall-clock seconds, last result)`` over ``reps`` runs.
+
+    ``backend`` pins the process-default causality backend
+    (``$REPRO_BACKEND``) for the duration of the runs, so any
+    :class:`~repro.core.context.AnalysisContext` built inside ``fn``
+    answers through that backend; the prior environment is restored
+    afterwards.  None leaves the ambient default untouched.
+    """
+    prior = os.environ.get("REPRO_BACKEND")
+    if backend is not None:
+        os.environ["REPRO_BACKEND"] = backend
+    try:
+        best, result = float("inf"), None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+    finally:
+        if backend is not None:
+            if prior is None:
+                os.environ.pop("REPRO_BACKEND", None)
+            else:
+                os.environ["REPRO_BACKEND"] = prior
 
 
 # ----------------------------------------------------------------------

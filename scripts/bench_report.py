@@ -1,7 +1,7 @@
 """Machine-readable performance report for the analysis substrate.
 
 Measures the headline numbers on the current host and writes them as
-JSON (default ``BENCH_PR4.json``):
+JSON (default ``BENCH_PR6.json``):
 
 * clock substrate construction throughput (events/sec) for the
   forward + reverse columnar tables;
@@ -16,12 +16,22 @@ JSON (default ``BENCH_PR4.json``):
   with the clock-pass counters recorded;
 * ``family_query``: whole-family (40-spec) verdicts/sec through the
   shared ``≪``-subtest verdict cache vs the per-spec scalar loop, with
-  the measured ``≪``-evaluation reduction.
+  the measured ``≪``-evaluation reduction;
+* ``backend_sparse`` / ``backend_dense``: the vector-clock backend vs
+  the breakpoint-compressed reachability backend on its favourable and
+  unfavourable regimes — sparse communication with few queries (where
+  reachability skips the dense reverse pass) and dense communication
+  with a query-heavy batch (where the columnar fills win).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR4.json]
-        [--jobs 4] [--quick] [--baseline BENCH_PR2.json]
+    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR6.json]
+        [--jobs 4] [--quick] [--backend reachability]
+        [--baseline BENCH_PR4.json]
+
+``--backend`` pins the causality backend answering the standard
+sections (via the ``best_of`` environment knob); every section records
+the host metadata (cpu count, numpy version, backend) it ran under.
 
 ``--quick`` shrinks every workload (CI smoke sizes).  Speedups are
 reported as measured — single-core hosts record the serial fallback for
@@ -47,6 +57,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
 import numpy as np  # noqa: E402
 
+from repro.backends.base import BACKEND_ENV, default_backend_name  # noqa: E402
 from repro.core.context import AnalysisContext  # noqa: E402
 from repro.core.cuts import cut_stats, cuts_of  # noqa: E402
 from repro.core.evaluator import SynchronizationAnalyzer  # noqa: E402
@@ -69,6 +80,15 @@ from benchmarks.common import (  # noqa: E402
     stream_online,
     stream_rebuild_baseline,
 )
+
+
+def _host_meta(backend: str) -> dict:
+    """Host metadata stamped into every report section."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+        "backend": backend,
+    }
 
 
 def bench_clock_build(nodes: int, events: int, reps: int) -> dict:
@@ -259,6 +279,75 @@ def bench_family_query(nodes: int, events: int, pairs: int, reps: int) -> dict:
     }
 
 
+def bench_backends(
+    regime: str,
+    nodes: int,
+    events: int,
+    msg_prob: float,
+    k: int,
+    query_reps: int,
+    reps: int,
+) -> dict:
+    """Vector vs reachability on one communication/query regime.
+
+    Per backend and rep: a fresh :class:`Execution` (the shared eager
+    forward pass is excluded), then *build* forces the backend's
+    derived structures — the dense reverse table for vector, both
+    sparse closures for reachability — and *query* runs ``query_reps``
+    batched cut-stat fills over ``k`` disjoint intervals.  The sparse
+    regime (wide, few messages, one fill) rewards skipping the dense
+    reverse pass; the dense query-heavy regime rewards the columnar
+    gather/reduceat fills.  Both backends' stats are asserted equal.
+    """
+    trace = random_trace(nodes, events_per_node=events,
+                         msg_prob=msg_prob, seed=17)
+    out: dict = {
+        "regime": regime,
+        "nodes": nodes,
+        "events": trace.total_events,
+        "messages": len(trace.messages),
+        "intervals": k,
+        "query_reps": query_reps,
+    }
+    stats = {}
+    for name in ("vector", "reachability"):
+        best = {"build_ms": None, "query_ms": None,
+                "total_ms": float("inf")}
+
+        def run():
+            ex = Execution(trace)
+            ctx = AnalysisContext(ex)  # backend pinned via best_of
+            backend = ctx.backend
+            intervals = disjoint_intervals(ex, k)
+            probe = [sorted(ex.iter_ids())[0]]
+            t0 = time.perf_counter()
+            backend.forward_rows(probe)
+            backend.reverse_rows(probe)
+            t1 = time.perf_counter()
+            st = None
+            for _ in range(query_reps):
+                st = backend.cut_stats(intervals)
+            t2 = time.perf_counter()
+            return t1 - t0, t2 - t1, st
+
+        for _ in range(reps):
+            _, (build, query, st) = best_of(run, reps=1, backend=name)
+            if (build + query) * 1e3 < best["total_ms"]:
+                best = {"build_ms": build * 1e3, "query_ms": query * 1e3,
+                        "total_ms": (build + query) * 1e3}
+            stats[name] = st
+        out[name] = best
+    for field in ("c1", "c2", "c3", "c4", "first", "last"):
+        assert np.array_equal(
+            getattr(stats["vector"], field),
+            getattr(stats["reachability"], field),
+        ), f"backends disagree on {field} ({regime})"
+    v, r = out["vector"]["total_ms"], out["reachability"]["total_ms"]
+    out["winner"] = "vector" if v <= r else "reachability"
+    out["speedup"] = max(v, r) / min(v, r)
+    return out
+
+
 # ----------------------------------------------------------------------
 # baseline comparison (--baseline)
 # ----------------------------------------------------------------------
@@ -269,6 +358,10 @@ _GATED = (
      lambda s: s["events_per_sec"]),
     ("cut_fill", ("intervals",),
      lambda s: s["intervals"] / s["columnar_ms"]),
+    ("backend_sparse", ("nodes", "events", "intervals", "query_reps"),
+     lambda s: s["events"] / s[s["winner"]]["total_ms"]),
+    ("backend_dense", ("nodes", "events", "intervals", "query_reps"),
+     lambda s: s["events"] / s[s["winner"]]["total_ms"]),
 )
 
 
@@ -309,10 +402,15 @@ def compare_baseline(report: dict, baseline: dict, threshold: float) -> list:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_PR4.json")
+    ap.add_argument("--out", default="BENCH_PR6.json")
     ap.add_argument("--jobs", type=int, default=4,
                     help="worker processes for the parallel benchmark "
                          "(clamped to the core count)")
+    ap.add_argument("--backend", default=None,
+                    choices=["vector", "reachability"],
+                    help="causality backend for the standard sections "
+                         "(default: $REPRO_BACKEND or vector); the "
+                         "backend_* sections always compare both")
     ap.add_argument("--quick", action="store_true",
                     help="reduced workload sizes (CI smoke)")
     ap.add_argument("--baseline", default=None, metavar="PRIOR.json",
@@ -323,20 +421,33 @@ def main(argv=None) -> int:
                          "(default 0.25)")
     args = ap.parse_args(argv)
 
+    if args.backend is not None:
+        # pin the process default so every context built by the
+        # standard sections (inside or outside best_of) answers
+        # through the requested backend
+        os.environ[BACKEND_ENV] = args.backend
+    backend = default_backend_name()
+
     if args.quick:
         sizes = dict(nodes=8, events=16, fill_k=32, par_k=32, reps=2,
                      stream_nodes=8, stream_events=60, chunk=20,
-                     fam_nodes=12, fam_events=8, fam_pairs=4)
+                     fam_nodes=12, fam_events=8, fam_pairs=4,
+                     sp_nodes=16, sp_events=40, sp_k=8,
+                     dn_nodes=4, dn_events=40, dn_k=24, dn_reps=12)
     else:
         sizes = dict(nodes=16, events=64, fill_k=256, par_k=128, reps=5,
                      stream_nodes=8, stream_events=1250, chunk=125,
-                     fam_nodes=12, fam_events=8, fam_pairs=16)
+                     fam_nodes=12, fam_events=8, fam_pairs=16,
+                     sp_nodes=48, sp_events=150, sp_k=16,
+                     dn_nodes=4, dn_events=120, dn_k=64, dn_reps=50)
 
     report = {
         "host": {
             "python": platform.python_version(),
             "cpu_count": os.cpu_count() or 1,
             "machine": platform.machine(),
+            "numpy": np.__version__,
+            "backend": backend,
         },
         "quick": args.quick,
         "clock_build": bench_clock_build(
@@ -357,7 +468,20 @@ def main(argv=None) -> int:
             sizes["fam_nodes"], sizes["fam_events"], sizes["fam_pairs"],
             sizes["reps"],
         ),
+        "backend_sparse": bench_backends(
+            "sparse", sizes["sp_nodes"], sizes["sp_events"], 0.02,
+            sizes["sp_k"], 1, sizes["reps"],
+        ),
+        "backend_dense": bench_backends(
+            "dense", sizes["dn_nodes"], sizes["dn_events"], 0.6,
+            sizes["dn_k"], sizes["dn_reps"], sizes["reps"],
+        ),
     }
+    for name, section in report.items():
+        if isinstance(section, dict) and name != "host":
+            section["host"] = _host_meta(
+                "both" if name.startswith("backend_") else backend
+            )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -390,6 +514,14 @@ def main(argv=None) -> int:
           f"({fq['speedup']:.1f}x; ≪ evals "
           f"{fq['ll_evals_per_spec_loop']} -> {fq['ll_evals_cached']}, "
           f"{fq['ll_eval_reduction']:.1f}x fewer)")
+    for key in ("backend_sparse", "backend_dense"):
+        bs = report[key]
+        print(f"  {bs['regime']:<7} regime: {bs['winner']} wins "
+              f"{bs['speedup']:.1f}x "
+              f"(vector {bs['vector']['total_ms']:.2f} ms vs "
+              f"reachability {bs['reachability']['total_ms']:.2f} ms; "
+              f"{bs['events']} events, {bs['messages']} messages, "
+              f"{bs['intervals']} intervals x {bs['query_reps']} fills)")
 
     if args.baseline:
         with open(args.baseline) as fh:

@@ -19,6 +19,9 @@ MODULES = [
     "repro.simulation.scenarios",
     "repro.nonatomic", "repro.nonatomic.event", "repro.nonatomic.proxies",
     "repro.nonatomic.selection",
+    "repro.backends", "repro.backends.base", "repro.backends.stats",
+    "repro.backends.vector", "repro.backends.reachability",
+    "repro.backends.reduction",
     "repro.core", "repro.core.context", "repro.core.cuts",
     "repro.core.relations",
     "repro.core.naive", "repro.core.polynomial", "repro.core.linear",

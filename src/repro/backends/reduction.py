@@ -1,0 +1,207 @@
+"""Commutativity-based trace reduction (event coarsening).
+
+Following the commutativity-closure idea of "Coarser Equivalences for
+Causal Concurrency", maximal runs of *adjacent, same-node, internal*
+events whose labels commute are merged into a single coarser internal
+event before any analysis runs.  Because a run contains no send or
+receive, every member has **identical causal relations to every event
+outside the run** — sends later on the node are the common successors,
+receives earlier on the node the common predecessors — so the quotient
+preserves ``≼`` exactly and, with it, all 40 Table-1 relation verdicts
+for label-selected nonatomic events (property-tested in
+``tests/test_backends.py``).
+
+Merging is label-homogeneous (optionally absorbing unlabeled
+neighbours), so an interval selected by label in the original trace
+maps to the interval selected by the same label in the reduced trace,
+and disjoint label-selected intervals stay disjoint.
+
+Why this is sound (sketch; THEORY.md §8 has the full argument): the
+relations R1–R4 and their 40 refinements are boolean combinations of
+``≼``-statements between interval members quantified ∀/∃.  The quotient
+map sends each member to its run; runs are causal-equivalence classes
+with respect to events outside themselves, so every quantified
+statement evaluates identically pre and post reduction.  Sends and
+receives — the only events with cross-node edges — are never merged.
+"""
+
+from __future__ import annotations
+
+# repro: dtype-strict
+
+from dataclasses import dataclass, field
+
+from ..events.event import Event, EventId, EventKind
+from ..events.trace import Message, Trace
+
+__all__ = ["CommutativityRules", "TraceReduction", "reduce_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class CommutativityRules:
+    """Which adjacent same-node internal events commute.
+
+    Parameters
+    ----------
+    commuting_labels:
+        Labels allowed to participate in merging; None means every
+        label commutes with itself.  Application scenarios supply the
+        set of labels whose repeated local steps are order-insensitive
+        (e.g. idempotent status updates), keeping semantically ordered
+        labels atomic.
+    absorb_unlabeled:
+        Whether unlabeled internal events merge — with each other and
+        into an adjacent labeled run.  Sound because run members are
+        causally equivalent to the outside regardless of label; the
+        merged event carries the run's (unique non-None) label.
+    """
+
+    commuting_labels: "frozenset[str] | None" = None
+    absorb_unlabeled: bool = True
+
+    def mergeable(self, ev: Event) -> bool:
+        """True if ``ev`` may belong to a merged run at all."""
+        if ev.kind is not EventKind.INTERNAL:
+            return False
+        if ev.label is None:
+            return self.absorb_unlabeled
+        return self.commuting_labels is None or ev.label in self.commuting_labels
+
+    def joins(self, run_label: "str | None", ev: Event) -> bool:
+        """True if ``ev`` extends a run whose label so far is
+        ``run_label`` (None: only unlabeled members yet)."""
+        if not self.mergeable(ev):
+            return False
+        if ev.label is None or run_label is None:
+            return True
+        return ev.label == run_label
+
+
+@dataclass(frozen=True, slots=True)
+class TraceReduction:
+    """The result of :func:`reduce_trace`.
+
+    Attributes
+    ----------
+    original, trace:
+        The input trace and its reduced quotient.
+    event_map:
+        Original event id → reduced event id (total over real events).
+    groups:
+        Reduced event id → the ordered original member ids.
+    """
+
+    original: Trace
+    trace: Trace
+    event_map: dict[EventId, EventId] = field(repr=False)
+    groups: dict[EventId, tuple[EventId, ...]] = field(repr=False)
+
+    @property
+    def original_events(self) -> int:
+        """``|E|`` of the input trace."""
+        return self.original.total_events
+
+    @property
+    def reduced_events(self) -> int:
+        """``|E|`` of the reduced trace."""
+        return self.trace.total_events
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of events removed (0.0 = nothing merged)."""
+        total = self.original_events
+        return 1.0 - self.reduced_events / total if total else 0.0
+
+    def map_ids(self, ids: "list[EventId] | tuple[EventId, ...] | frozenset[EventId]") -> list[EventId]:
+        """Map original event ids to sorted, de-duplicated reduced ids."""
+        return sorted({self.event_map[eid] for eid in ids})
+
+
+def _flush(
+    run: list[Event],
+    run_label: "str | None",
+    out: list[Event],
+    event_map: dict[EventId, EventId],
+    groups: dict[EventId, tuple[EventId, ...]],
+) -> None:
+    """Emit the pending run as one reduced event (no-op if empty)."""
+    if not run:
+        return
+    idx = len(out) + 1
+    rid = (run[0].node, idx)
+    members = tuple(ev.eid for ev in run)
+    if len(run) == 1:
+        ev = run[0]
+        out.append(
+            Event(node=ev.node, index=idx, kind=ev.kind,
+                  label=ev.label, time=ev.time, payload=ev.payload)
+        )
+    else:
+        out.append(
+            Event(node=run[0].node, index=idx, kind=EventKind.INTERNAL,
+                  label=run_label, time=run[-1].time, payload=None)
+        )
+    for mid in members:
+        event_map[mid] = rid
+    groups[rid] = members
+    run.clear()
+
+
+def _reduce_node(
+    events: "tuple[Event, ...]",
+    rules: CommutativityRules,
+    event_map: dict[EventId, EventId],
+    groups: dict[EventId, tuple[EventId, ...]],
+) -> list[Event]:
+    """One node's local order, runs merged (see :func:`reduce_trace`)."""
+    out: list[Event] = []
+    run: list[Event] = []
+    run_label: "str | None" = None
+    for ev in events:
+        if rules.mergeable(ev):
+            if run and not rules.joins(run_label, ev):
+                _flush(run, run_label, out, event_map, groups)
+                run_label = None
+            run.append(ev)
+            if ev.label is not None:
+                run_label = ev.label
+        else:
+            _flush(run, run_label, out, event_map, groups)
+            run_label = None
+            run.append(ev)
+            _flush(run, ev.label, out, event_map, groups)
+    _flush(run, run_label, out, event_map, groups)
+    return out
+
+
+def reduce_trace(
+    trace: Trace, rules: "CommutativityRules | None" = None
+) -> TraceReduction:
+    """Merge commuting adjacent same-node internal events.
+
+    Walks each node's local order once, growing label-homogeneous runs
+    of mergeable internal events; every send, receive, or
+    non-commuting event flushes the current run and stays a singleton.
+    A merged event is ``INTERNAL`` with the run's label and the *last*
+    member's physical time (the coarse activity's completion instant).
+
+    Returns a :class:`TraceReduction`; cost is ``O(|E| + |M|)``.
+    """
+    if rules is None:
+        rules = CommutativityRules()
+    event_map: dict[EventId, EventId] = {}
+    groups: dict[EventId, tuple[EventId, ...]] = {}
+    new_events: list[list[Event]] = [
+        _reduce_node(trace.events_of(node), rules, event_map, groups)
+        for node in range(trace.num_nodes)
+    ]
+    messages = [
+        Message(send=event_map[m.send], recv=event_map[m.recv])
+        for m in trace.messages
+    ]
+    return TraceReduction(
+        original=trace,
+        trace=Trace(new_events, messages),
+        event_map=event_map,
+        groups=groups,
+    )

@@ -1,0 +1,179 @@
+"""Backend-neutral cut-statistics containers and columnar kernels.
+
+:class:`CutStats` is the stacked per-interval answer every causality
+backend produces for a batched cut fill — the complete per-interval
+state the vectorized relation conditions consume.  The segmented
+gather-and-reduce kernel :func:`_stats_from_extrema` and its raw-array
+entry points (:func:`cut_stats_from_arrays`,
+:func:`cut_stats_from_extrema`) operate on *columnar clock matrices*
+and therefore belong to the vector-clock substrate, but they are kept
+here — below :mod:`repro.core` — so both the in-process
+:class:`~repro.backends.vector.VectorClockBackend` and the
+shared-memory parallel workers (which hold raw matrices and no
+:class:`~repro.events.poset.Execution`) can share one implementation.
+
+Historically these lived in :mod:`repro.core.cuts`, which still
+re-exports them for compatibility.
+"""
+
+from __future__ import annotations
+
+# repro: hot, dtype-strict
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..events.event import EventId
+
+__all__ = [
+    "CutStats",
+    "cut_stats_from_arrays",
+    "cut_stats_from_extrema",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CutStats:
+    """Stacked per-interval cut and extremal vectors for k intervals.
+
+    Six read-only ``(k, P)`` int64 matrices, rows aligned with the
+    interval order they were built from: the four Table-2 cut
+    timestamps plus the per-node first/last component indices (0
+    encoding "node not in ``N_X``").  This is the complete per-interval
+    state the vectorized relation conditions consume — both the
+    all-pairs kernel (:mod:`repro.core.pairwise`) and the per-pair
+    gather path of the parallel executor.
+    """
+
+    c1: np.ndarray  # T(∩⇓X)
+    c2: np.ndarray  # T(∪⇓X)
+    c3: np.ndarray  # T(∩⇑X)
+    c4: np.ndarray  # T(∪⇑X)
+    first: np.ndarray
+    last: np.ndarray
+
+    def __len__(self) -> int:
+        return self.c1.shape[0]
+
+
+def _stats_from_extrema(
+    fwd: np.ndarray,
+    rev: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    nodes: np.ndarray,
+    first_idx: np.ndarray,
+    last_idx: np.ndarray,
+    counts: np.ndarray,
+) -> CutStats:
+    """The one-pass columnar cut fill.
+
+    ``nodes``/``first_idx``/``last_idx`` are the flattened per-node
+    extremal events of all intervals (interval-major, ``counts[i]``
+    entries for interval ``i``); ``fwd``/``rev`` are the columnar clock
+    matrices and ``offsets`` the node-major row offsets.  All four
+    Table-2 cut vectors for every interval come out of four gathers and
+    four segmented min/max reductions — no per-interval Python loop.
+    """
+    k = len(counts)
+    num_nodes = fwd.shape[1]
+    if k == 0:
+        empty = np.zeros((0, num_nodes), dtype=np.int64)
+        return CutStats(empty, empty, empty, empty, empty, empty)
+    starts = np.zeros(k, dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    fi = offsets[nodes] + first_idx - 1
+    li = offsets[nodes] + last_idx - 1
+    beyond = lengths.astype(np.int64) + 1  # T(e↑) = k_i + 1 - T^R(e)
+    c1 = np.minimum.reduceat(fwd[fi], starts, axis=0).astype(np.int64)
+    c2 = np.maximum.reduceat(fwd[li], starts, axis=0).astype(np.int64)
+    c3 = beyond - np.maximum.reduceat(rev[fi], starts, axis=0)
+    c4 = beyond - np.minimum.reduceat(rev[li], starts, axis=0)
+    first = np.zeros((k, num_nodes), dtype=np.int64)
+    last = np.zeros((k, num_nodes), dtype=np.int64)
+    row_of = np.repeat(np.arange(k, dtype=np.intp), counts)
+    first[row_of, nodes] = first_idx
+    last[row_of, nodes] = last_idx
+    for mat in (c1, c2, c3, c4, first, last):
+        mat.setflags(write=False)
+    return CutStats(c1, c2, c3, c4, first, last)
+
+
+def cut_stats_from_arrays(
+    fwd: np.ndarray,
+    rev: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    id_groups: Sequence[Sequence[EventId]],
+) -> CutStats:
+    """Batched cut fill over raw columnar arrays and raw id groups.
+
+    The substrate-only entry point used by
+    :mod:`repro.core.parallel` workers, which hold the shared-memory
+    clock matrices but no :class:`~repro.events.poset.Execution`.
+    Per-node extremal events are derived from each id group here.
+    """
+    nodes_l: list[int] = []
+    first_l: list[int] = []
+    last_l: list[int] = []
+    counts = np.empty(len(id_groups), dtype=np.intp)
+    for g, ids in enumerate(id_groups):
+        first: dict[int, int] = {}
+        last: dict[int, int] = {}
+        for node, idx in ids:
+            if node not in first or idx < first[node]:
+                first[node] = idx
+            if idx > last.get(node, 0):
+                last[node] = idx
+        counts[g] = len(first)
+        for node in sorted(first):
+            nodes_l.append(node)
+            first_l.append(first[node])
+            last_l.append(last[node])
+    return _stats_from_extrema(
+        fwd, rev,
+        np.asarray(offsets, dtype=np.int64),
+        np.asarray(lengths, dtype=np.int64),
+        np.asarray(nodes_l, dtype=np.int64),
+        np.asarray(first_l, dtype=np.int64),
+        np.asarray(last_l, dtype=np.int64),
+        counts,
+    )
+
+
+def cut_stats_from_extrema(
+    fwd: np.ndarray,
+    rev: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    extrema: Sequence[tuple[Sequence[int], Sequence[int], Sequence[int]]],
+) -> CutStats:
+    """Batched cut fill over raw arrays and precomputed extrema.
+
+    ``extrema[i]`` is ``(nodes, first_indices, last_indices)`` for
+    interval ``i`` — exactly the per-node extremal encoding
+    :class:`~repro.nonatomic.event.NonatomicEvent` precomputes, which
+    the parallel executor ships to workers instead of full component
+    id sets (an interval's wire size is then ``O(|N_X|)``, not
+    ``O(|X|)``).
+    """
+    counts = np.fromiter(
+        (len(nodes) for nodes, _f, _l in extrema), np.intp, count=len(extrema)
+    )
+    nodes = np.fromiter(
+        (n for ns, _f, _l in extrema for n in ns), np.int64, count=counts.sum()
+    )
+    first_idx = np.fromiter(
+        (j for _ns, fs, _l in extrema for j in fs), np.int64, count=counts.sum()
+    )
+    last_idx = np.fromiter(
+        (j for _ns, _f, ls in extrema for j in ls), np.int64, count=counts.sum()
+    )
+    return _stats_from_extrema(
+        fwd, rev,
+        np.asarray(offsets, dtype=np.int64),
+        np.asarray(lengths, dtype=np.int64),
+        nodes, first_idx, last_idx, counts,
+    )

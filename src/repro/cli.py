@@ -24,6 +24,7 @@ import sys
 from collections.abc import Sequence
 
 from .analysis.metrics import summarize
+from .backends.base import clock_pass_counts, reset_clock_pass_counts
 from .core.context import AnalysisContext
 from .core.evaluator import SynchronizationAnalyzer
 from .core.relations import FAMILY32
@@ -98,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for batched queries "
                             "(default 1: serial; batches below the "
                             "parallel threshold stay serial regardless)")
+    p_rel.add_argument("--backend", default=None,
+                       choices=["vector", "reachability"],
+                       help="causality backend answering the queries "
+                            "(default: $REPRO_BACKEND or vector)")
+    p_rel.add_argument("--reduce", action="store_true",
+                       help="merge commuting adjacent same-node internal "
+                            "events before analysing (verdict-preserving)")
 
     p_check = sub.add_parser("check", help="check a condition over a trace")
     p_check.add_argument("trace")
@@ -111,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for batched queries "
                               "(default 1: serial)")
+    p_check.add_argument("--backend", default=None,
+                         choices=["vector", "reachability"],
+                         help="causality backend answering the queries "
+                              "(default: $REPRO_BACKEND or vector)")
 
     p_stream = sub.add_parser(
         "stream",
@@ -125,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--spec", default=None,
                           help="also evaluate SPEC between each consecutive "
                                "pair of closed intervals as the stream runs")
+    p_stream.add_argument("--backend", default=None,
+                          choices=["vector", "reachability"],
+                          help="causality backend for the finalisation "
+                               "context (default: $REPRO_BACKEND or vector)")
 
     sub.add_parser("figures", help="print the paper's figures")
 
@@ -136,10 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_context(path: str) -> AnalysisContext:
+def _load_context(path: str, backend: str | None = None) -> AnalysisContext:
     """Load a trace into the shared analysis context — the one place
-    the CLI builds timestamps and cuts."""
-    return AnalysisContext.of(Execution(load(path)))
+    the CLI builds timestamps and cuts.  ``backend`` is a
+    :data:`repro.backends.base.BACKENDS` key; None uses the process
+    default (``$REPRO_BACKEND`` or ``vector``)."""
+    if backend is None:
+        return AnalysisContext.of(Execution(load(path)))
+    return AnalysisContext(Execution(load(path)), backend=backend)
+
+
+def _print_run_stats(ctx: AnalysisContext) -> None:
+    """One diagnostic line: which backend answered and what it cost."""
+    passes = clock_pass_counts()
+    print(f"backend: {ctx.backend_name} | cut cache: "
+          f"{ctx.cache_hits} hits / {ctx.cache_misses} misses | "
+          f"clock passes: forward={passes['forward']} "
+          f"reverse={passes['reverse']} extend={passes['extend']}")
 
 
 def _cmd_generate(args) -> int:
@@ -171,7 +200,16 @@ def _cmd_render(args) -> int:
 
 
 def _cmd_relations(args) -> int:
-    ctx = _load_context(args.trace)
+    reset_clock_pass_counts()
+    if args.reduce:
+        from .backends.reduction import reduce_trace
+
+        red = reduce_trace(load(args.trace))
+        print(f"reduced {red.original_events} events to "
+              f"{red.reduced_events} ({red.ratio:.0%} fewer)")
+        ctx = AnalysisContext(Execution(red.trace), backend=args.backend)
+    else:
+        ctx = _load_context(args.trace, args.backend)
     ex = ctx.execution
     an = SynchronizationAnalyzer(ctx, engine=args.engine, jobs=args.jobs)
     x = by_label(ex, args.x)
@@ -180,17 +218,20 @@ def _cmd_relations(args) -> int:
     print(f"Y = {args.y!r}: {len(y)} events on nodes {list(y.node_set)}")
     if args.spec:
         print(f"{args.spec}(X, Y) = {an.holds(args.spec, x, y)}")
+        _print_run_stats(ctx)
         return 0
     results = an.all_relations(x, y)
     holding = [str(s) for s in FAMILY32 if results[s]]
     print(f"holding ({len(holding)}/32): {', '.join(holding) or '(none)'}")
     strongest = an.strongest(x, y)
     print("strongest: " + (", ".join(map(str, strongest)) or "(none)"))
+    _print_run_stats(ctx)
     return 0
 
 
 def _cmd_check(args) -> int:
-    ctx = _load_context(args.trace)
+    reset_clock_pass_counts()
+    ctx = _load_context(args.trace, args.backend)
     ex = ctx.execution
     bindings = {}
     for item in args.bind:
@@ -206,6 +247,7 @@ def _cmd_check(args) -> int:
     finally:
         an.close()
     print(report)
+    _print_run_stats(ctx)
     return 0 if report.passed else 1
 
 
@@ -221,7 +263,6 @@ def _cmd_stream(args) -> int:
     the clock-pass counters — all zeros proves the whole run (ingest,
     verdicts, finalisation) stayed on the live growable clock table.
     """
-    from .events.clocks import clock_pass_counts, reset_clock_pass_counts
     from .monitor.online import OnlineMonitor
 
     trace = load(args.trace)
@@ -286,12 +327,14 @@ def _cmd_stream(args) -> int:
                               f"= {v}")
                     closed.append(ev.label)
 
-    om.to_execution()  # zero-copy finalisation from the live table
+    # zero-copy finalisation from the live table into a full context
+    ctx = AnalysisContext(om.to_execution(), backend=args.backend)
     passes = clock_pass_counts()
     print(f"streamed {trace.total_events} events, {len(closed)} intervals "
           f"closed, {len(om.notifications)} watch notification(s)")
     print(f"offline clock passes during the run: forward={passes['forward']} "
           f"reverse={passes['reverse']} extend={passes['extend']}")
+    print(f"finalisation context backend: {ctx.backend_name}")
     return 0
 
 

@@ -37,19 +37,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..backends.base import CausalityBackend, make_backend
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
-from .cuts import (
-    Cut,
-    CutQuadruple,
-    CutStats,
-    cut_C1,
-    cut_C2,
-    cut_C3,
-    cut_C4,
-    cut_stats,
-)
+from .cuts import Cut, CutQuadruple, CutStats
 from .versioning import versioned_state
 
 if TYPE_CHECKING:
@@ -62,8 +54,6 @@ __all__ = ["AnalysisContext", "CutCache"]
 
 #: Cache key: the interval's component id set (its mathematical identity).
 _IntervalKey = frozenset[EventId]
-
-_CUT_FNS = {"C1": cut_C1, "C2": cut_C2, "C3": cut_C3, "C4": cut_C4}
 
 
 @versioned_state(
@@ -91,11 +81,18 @@ class CutCache:
         fold; benchmarks and the acceptance tests assert on them.
     """
 
-    __slots__ = ("_execution", "_version", "_cuts", "_extremal",
+    __slots__ = ("_execution", "_backend", "_version", "_cuts", "_extremal",
                  "hits", "misses")
 
-    def __init__(self, execution: Execution) -> None:
+    def __init__(
+        self,
+        execution: Execution,
+        backend: "CausalityBackend | None" = None,
+    ) -> None:
         self._execution = execution
+        self._backend = (
+            backend if backend is not None else make_backend(None, execution)
+        )
         self._version = execution.version
         self._cuts: dict[tuple[_IntervalKey, str], Cut] = {}
         self._extremal: dict[_IntervalKey, tuple[np.ndarray, np.ndarray]] = {}
@@ -107,6 +104,11 @@ class CutCache:
         """The execution the cached structures belong to."""
         return self._execution
 
+    @property
+    def backend(self) -> CausalityBackend:
+        """The causality backend filling cache misses."""
+        return self._backend
+
     def __len__(self) -> int:
         return len(self._cuts)
 
@@ -114,6 +116,7 @@ class CutCache:
         """Drop every entry and re-arm against the current version."""
         self._cuts.clear()
         self._extremal.clear()
+        self._backend.invalidate()
         self._version = self._execution.version
 
     def _fresh(self) -> None:
@@ -141,7 +144,7 @@ class CutCache:
             self.hits += 1
             return cached
         self.misses += 1
-        result = _CUT_FNS[which](x)
+        result = Cut._trusted(self._execution, self._backend.cut_vector(x, which))
         self._cuts[key] = result
         return result
 
@@ -190,10 +193,11 @@ class CutCache:
 
         Rows already memoized (all four cuts plus the extremal pair)
         are copied out of the cache; every *missing* interval is filled
-        by one vectorized columnar pass (:func:`~repro.core.cuts.cut_stats`
-        — gathers and segmented reductions over the ``(|E|, |P|)``
-        clock matrices, no per-interval fold loop) and deposited, so
-        later scalar queries hit.  This is the construction path of
+        by one batched backend pass
+        (:meth:`~repro.backends.base.CausalityBackend.cut_stats` — for
+        the vector backend, gathers and segmented reductions over the
+        ``(|E|, |P|)`` clock matrices, no per-interval fold loop) and
+        deposited, so later scalar queries hit.  This is the construction path of
         :class:`~repro.core.pairwise.IntervalSetMatrices` and the batch
         planner.
         """
@@ -231,9 +235,7 @@ class CutCache:
             out["c4"][i] = c4.vector
             out["first"][i], out["last"][i] = extremal
         if missing:
-            cold = cut_stats(
-                self._execution, [intervals[i] for i in missing]
-            )
+            cold = self._backend.cut_stats([intervals[i] for i in missing])
             rows = np.asarray(missing, dtype=np.intp)
             for name in out:
                 out[name][rows] = getattr(cold, name)
@@ -282,17 +284,27 @@ class AnalysisContext:
     either.
     """
 
-    __slots__ = ("_execution", "_cut_cache", "_mats", "_mats_version",
-                 "_verdicts", "__weakref__")
+    __slots__ = ("_execution", "_backend", "_cut_cache", "_mats",
+                 "_mats_version", "_verdicts", "__weakref__")
 
     #: bound on memoized interval-set stacks before the memo is reset
     _MATS_LIMIT = 64
 
-    def __init__(self, execution: Execution) -> None:
+    def __init__(
+        self,
+        execution: Execution,
+        backend: "str | CausalityBackend | None" = None,
+    ) -> None:
         if isinstance(execution, AnalysisContext):  # idempotent wrap
             execution = execution.execution
         self._execution = execution
-        self._cut_cache = CutCache(execution)
+        if isinstance(backend, CausalityBackend):
+            if backend.execution is not execution:
+                raise ValueError("backend belongs to a different execution")
+            self._backend = backend
+        else:
+            self._backend = make_backend(backend, execution)
+        self._cut_cache = CutCache(execution, self._backend)
         self._mats: dict[tuple[_IntervalKey, ...], object] = {}
         self._mats_version = execution.version
         self._verdicts: dict[object, object] = {}
@@ -318,6 +330,16 @@ class AnalysisContext:
     def execution(self) -> Execution:
         """The analysed execution."""
         return self._execution
+
+    @property
+    def backend(self) -> CausalityBackend:
+        """The causality backend answering this context's queries."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend (``vector``/…)."""
+        return self._backend.name
 
     @property
     def cut_cache(self) -> CutCache:
@@ -354,6 +376,17 @@ class AnalysisContext:
     def extremal(self, x: NonatomicEvent) -> tuple[np.ndarray, np.ndarray]:
         """Memoized ``(first, last)`` extremal index vectors of ``x``."""
         return self._cut_cache.extremal(x)
+
+    # ------------------------------------------------------------------
+    # pairwise causality (backend-routed)
+    # ------------------------------------------------------------------
+    def precedes(self, a: EventId, b: EventId) -> bool:
+        """``a ≺ b`` for real events, answered by the active backend."""
+        return self._backend.precedes(a, b)
+
+    def concurrent(self, a: EventId, b: EventId) -> bool:
+        """``a ∥ b`` for real events, answered by the active backend."""
+        return self._backend.concurrent(a, b)
 
     # ------------------------------------------------------------------
     # batched structures
@@ -413,7 +446,7 @@ class AnalysisContext:
         queries can never see pre-growth future cuts.
         """
         self._execution.extend(trace)
-        self._cut_cache.invalidate()
+        self._cut_cache.invalidate()  # also re-arms the backend
         self._mats.clear()
         self._mats_version = self._execution.version
         for vc in self._verdicts.values():

@@ -57,12 +57,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..events.clocks import CLOCK_DTYPE, reset_clock_pass_counts
+from ..backends.base import CLOCK_DTYPE, reset_clock_pass_counts
 from ..events.event import EventId
 from ..nonatomic.event import NonatomicEvent
 from ..nonatomic.proxies import ProxyDefinition, proxy_of
 from .context import AnalysisContext
-from .cuts import cut_stats_from_extrema
+from ..backends.stats import cut_stats_from_extrema
 from .pairwise import pairwise_verdicts
 from .relations import Relation, RelationSpec, parse_spec
 

@@ -24,7 +24,8 @@ price of not knowing the future.)
 Streaming fast path
 -------------------
 Ingestion writes forward clocks straight into a
-:class:`~repro.events.clocks.GrowableClockTable` — capacity-doubling
+streaming clock table (:func:`~repro.backends.base.make_streaming_table`)
+— capacity-doubling
 ``(cap, |P|)`` int32 blocks, one amortized-O(|P|) in-place row write
 per event, no per-event allocation.  Each :class:`OnlineInterval`
 *maintains* its past-cut timestamps incrementally as events are tagged
@@ -59,7 +60,7 @@ import numpy as np
 
 from ..core.relations import Relation, RelationSpec, parse_spec
 from ..events.builder import MessageHandle, TraceBuilder
-from ..events.clocks import CLOCK_DTYPE, GrowableClockTable
+from ..backends.base import CLOCK_DTYPE, StreamingClockTable, make_streaming_table
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.proxies import Proxy
@@ -111,7 +112,7 @@ class OnlineInterval:
     )
 
     def __init__(
-        self, name: str, table: GrowableClockTable | None = None
+        self, name: str, table: StreamingClockTable | None = None
     ) -> None:
         self.name = name
         self.first: dict[int, int] = {}
@@ -260,7 +261,7 @@ class OnlineMonitor:
     def __init__(self, num_nodes: int) -> None:
         self._builder = TraceBuilder(num_nodes)
         self.num_nodes = num_nodes
-        self._table = GrowableClockTable(num_nodes)
+        self._table = make_streaming_table(num_nodes)
         self._intervals: dict[str, OnlineInterval] = {}
         self._watches: list[tuple[str, Condition]] = []
         self.notifications: list[WatchNotification] = []
