@@ -1,10 +1,12 @@
 """E-32 — §2.5: evaluating the whole 32-relation family (Problem 4 ii).
 
-Measures the facade's ``all_relations`` under each engine, and the
-hierarchy-pruned variant, over a shared workload.  The 1-1 equivalence
-``r(X,Y) = R(X̂,Ŷ)`` means the 32 queries reuse the 8 proxy cuts of
-each side (Key Idea 1): the linear engine's batch cost stays linear in
-the node sets.
+Measures the facade's ``all_relations`` under each engine, the
+hierarchy-pruned variant, and the batched ``(pairs, 24)`` family kernel
+over a shared workload.  The 1-1 equivalence ``r(X,Y) = R(X̂,Ŷ)``
+means the 32 queries reuse the 8 proxy cuts of each side (Key Idea 1):
+the linear engine's batch cost stays linear in the node sets, and the
+batched kernel answers every queried pair's 24 ``≪``-subtests in one
+NumPy pass.
 
 :func:`test_shared_verdict_cache_ll_reduction` measures the Theorem
 19/20 subtest factoring: the whole-family query surface
@@ -12,7 +14,32 @@ the node sets.
 shared ``≪``-subtest verdict cache costs a fixed 24 subtest
 evaluations per ordered pair, against the ``≪``-test count of the
 per-spec scalar loop — with verdict identity across all 40 specs.
+
+:func:`test_batched_kernel_wall_clock_and_evals` reports wall-clock
+and ``≪``-eval counts *side by side* and fails on an inversion: a
+strategy that wins on operation count but loses on wall-clock must
+never pass silently.
+
+Standalone perf gate (what CI's bench-smoke job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_family32_batch.py [--quick]
+
+The full run uses the exact ``BENCH_PR4.json`` family workload
+(12 nodes, 16 pairs) and enforces the acceptance floors: cached
+>= 1.2x the per-spec loop, batched >= 3x the recorded PR4 cached rate.
+``--quick`` shrinks the workload and relaxes the floors (cached
+>= 1.0x, batched >= 1.5x vs per-spec; no PR4 comparison).
 """
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # standalone: python benchmarks/bench_...
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, _ROOT)
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 import pytest
 
@@ -22,7 +49,8 @@ from repro.core.hierarchy import evaluate_all_pruned, maximal_true
 from repro.core.linear import LinearEvaluator
 from repro.core.relations import BASE_RELATIONS, FAMILY32
 
-from .conftest import make_pair
+from benchmarks.common import best_of, family_pairs
+from benchmarks.conftest import make_pair
 
 
 @pytest.mark.parametrize("engine", ["naive", "polynomial", "linear"])
@@ -49,6 +77,18 @@ def test_strongest_relations(benchmark):
     benchmark(lambda: an.strongest(x, y))
 
 
+def test_strongest_batched_cold(benchmark):
+    """Cold whole-surface batch: one kernel fill for all 8 pairs."""
+    ex, pairs = family_pairs(12, 8, 8)
+
+    def run():
+        an = SynchronizationAnalyzer(AnalysisContext(ex))
+        return an.strongest_batch(pairs)
+
+    result = benchmark(run)
+    assert len(result) == len(pairs)
+
+
 def test_shared_verdict_cache_ll_reduction():
     """The verdict cache answers the whole-family surface with ≥2.5x
     fewer ``≪`` evaluations than the per-spec loop, verdicts identical.
@@ -73,6 +113,13 @@ def test_shared_verdict_cache_ll_reduction():
     vc = an.verdict_cache
     assert vc is not None and vc.evals == 24 and vc.cut_pair_evals == 12
 
+    # the batched entry points serve the identical verdicts
+    ban = SynchronizationAnalyzer(AnalysisContext(ex))
+    assert ban.all_relations_batch([(x, y)]) == [scalar]
+    assert ban.base_relations_batch([(x, y)]) == [scalar_base]
+    assert ban.strongest_batch([(x, y)]) == [scalar_strongest]
+    assert ban.verdict_cache.fills == 1
+
     reduction = scalar_ll / vc.evals
     print(f"\n≪ evals: per-spec loop {scalar_ll}, cached {vc.evals} "
           f"({reduction:.1f}x fewer; {vc.hits} cache hits)")
@@ -80,3 +127,200 @@ def test_shared_verdict_cache_ll_reduction():
         f"≪-eval reduction only {reduction:.1f}x "
         f"({scalar_ll} -> {vc.evals})"
     )
+
+
+# ----------------------------------------------------------------------
+# side-by-side measurement (shared by the pytest gate and __main__)
+# ----------------------------------------------------------------------
+def measure_family_surface(
+    nodes: int, events: int, pairs: int, reps: int,
+    backend: "str | None" = None,
+) -> dict:
+    """Wall-clock *and* ``≪``-eval counts for the three strategies that
+    answer the whole-family surface over the shared
+    :func:`~benchmarks.common.family_pairs` workload."""
+    ex, pair_list = family_pairs(nodes, events, pairs)
+
+    def per_spec_loop():
+        eng = LinearEvaluator(AnalysisContext(ex))  # private context: cold
+        for x, y in pair_list:
+            for spec in FAMILY32:
+                eng.evaluate_spec(spec, x, y)
+            for rel in BASE_RELATIONS:
+                eng.evaluate(rel, x, y)
+            results, _ = evaluate_all_pruned(
+                lambda spec: eng.evaluate_spec(spec, x, y), FAMILY32
+            )
+            maximal_true(results)
+        return eng
+
+    def cached_family():
+        an = SynchronizationAnalyzer(AnalysisContext(ex))
+        for x, y in pair_list:
+            an.all_relations(x, y)
+            an.base_relations(x, y)
+            an.strongest(x, y)
+        return an
+
+    def batched_family():
+        an = SynchronizationAnalyzer(AnalysisContext(ex))
+        an.all_relations_batch(pair_list)
+        an.base_relations_batch(pair_list)
+        an.strongest_batch(pair_list)
+        return an
+
+    loop_t, eng = best_of(per_spec_loop, reps=reps, backend=backend)
+    cached_t, can = best_of(cached_family, reps=reps, backend=backend)
+    batched_t, ban = best_of(batched_family, reps=reps, backend=backend)
+    # verdicts surfaced per pair: 40 specs + the 32-entry family map
+    # behind the strongest query (matches scripts/bench_report.py)
+    verdicts = (len(FAMILY32) * 2 + len(BASE_RELATIONS)) * len(pair_list)
+    return {
+        "nodes": nodes,
+        "pairs": len(pair_list),
+        "verdicts": verdicts,
+        "per_spec_s": loop_t,
+        "cached_s": cached_t,
+        "batched_s": batched_t,
+        "ll_per_spec": eng.ll_tests,
+        "ll_cached": can.verdict_cache.evals,
+        "ll_batched": ban.verdict_cache.evals,
+        "fills_batched": ban.verdict_cache.fills,
+    }
+
+
+def side_by_side_lines(m: dict) -> list[str]:
+    """The wall-clock / op-count table — both axes, always together."""
+    v = m["verdicts"]
+    rows = [
+        ("per-spec loop", m["per_spec_s"], m["ll_per_spec"], ""),
+        ("cached", m["cached_s"], m["ll_cached"], ""),
+        ("batched", m["batched_s"], m["ll_batched"],
+         f"{m['fills_batched']} fill(s)"),
+    ]
+    lines = [
+        f"family surface: {m['pairs']} pairs x 40 specs + strongest "
+        f"({v} verdicts) on {m['nodes']} nodes",
+        f"  {'strategy':<14} {'wall ms':>9} {'verdicts/s':>12} "
+        f"{'ll evals':>9}",
+    ]
+    for name, t, ll, extra in rows:
+        lines.append(
+            f"  {name:<14} {t * 1e3:>9.2f} {v / t:>12,.0f} {ll:>9}"
+            + (f"  {extra}" if extra else "")
+        )
+    return lines
+
+
+def assert_no_inversion(m: dict) -> None:
+    """An op-count win must come with a wall-clock win.  Fewer ``≪``
+    evals than the per-spec loop while *slower* in wall-clock is the
+    failure mode this gate exists to catch — never let it pass."""
+    for name in ("cached", "batched"):
+        if m[f"ll_{name}"] < m["ll_per_spec"]:
+            assert m[f"{name}_s"] <= m["per_spec_s"], (
+                f"{name}: {m[f'll_{name}']} ≪ evals vs per-spec loop's "
+                f"{m['ll_per_spec']}, yet slower in wall-clock "
+                f"({m[f'{name}_s'] * 1e3:.2f} ms vs "
+                f"{m['per_spec_s'] * 1e3:.2f} ms) — op-count win with a "
+                f"wall-clock loss must not pass silently"
+            )
+
+
+def test_batched_kernel_wall_clock_and_evals():
+    """Both axes reported side by side, no silent inversion."""
+    m = measure_family_surface(8, 6, 6, reps=2)
+    print()
+    for line in side_by_side_lines(m):
+        print(line)
+    assert_no_inversion(m)
+    assert m["ll_batched"] < m["ll_per_spec"]
+    assert m["per_spec_s"] / m["batched_s"] >= 1.5
+
+
+# ----------------------------------------------------------------------
+# standalone perf gate
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Batched family-kernel perf gate"
+    )
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced workload + relaxed floors (CI smoke); "
+                         "skips the BENCH_PR4.json comparison")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="best-of repetitions (default: 3 quick, 5 full)")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        nodes, events, pairs = 8, 6, 6
+        reps = args.reps or 3
+        min_cached, min_batched_vs_loop = 1.0, 1.5
+    else:
+        # the exact BENCH_PR4.json family_query workload
+        nodes, events, pairs = 12, 8, 16
+        reps = args.reps or 5
+        min_cached, min_batched_vs_loop = 1.2, 2.0
+
+    m = measure_family_surface(nodes, events, pairs, reps)
+    for line in side_by_side_lines(m):
+        print(line)
+    assert_no_inversion(m)
+
+    failures = []
+    cached_speedup = m["per_spec_s"] / m["cached_s"]
+    batched_vs_loop = m["per_spec_s"] / m["batched_s"]
+    print(f"  cached  speedup vs per-spec loop: {cached_speedup:.2f}x "
+          f"(floor {min_cached:.1f}x)")
+    print(f"  batched speedup vs per-spec loop: {batched_vs_loop:.2f}x "
+          f"(floor {min_batched_vs_loop:.1f}x)")
+    if cached_speedup < min_cached:
+        failures.append(
+            f"cached path only {cached_speedup:.2f}x vs per-spec loop "
+            f"(floor {min_cached:.1f}x)"
+        )
+    if batched_vs_loop < min_batched_vs_loop:
+        failures.append(
+            f"batched kernel only {batched_vs_loop:.2f}x vs per-spec "
+            f"loop (floor {min_batched_vs_loop:.1f}x)"
+        )
+
+    if not args.quick:
+        pr4_path = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..",
+            "BENCH_PR4.json",
+        )
+        pr4 = None
+        if os.path.exists(pr4_path):
+            with open(pr4_path) as fh:
+                pr4 = json.load(fh).get("family_query")
+        if (
+            isinstance(pr4, dict)
+            and pr4.get("nodes") == nodes
+            and pr4.get("pairs") == pairs
+        ):
+            batched_rate = m["verdicts"] / m["batched_s"]
+            vs_pr4 = batched_rate / pr4["cached_verdicts_per_sec"]
+            print(f"  batched vs PR4 cached rate: {vs_pr4:.2f}x "
+                  f"({pr4['cached_verdicts_per_sec']:,.0f} -> "
+                  f"{batched_rate:,.0f} verdicts/s; floor 3.0x)")
+            if vs_pr4 < 3.0:
+                failures.append(
+                    f"batched rate only {vs_pr4:.2f}x the recorded PR4 "
+                    f"cached rate (floor 3.0x)"
+                )
+        else:
+            print("  BENCH_PR4.json baseline unavailable or "
+                  "size-mismatched — PR4 comparison skipped")
+
+    if failures:
+        print("FAIL:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

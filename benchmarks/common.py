@@ -23,6 +23,7 @@ __all__ = [
     "disjoint_intervals",
     "random_intervals",
     "spanning_interval",
+    "family_pairs",
     "best_of",
     "stream_schedule",
     "stream_online",
@@ -67,6 +68,32 @@ def spanning_interval(
         picks = rng.choice(ex.num_real(node), size=events_per_node, replace=False)
         ids.extend((node, int(j) + 1) for j in picks)
     return NonatomicEvent(ex, ids)
+
+
+def family_pairs(
+    nodes: int, events: int, pairs: int, seed: int = 11
+) -> tuple[Execution, list[tuple[NonatomicEvent, NonatomicEvent]]]:
+    """The family-query benchmark workload: one execution plus ``pairs``
+    random disjoint ordered interval pairs.
+
+    Shared by ``scripts/bench_report.py`` (the ``family_query`` section)
+    and the standalone ``benchmarks/bench_family32_batch.py`` gate so
+    both measure the identical surface.  Default seeds reproduce the
+    workload every recorded ``BENCH_PR*.json`` family section ran on.
+    """
+    from repro.nonatomic.selection import random_disjoint_pair
+    from repro.simulation.workloads import random_trace
+
+    ex = Execution(
+        random_trace(nodes, events_per_node=events, msg_prob=0.3, seed=seed)
+    )
+    rng = np.random.default_rng(seed + 1)
+    return ex, [
+        random_disjoint_pair(
+            ex, rng, num_nodes_x=nodes, num_nodes_y=nodes, events_per_node=2
+        )
+        for _ in range(pairs)
+    ]
 
 
 def best_of(

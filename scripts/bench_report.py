@@ -1,7 +1,7 @@
 """Machine-readable performance report for the analysis substrate.
 
 Measures the headline numbers on the current host and writes them as
-JSON (default ``BENCH_PR6.json``):
+JSON (default ``BENCH_PR7.json``):
 
 * clock substrate construction throughput (events/sec) for the
   forward + reverse columnar tables;
@@ -15,8 +15,12 @@ JSON (default ``BENCH_PR6.json``):
   verdicts + zero-copy finalisation) vs the rebuild-per-close baseline,
   with the clock-pass counters recorded;
 * ``family_query``: whole-family (40-spec) verdicts/sec through the
-  shared ``≪``-subtest verdict cache vs the per-spec scalar loop, with
-  the measured ``≪``-evaluation reduction;
+  shared ``≪``-subtest verdict cache vs the per-spec scalar loop, plus
+  the batched ``(pairs, 24)`` kernel answering every queried pair in
+  one vectorized fill, with the measured ``≪``-evaluation reduction;
+  a second ``family_query_<backend>`` section repeats the workload on
+  the non-default backend, and when a size-matched ``BENCH_PR4.json``
+  is present its cached rate is embedded as the before/after anchor;
 * ``backend_sparse`` / ``backend_dense``: the vector-clock backend vs
   the breakpoint-compressed reachability backend on its favourable and
   unfavourable regimes — sparse communication with few queries (where
@@ -25,7 +29,7 @@ JSON (default ``BENCH_PR6.json``):
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR6.json]
+    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR7.json]
         [--jobs 4] [--quick] [--backend reachability]
         [--baseline BENCH_PR4.json]
 
@@ -37,10 +41,11 @@ the host metadata (cpu count, numpy version, backend) it ran under.
 reported as measured — single-core hosts record the serial fallback for
 the parallel section and that is the honest number.
 
-``--baseline PRIOR.json`` additionally diffs the current ``cut_fill``
-and ``clock_build`` rates against a prior report and exits nonzero on a
->25% regression (sections whose workload sizes differ are skipped with
-a note, so quick runs are only compared against quick baselines).
+``--baseline PRIOR.json`` additionally diffs the current gated rates
+(``clock_build``, ``cut_fill``, ``backend_*``, ``family_query``)
+against a prior report and exits nonzero on a >25% regression (sections
+whose workload sizes differ are skipped with a note, so quick runs are
+only compared against quick baselines).
 """
 
 from __future__ import annotations
@@ -71,12 +76,12 @@ from repro.events.clocks import (  # noqa: E402
 )
 from repro.events.poset import Execution  # noqa: E402
 from repro.nonatomic.event import NonatomicEvent  # noqa: E402
-from repro.nonatomic.selection import random_disjoint_pair  # noqa: E402
 from repro.simulation.workloads import random_trace  # noqa: E402
 
 from benchmarks.common import (  # noqa: E402
     best_of,
     disjoint_intervals,
+    family_pairs,
     stream_online,
     stream_rebuild_baseline,
 )
@@ -204,24 +209,20 @@ def bench_online_ingest(
     }
 
 
-def bench_family_query(nodes: int, events: int, pairs: int, reps: int) -> dict:
-    ex = Execution(
-        random_trace(nodes, events_per_node=events, msg_prob=0.3, seed=11)
-    )
-    rng = np.random.default_rng(12)
-    pair_list = [
-        random_disjoint_pair(
-            ex, rng, num_nodes_x=nodes, num_nodes_y=nodes, events_per_node=2
-        )
-        for _ in range(pairs)
-    ]
+def bench_family_query(
+    nodes: int, events: int, pairs: int, reps: int,
+    backend: "str | None" = None,
+) -> dict:
+    ex, pair_list = family_pairs(nodes, events, pairs)
     specs = list(FAMILY32) + list(BASE_RELATIONS)
 
     # The whole-family query surface per pair: all 32 family specs, all
     # 8 base relations, and the strongest-relations query (a pruned pass
-    # + maximality filter over the family).  The scalar loop answers
-    # each from scratch through the engine; the cached side serves every
-    # one from the 24-subtest fill.
+    # + maximality filter over the family).  Three strategies answer it:
+    # the per-spec scalar loop (each spec from scratch through the
+    # engine), the cached per-pair surface (each pair's 24-subtest
+    # verdict row filled on first touch), and the batched kernel (all
+    # pairs × all 24 subtests in one vectorized pass).
     def per_spec_loop():
         eng = LinearEvaluator(AnalysisContext(ex))  # private context: cold
         for x, y in pair_list:
@@ -243,17 +244,33 @@ def bench_family_query(nodes: int, events: int, pairs: int, reps: int) -> dict:
             an.strongest(x, y)
         return an
 
-    loop_t, eng = best_of(per_spec_loop, reps=reps)
-    cached_t, an = best_of(cached_family, reps=reps)
+    def batched_family():
+        an = SynchronizationAnalyzer(AnalysisContext(ex))
+        an.all_relations_batch(pair_list)
+        an.base_relations_batch(pair_list)
+        an.strongest_batch(pair_list)
+        return an
+
+    loop_t, eng = best_of(per_spec_loop, reps=reps, backend=backend)
+    cached_t, an = best_of(cached_family, reps=reps, backend=backend)
+    batched_t, ban = best_of(batched_family, reps=reps, backend=backend)
     vc = an.verdict_cache
-    # verdict identity against the per-spec scalar loop
+    bvc = ban.verdict_cache
+    # verdict identity against the per-spec scalar loop, for both the
+    # per-pair cached surface and the batched kernel
     ref = LinearEvaluator(AnalysisContext(ex))
     ref_an = SynchronizationAnalyzer(AnalysisContext(ex))
-    for x, y in pair_list:
+    batch_results = ref_an.all_relations_batch(pair_list)
+    for (x, y), batched in zip(pair_list, batch_results):
+        fam = ref_an.all_relations(x, y)
         for spec in FAMILY32:
-            assert ref_an.all_relations(x, y)[spec] == ref.evaluate_spec(
-                spec, x, y
-            ), "cached family verdict diverges from the scalar loop"
+            scalar = ref.evaluate_spec(spec, x, y)
+            assert fam[spec] == scalar, (
+                "cached family verdict diverges from the scalar loop"
+            )
+            assert batched[spec] == scalar, (
+                "batched family verdict diverges from the scalar loop"
+            )
         ref_results, _ = evaluate_all_pruned(
             lambda spec: ref.evaluate_spec(spec, x, y), FAMILY32
         )
@@ -261,7 +278,7 @@ def bench_family_query(nodes: int, events: int, pairs: int, reps: int) -> dict:
             "cached strongest diverges from the scalar loop"
         )
     # verdicts surfaced per pair: the 40 specs + the 32-entry family map
-    # behind the strongest query (identical on both sides)
+    # behind the strongest query (identical on all sides)
     verdicts = (len(specs) + len(FAMILY32)) * len(pair_list)
     return {
         "nodes": nodes,
@@ -269,12 +286,17 @@ def bench_family_query(nodes: int, events: int, pairs: int, reps: int) -> dict:
         "specs": len(specs),
         "per_spec_ms": loop_t * 1e3,
         "cached_ms": cached_t * 1e3,
+        "batched_ms": batched_t * 1e3,
         "per_spec_verdicts_per_sec": verdicts / loop_t,
         "cached_verdicts_per_sec": verdicts / cached_t,
+        "batched_verdicts_per_sec": verdicts / batched_t,
         "speedup": loop_t / cached_t,
+        "batched_speedup": loop_t / batched_t,
         "ll_evals_per_spec_loop": eng.ll_tests,
         "ll_evals_cached": vc.evals,
+        "ll_evals_batched": bvc.evals,
         "cut_pair_evals_cached": vc.cut_pair_evals,
+        "kernel_fills_batched": bvc.fills,
         "ll_eval_reduction": eng.ll_tests / max(vc.evals, 1),
     }
 
@@ -362,6 +384,11 @@ _GATED = (
      lambda s: s["events"] / s[s["winner"]]["total_ms"]),
     ("backend_dense", ("nodes", "events", "intervals", "query_reps"),
      lambda s: s["events"] / s[s["winner"]]["total_ms"]),
+    # gate on the cached rate: it is the key comparable with pre-batch
+    # baselines (BENCH_PR4 has no batched numbers), and the batched
+    # kernel backs both surfaces — a kernel regression drags it down too
+    ("family_query", ("nodes", "pairs", "specs"),
+     lambda s: s["cached_verdicts_per_sec"]),
 )
 
 
@@ -402,7 +429,7 @@ def compare_baseline(report: dict, baseline: dict, threshold: float) -> list:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_PR6.json")
+    ap.add_argument("--out", default="BENCH_PR7.json")
     ap.add_argument("--jobs", type=int, default=4,
                     help="worker processes for the parallel benchmark "
                          "(clamped to the core count)")
@@ -477,11 +504,42 @@ def main(argv=None) -> int:
             sizes["dn_k"], sizes["dn_reps"], sizes["reps"],
         ),
     }
+    # the same family workload through the non-default backend, so the
+    # before/after record covers both cut_stats implementations
+    other = "reachability" if backend == "vector" else "vector"
+    report[f"family_query_{other}"] = bench_family_query(
+        sizes["fam_nodes"], sizes["fam_events"], sizes["fam_pairs"],
+        sizes["reps"], backend=other,
+    )
+    # before/after anchor: embed the pre-batch cached rate from the PR4
+    # record when its workload matches the current (full-size) one
+    pr4_path = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_PR4.json"
+    )
+    if os.path.exists(pr4_path):
+        with open(pr4_path) as fh:
+            pr4 = json.load(fh).get("family_query")
+        fq = report["family_query"]
+        if isinstance(pr4, dict) and all(
+            pr4.get(k) == fq[k] for k in ("nodes", "pairs", "specs")
+        ):
+            for section in (fq, report[f"family_query_{other}"]):
+                section["pr4_cached_verdicts_per_sec"] = (
+                    pr4["cached_verdicts_per_sec"]
+                )
+                section["speedup_vs_pr4_cached"] = (
+                    section["batched_verdicts_per_sec"]
+                    / pr4["cached_verdicts_per_sec"]
+                )
     for name, section in report.items():
         if isinstance(section, dict) and name != "host":
-            section["host"] = _host_meta(
-                "both" if name.startswith("backend_") else backend
-            )
+            if name.startswith("backend_"):
+                stamp = "both"
+            elif name == f"family_query_{other}":
+                stamp = other
+            else:
+                stamp = backend
+            section["host"] = _host_meta(stamp)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -489,7 +547,7 @@ def main(argv=None) -> int:
     cb, cf, pb = (
         report["clock_build"], report["cut_fill"], report["parallel_batch"]
     )
-    oi, fq = report["online_ingest"], report["family_query"]
+    oi = report["online_ingest"]
     print(f"wrote {args.out}")
     print(f"  clock build:    {cb['events_per_sec']:,.0f} events/sec "
           f"({cb['events']} events in {cb['build_ms']:.2f} ms)")
@@ -508,12 +566,21 @@ def main(argv=None) -> int:
           f"streaming, {oi['speedup']:.1f}x vs rebuild-per-close "
           f"({oi['events']} events, {oi['closes']} closes; "
           f"clock passes {oi['clock_passes']})")
-    print(f"  family query:   {fq['cached_verdicts_per_sec']:,.0f} "
-          f"verdicts/sec cached vs "
-          f"{fq['per_spec_verdicts_per_sec']:,.0f} per-spec "
-          f"({fq['speedup']:.1f}x; ≪ evals "
-          f"{fq['ll_evals_per_spec_loop']} -> {fq['ll_evals_cached']}, "
-          f"{fq['ll_eval_reduction']:.1f}x fewer)")
+    for fq_name in ("family_query", f"family_query_{other}"):
+        fq = report[fq_name]
+        vs_pr4 = (
+            f", {fq['speedup_vs_pr4_cached']:.1f}x vs PR4 cached"
+            if "speedup_vs_pr4_cached" in fq else ""
+        )
+        print(f"  family query:   {fq['batched_verdicts_per_sec']:,.0f} "
+              f"verdicts/sec batched vs "
+              f"{fq['cached_verdicts_per_sec']:,.0f} cached vs "
+              f"{fq['per_spec_verdicts_per_sec']:,.0f} per-spec "
+              f"[{fq['host']['backend']}] "
+              f"({fq['batched_speedup']:.1f}x batched{vs_pr4}; ≪ evals "
+              f"{fq['ll_evals_per_spec_loop']} -> {fq['ll_evals_batched']} "
+              f"in {fq['kernel_fills_batched']} fill(s), "
+              f"{fq['ll_eval_reduction']:.1f}x fewer)")
     for key in ("backend_sparse", "backend_dense"):
         bs = report[key]
         print(f"  {bs['regime']:<7} regime: {bs['winner']} wins "

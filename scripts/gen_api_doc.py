@@ -23,7 +23,7 @@ MODULES = [
     "repro.backends.vector", "repro.backends.reachability",
     "repro.backends.reduction",
     "repro.core", "repro.core.context", "repro.core.cuts",
-    "repro.core.relations",
+    "repro.core.relations", "repro.core.family",
     "repro.core.naive", "repro.core.polynomial", "repro.core.linear",
     "repro.core.evaluator", "repro.core.explain", "repro.core.counting",
     "repro.core.hierarchy", "repro.core.axioms", "repro.core.pairwise",

@@ -45,7 +45,7 @@ import numpy as np
 from ..events.clocks import CyclicTraceError
 from ..events.event import EventId
 from .base import CausalityBackend, register_backend
-from .stats import CutStats
+from .stats import CutStats, flatten_extrema
 
 if TYPE_CHECKING:
     from ..events.poset import Execution
@@ -331,23 +331,8 @@ class ReachabilityBackend(CausalityBackend):
         for iv in intervals:
             if iv.execution is not ex:
                 raise ValueError("interval does not belong to this execution")
-        k = len(intervals)
-        counts = np.fromiter((iv.width for iv in intervals), np.intp, count=k)
+        nodes, first_idx, last_idx, counts = flatten_extrema(intervals)
         total = int(counts.sum())
-        nodes = np.empty(total, dtype=np.int64)
-        first_idx = np.empty(total, dtype=np.int64)
-        last_idx = np.empty(total, dtype=np.int64)
-        pos = 0
-        for iv in intervals:
-            for node, j in iv.first_ids():
-                nodes[pos] = node
-                first_idx[pos] = j
-                pos += 1
-        pos = 0
-        for iv in intervals:
-            for _node, j in iv.last_ids():
-                last_idx[pos] = j
-                pos += 1
         extremal_ids = np.empty((2 * total, 2), dtype=np.int64)
         extremal_ids[:total, 0] = nodes
         extremal_ids[:total, 1] = first_idx

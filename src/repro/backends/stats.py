@@ -22,13 +22,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..events.event import EventId
 
+if TYPE_CHECKING:
+    from ..nonatomic.event import NonatomicEvent
+
 __all__ = [
     "CutStats",
+    "flatten_extrema",
     "cut_stats_from_arrays",
     "cut_stats_from_extrema",
 ]
@@ -56,6 +61,39 @@ class CutStats:
 
     def __len__(self) -> int:
         return self.c1.shape[0]
+
+
+def flatten_extrema(
+    intervals: "Sequence[NonatomicEvent]",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten ``intervals``' per-node extremal events, interval-major.
+
+    Returns ``(nodes, first_idx, last_idx, counts)`` — the exact input
+    shape of the segmented kernel :func:`_stats_from_extrema`, with
+    ``counts[i]`` entries for interval ``i``.  This is the shared front
+    half of every backend's batched ``cut_stats`` entry point (the
+    vector backend follows it with dense-table gathers, the
+    reachability backend with closure-row reconstruction), kept here so
+    the flattening layout cannot drift between backends.
+    """
+    k = len(intervals)
+    counts = np.fromiter((iv.width for iv in intervals), np.intp, count=k)
+    total = int(counts.sum())
+    nodes = np.empty(total, dtype=np.int64)
+    first_idx = np.empty(total, dtype=np.int64)
+    last_idx = np.empty(total, dtype=np.int64)
+    pos = 0
+    for iv in intervals:
+        for node, j in iv.first_ids():
+            nodes[pos] = node
+            first_idx[pos] = j
+            pos += 1
+    pos = 0
+    for iv in intervals:
+        for _node, j in iv.last_ids():
+            last_idx[pos] = j
+            pos += 1
+    return nodes, first_idx, last_idx, counts
 
 
 def _stats_from_extrema(

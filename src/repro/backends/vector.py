@@ -24,7 +24,7 @@ import numpy as np
 
 from ..events.event import EventId
 from .base import CausalityBackend, register_backend
-from .stats import CutStats, _stats_from_extrema
+from .stats import CutStats, _stats_from_extrema, flatten_extrema
 
 if TYPE_CHECKING:
     from ..events.poset import Execution
@@ -50,23 +50,7 @@ def vector_cut_stats(
             raise ValueError("interval does not belong to this execution")
     fwd = execution.forward_table
     rev = execution.reverse_table
-    k = len(intervals)
-    counts = np.fromiter((iv.width for iv in intervals), np.intp, count=k)
-    total = int(counts.sum())
-    nodes = np.empty(total, dtype=np.int64)
-    first_idx = np.empty(total, dtype=np.int64)
-    last_idx = np.empty(total, dtype=np.int64)
-    pos = 0
-    for iv in intervals:
-        for node, j in iv.first_ids():
-            nodes[pos] = node
-            first_idx[pos] = j
-            pos += 1
-    pos = 0
-    for iv in intervals:
-        for _node, j in iv.last_ids():
-            last_idx[pos] = j
-            pos += 1
+    nodes, first_idx, last_idx, counts = flatten_extrema(intervals)
     return _stats_from_extrema(
         fwd.data, rev.data, fwd.offsets, fwd.lengths,
         nodes, first_idx, last_idx, counts,

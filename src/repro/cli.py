@@ -169,6 +169,12 @@ def _print_run_stats(ctx: AnalysisContext) -> None:
           f"{ctx.cache_hits} hits / {ctx.cache_misses} misses | "
           f"clock passes: forward={passes['forward']} "
           f"reverse={passes['reverse']} extend={passes['extend']}")
+    fam = ctx.family_query_stats()
+    if fam["fills"] or fam["hits"]:
+        print(f"family kernel: {fam['pairs']} pairs x 24 subtests in "
+              f"{fam['fills']} batched fills | {fam['evals']} subtest evals "
+              f"({fam['cut_pair_evals']} cut-pair) | "
+              f"{fam['hits']} verdict-row hits")
 
 
 def _cmd_generate(args) -> int:

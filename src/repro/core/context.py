@@ -41,12 +41,13 @@ from ..backends.base import CausalityBackend, make_backend
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
+from ..nonatomic.proxies import Proxy, ProxyDefinition, proxy_of
 from .cuts import Cut, CutQuadruple, CutStats
+from .family import operand_tensor
 from .versioning import versioned_state
 
 if TYPE_CHECKING:
     from ..events.trace import Trace
-    from ..nonatomic.proxies import ProxyDefinition
     from .evaluator import SharedVerdictCache
     from .pairwise import IntervalSetMatrices
 
@@ -260,6 +261,28 @@ class CutCache:
         vectorized pass (a :meth:`stats` call for its deposit effect)."""
         self.stats(intervals)
 
+    def family_operands(
+        self,
+        intervals: Sequence[NonatomicEvent],
+        proxy_definition: ProxyDefinition = ProxyDefinition.PER_NODE,
+    ) -> np.ndarray:
+        """The ``(k, 12, P)`` family operand tensor for ``intervals``.
+
+        Interleaves every interval's ``(L, U)`` proxies and pays **one**
+        batched :meth:`stats` fill for all ``2k`` of them (cold rows go
+        through the backend's columnar
+        :meth:`~repro.backends.base.CausalityBackend.cut_stats` in a
+        single call), then reshapes into the contiguous operand layout
+        the batched family kernel
+        (:func:`repro.core.family.verdict_matrix`) gathers from.  The
+        proxy cuts land in this cache, so later scalar queries hit.
+        """
+        proxies: list[NonatomicEvent] = []
+        for x in intervals:
+            proxies.append(proxy_of(x, Proxy.L, proxy_definition))
+            proxies.append(proxy_of(x, Proxy.U, proxy_definition))
+        return operand_tensor(self.stats(proxies))
+
 
 #: One shared context per live execution (weak: contexts die with them).
 _SHARED: "weakref.WeakKeyDictionary[Execution, AnalysisContext]" = (
@@ -307,7 +330,7 @@ class AnalysisContext:
         self._cut_cache = CutCache(execution, self._backend)
         self._mats: dict[tuple[_IntervalKey, ...], object] = {}
         self._mats_version = execution.version
-        self._verdicts: dict[object, object] = {}
+        self._verdicts: dict[ProxyDefinition, SharedVerdictCache] = {}
 
     @classmethod
     def of(cls, execution: "Execution | AnalysisContext") -> "AnalysisContext":
@@ -434,6 +457,28 @@ class AnalysisContext:
                 self, proxy_definition
             )
         return vc
+
+    def family_query_stats(self) -> dict[str, int]:
+        """Aggregated family verdict-cache counters (all proxy defs).
+
+        ``pairs`` — ordered pairs with a memoized 24-subtest verdict
+        row; ``fills`` — batched kernel invocations; ``evals`` /
+        ``cut_pair_evals`` — subtest evaluations performed (total /
+        cut-pair ``≪`` subset); ``hits`` — verdict-row reads served
+        from the cache.  All zero until a family query runs; the CLI
+        run-stats line reads this.
+        """
+        out = {
+            "pairs": 0, "fills": 0, "evals": 0,
+            "cut_pair_evals": 0, "hits": 0,
+        }
+        for vc in self._verdicts.values():
+            out["pairs"] += vc.pairs_cached
+            out["fills"] += vc.fills
+            out["evals"] += vc.evals
+            out["cut_pair_evals"] += vc.cut_pair_evals
+            out["hits"] += vc.hits
+        return out
 
     # ------------------------------------------------------------------
     # growth

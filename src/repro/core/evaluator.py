@@ -14,16 +14,17 @@ comparing the three evaluation strategies.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from ..events.event import EventId
 from ..events.poset import Execution
 from ..nonatomic.event import NonatomicEvent
-from ..nonatomic.proxies import Proxy, ProxyDefinition, proxy_of
+from ..nonatomic.proxies import ProxyDefinition
 from .context import AnalysisContext
 from .counting import ComparisonCounter
+from .family import N_SUBTESTS, verdict_matrix
 from .versioning import versioned_state
 from .hierarchy import evaluate_all_pruned, maximal_true
 from .linear import LinearEvaluator
@@ -32,6 +33,7 @@ from .polynomial import PolynomialEvaluator
 from .relations import (
     BASE_RELATIONS,
     FAMILY32,
+    SUBTEST_COLUMNS,
     SUBTEST_KEYS,
     Relation,
     RelationSpec,
@@ -42,15 +44,41 @@ from .relations import (
 
 __all__ = ["SynchronizationAnalyzer", "SharedVerdictCache", "ENGINES"]
 
-#: The 24 distinct subtest keys grouped by kind — the batched fill
-#: evaluates each group with one stacked comparison + one reduction.
-_KEYS_BY_KIND = tuple(
-    (kind, tuple(k for k in SUBTEST_KEYS if k[0] is kind))
-    for kind in SubtestKind
-)
 _N_CUT_PAIR = sum(
     1 for k in SUBTEST_KEYS if k[0] is SubtestKind.EXISTS_CUT
 )
+
+#: A cached verdict row: 24 booleans indexed by
+#: :data:`~repro.core.relations.SUBTEST_COLUMNS`.
+VerdictRow = tuple[bool, ...]
+
+#: spec → verdict-row column, precomputed for the whole query surface so
+#: family readers are pure tuple indexing (zero canonicalisation work).
+_FAMILY_COLS: tuple[tuple[RelationSpec, int], ...] = tuple(
+    (spec, SUBTEST_COLUMNS[subtest_key(spec)]) for spec in FAMILY32
+)
+_BASE_COLS: tuple[tuple[Relation, int], ...] = tuple(
+    (rel, SUBTEST_COLUMNS[subtest_key(rel)]) for rel in BASE_RELATIONS
+)
+
+#: verdict row → maximal true specs.  ``maximal_true`` is a pure
+#: function of the 24-bool row (and costs ~0.2 ms of hierarchy walking),
+#: so :meth:`SynchronizationAnalyzer.strongest` memoizes it globally —
+#: real executions exhibit few distinct rows.  Bounded; reset on
+#: overflow.
+_STRONGEST_MEMO: dict[VerdictRow, tuple[RelationSpec, ...]] = {}
+_STRONGEST_MEMO_LIMIT = 4096
+
+
+def _strongest_of_row(row: VerdictRow) -> tuple[RelationSpec, ...]:
+    cached = _STRONGEST_MEMO.get(row)
+    if cached is None:
+        if len(_STRONGEST_MEMO) >= _STRONGEST_MEMO_LIMIT:
+            _STRONGEST_MEMO.clear()
+        cached = _STRONGEST_MEMO[row] = maximal_true(
+            {spec: row[col] for spec, col in _FAMILY_COLS}
+        )
+    return cached
 
 SpecLike = str | Relation | RelationSpec
 
@@ -71,41 +99,50 @@ ENGINES = {
     guards=("invalidate", "_fresh"),
 )
 class SharedVerdictCache:
-    """Memoized ``≪``-subtest verdicts shared across whole-family queries.
+    """Memoized ``≪``-subtest verdict rows shared across family queries.
 
     Theorem 19/20 factor every Table-1 condition into one vector subtest
     (:func:`~repro.core.relations.subtest_key`); across the 40 evaluable
     specs (8 base + 32 family) only 24 subtests are distinct per ordered
     pair — 12 genuine cut-pair ``≪`` evaluations plus 12 extremal-row
-    sweeps.  This cache stores those verdicts per ordered pair ``(X, Y)``
-    so :meth:`SynchronizationAnalyzer.all_relations`,
+    sweeps.  This cache stores one 24-bool *verdict row* per ordered
+    pair ``(X, Y)`` (columns fixed by
+    :data:`~repro.core.relations.SUBTEST_COLUMNS`), so
+    :meth:`SynchronizationAnalyzer.all_relations`,
     :meth:`~SynchronizationAnalyzer.base_relations` and
-    :meth:`~SynchronizationAnalyzer.strongest` pay each subtest once
-    instead of once per spec.
+    :meth:`~SynchronizationAnalyzer.strongest` read the whole family
+    from one tuple instead of paying per-spec dispatch.
 
-    Operand rows (the four cut timestamps and extremal vectors of each
-    interval's L/U proxies) are drawn from the context's shared
-    :class:`~repro.core.context.CutCache` in one batched
-    :meth:`~repro.core.context.CutCache.stats` fill per interval.
-    Entries are keyed to the execution
-    :attr:`~repro.events.poset.Execution.version`; growth drops every
-    verdict, so stale future-side subtests can never be served.
+    Rows are produced by the batched kernel
+    (:func:`~repro.core.family.verdict_matrix`): :meth:`fill_pairs`
+    stacks the missing pairs' operand tensors — drawn from the context's
+    shared :class:`~repro.core.context.CutCache` in **one** batched
+    :meth:`~repro.core.context.CutCache.family_operands` gather — and
+    scatters the resulting ``(pairs, 24)`` verdict matrix into the memo
+    in one pass, with zero per-pair Python dispatch.  Entries are keyed
+    to the execution :attr:`~repro.events.poset.Execution.version`;
+    growth drops every verdict, so stale future-side subtests can never
+    be served.
 
     Attributes
     ----------
     evals:
-        Subtest evaluations actually performed (cache misses).
+        Subtest evaluations actually performed (24 per filled pair).
     cut_pair_evals:
         The subset of :attr:`evals` of kind
         :attr:`~repro.core.relations.SubtestKind.EXISTS_CUT` — the
         cut-pair ``≪`` evaluations proper (≤ 12 per ordered pair, well
         under the 16 ordered Table-2 cut pairs).
     hits:
-        Subtest verdicts served from the cache.
+        Verdict-row reads served from the cache (one per family query
+        on an already-filled pair, however many specs that query names).
+    fills:
+        Batched kernel invocations (each fill covers every missing pair
+        of one query batch).
     """
 
     __slots__ = ("context", "proxy_definition", "_version", "_verdicts",
-                 "_operands", "evals", "cut_pair_evals", "hits")
+                 "_operands", "evals", "cut_pair_evals", "hits", "fills")
 
     def __init__(
         self,
@@ -115,11 +152,14 @@ class SharedVerdictCache:
         self.context = AnalysisContext.of(context)
         self.proxy_definition = proxy_definition
         self._version = self.context.execution.version
-        self._verdicts: dict[tuple, dict[tuple, bool]] = {}
-        self._operands: dict[frozenset, dict[tuple[str, str], np.ndarray]] = {}
+        self._verdicts: dict[
+            tuple[frozenset[EventId], frozenset[EventId]], VerdictRow
+        ] = {}
+        self._operands: dict[frozenset[EventId], np.ndarray] = {}
         self.evals = 0
         self.cut_pair_evals = 0
         self.hits = 0
+        self.fills = 0
 
     def invalidate(self) -> None:
         """Drop every verdict and operand row; re-arm on current version."""
@@ -131,54 +171,84 @@ class SharedVerdictCache:
         if self.context.execution.version != self._version:
             self.invalidate()
 
-    def _rows(self, z: NonatomicEvent) -> dict[tuple[str, str], np.ndarray]:
-        """Operand rows of ``z``: stat name × proxy tag → |P| vector.
+    @property
+    def pairs_cached(self) -> int:
+        """Ordered pairs with a memoized verdict row."""
+        self._fresh()
+        return len(self._verdicts)
 
-        One batched cut fill over ``(L_Z, U_Z)`` supplies all twelve
-        rows any subtest key can select.
+    def fill_pairs(
+        self, pairs: Sequence[tuple[NonatomicEvent, NonatomicEvent]]
+    ) -> None:
+        """Batch-fill the verdict rows of every not-yet-cached pair.
+
+        One pass end to end: missing pairs are deduplicated, their cold
+        intervals' ``(12, P)`` operand tensors are gathered by **one**
+        batched :meth:`~repro.core.context.CutCache.family_operands`
+        cut fill, the stacked tensor is pushed through
+        :func:`~repro.core.family.verdict_matrix` once, and the
+        ``(pairs, 24)`` result is scattered into the memo.  Already-
+        cached pairs are skipped without touching the counters.
         """
         self._fresh()
-        rec = self._operands.get(z.ids)
-        if rec is None:
-            proxies = (
-                proxy_of(z, Proxy.L, self.proxy_definition),
-                proxy_of(z, Proxy.U, self.proxy_definition),
+        verdicts = self._verdicts
+        todo: dict[
+            tuple[frozenset[EventId], frozenset[EventId]],
+            tuple[NonatomicEvent, NonatomicEvent],
+        ] = {}
+        for x, y in pairs:
+            pk = (x.ids, y.ids)
+            if pk not in verdicts and pk not in todo:
+                todo[pk] = (x, y)
+        if not todo:
+            return
+        operands = self._operands
+        row_of: dict[frozenset[EventId], int] = {}
+        cold: list[NonatomicEvent] = []
+        for x, y in todo.values():
+            for z in (x, y):
+                key = z.ids
+                if key not in row_of:
+                    row_of[key] = len(row_of)
+                    if key not in operands:
+                        cold.append(z)
+        if cold:
+            tensor = self.context.cut_cache.family_operands(
+                cold, self.proxy_definition
             )
-            stats = self.context.cut_cache.stats(proxies)
-            rec = {}
-            for i, tag in ((0, "L"), (1, "U")):
-                for stat in ("c1", "c2", "c3", "c4", "first", "last"):
-                    rec[(stat, tag)] = getattr(stats, stat)[i]
-            self._operands[z.ids] = rec
-        return rec
+            for z, rec in zip(cold, tensor, strict=True):
+                operands[z.ids] = rec
+        ops = np.stack([operands[key] for key in row_of])
+        xs = np.fromiter(
+            (row_of[kx] for kx, _ky in todo), np.intp, count=len(todo)
+        )
+        ys = np.fromiter(
+            (row_of[ky] for _kx, ky in todo), np.intp, count=len(todo)
+        )
+        matrix = verdict_matrix(ops, xs, ys)
+        for pk, row in zip(todo, matrix, strict=True):
+            verdicts[pk] = tuple(row.tolist())
+        self.fills += 1
+        self.evals += N_SUBTESTS * len(todo)
+        self.cut_pair_evals += _N_CUT_PAIR * len(todo)
 
-    def _fill_pair(
-        self, pair: tuple, x: NonatomicEvent, y: NonatomicEvent
-    ) -> dict[tuple, bool]:
-        """Evaluate all 24 distinct subtests of ``(x, y)`` batched.
+    def verdict_row(
+        self, x: NonatomicEvent, y: NonatomicEvent
+    ) -> VerdictRow:
+        """The 24-subtest verdict row of ``(x, y)``, filling on demand.
 
-        Each subtest kind is answered by one stacked ``(k, P)``
-        comparison + one axis reduction — three NumPy passes decide
-        every verdict the 40-spec query surface can ask for.
+        A read served from the memo counts one :attr:`hits`; a missing
+        pair pays a single-pair :meth:`fill_pairs` (batch callers should
+        pre-fill, making every subsequent read a hit).
         """
         self._fresh()
-        rx, ry = self._rows(x), self._rows(y)
-        verdicts: dict[tuple, bool] = {}
-        for kind, keys in _KEYS_BY_KIND:
-            ymat = np.stack([ry[yop] for _, yop, _ in keys])
-            xmat = np.stack([rx[xop] for _, _, xop in keys])
-            if kind is SubtestKind.EXISTS_CUT:
-                out = (ymat >= xmat).any(axis=1)
-            elif kind is SubtestKind.FORALL_PAST:
-                out = (ymat >= xmat).all(axis=1)
-            else:  # FORALL_FUTURE
-                out = ((ymat == 0) | (ymat >= xmat)).all(axis=1)
-            for key, v in zip(keys, out.tolist(), strict=True):
-                verdicts[key] = v
-        self.evals += len(SUBTEST_KEYS)
-        self.cut_pair_evals += _N_CUT_PAIR
-        self._verdicts[pair] = verdicts
-        return verdicts
+        pk = (x.ids, y.ids)
+        row = self._verdicts.get(pk)
+        if row is None:
+            self.fill_pairs(((x, y),))
+            return self._verdicts[pk]
+        self.hits += 1
+        return row
 
     def holds(
         self,
@@ -190,16 +260,9 @@ class SharedVerdictCache:
 
         The first query on a pair pays the batched 24-subtest fill;
         every subsequent query on that pair — whatever the spec — is a
-        dict hit.
+        tuple read.
         """
-        self._fresh()
-        pair = (x.ids, y.ids)
-        verdicts = self._verdicts.get(pair)
-        if verdicts is None:
-            verdicts = self._fill_pair(pair, x, y)
-        else:
-            self.hits += 1
-        return verdicts[subtest_key(spec)]
+        return self.verdict_row(x, y)[SUBTEST_COLUMNS[subtest_key(spec)]]
 
 
 class SynchronizationAnalyzer:
@@ -483,7 +546,11 @@ class SynchronizationAnalyzer:
     ) -> dict[Relation, bool]:
         """Evaluate all 8 base relations ``R(X, Y)``."""
         self._check_pair(x, y)
-        return {r: self._family_holds(r, x, y) for r in BASE_RELATIONS}
+        vc = self._verdict_cache
+        if vc is None:
+            return {r: self._engine_holds(r, x, y) for r in BASE_RELATIONS}
+        row = vc.verdict_row(x, y)
+        return {r: row[c] for r, c in _BASE_COLS}
 
     def all_relations(
         self,
@@ -493,27 +560,32 @@ class SynchronizationAnalyzer:
     ) -> dict[RelationSpec, bool]:
         """Evaluate all 32 family relations ``r(X, Y)``.
 
-        With ``prune=True``, results implied by already-evaluated ones
-        are inferred through the hierarchy instead of tested (ablation
-        A-3); the answer is identical either way.
-
         On the default configuration (linear engine, per-node proxies,
-        uncounted) the per-spec tests are served from the shared
-        ``≪``-subtest verdict cache: the 32 specs collapse onto 24
-        distinct subtest keys per ordered pair (12 cut-pair ``≪``
-        evaluations + 12 extremal-row sweeps), so the whole family costs
-        a bounded number of vector comparisons however many specs it
-        names.
+        uncounted) the whole family is read from one 24-bool verdict
+        row of the shared ``≪``-subtest cache, produced by the batched
+        kernel (:func:`~repro.core.family.verdict_matrix`) — zero
+        per-spec Python dispatch.  ``prune`` is then irrelevant (the
+        row already answers everything) and ignored.
+
+        On bypass configurations (non-linear engines, global proxies,
+        counted analyzers, engine ablations) the per-spec scalar path
+        runs instead; there ``prune=True`` infers results implied by
+        already-evaluated ones through the hierarchy (ablation A-3).
+        The answer is identical on every path.
         """
         self._check_pair(x, y)
-        if prune:
-            results, _ = evaluate_all_pruned(
-                lambda spec: self._family_holds(spec, x, y), FAMILY32
-            )
-            return results
-        return {
-            spec: self._family_holds(spec, x, y) for spec in FAMILY32
-        }
+        vc = self._verdict_cache
+        if vc is None:
+            if prune:
+                results, _ = evaluate_all_pruned(
+                    lambda spec: self._engine_holds(spec, x, y), FAMILY32
+                )
+                return results
+            return {
+                spec: self._engine_holds(spec, x, y) for spec in FAMILY32
+            }
+        row = vc.verdict_row(x, y)
+        return {spec: row[c] for spec, c in _FAMILY_COLS}
 
     def strongest(
         self, x: NonatomicEvent, y: NonatomicEvent
@@ -521,9 +593,83 @@ class SynchronizationAnalyzer:
         """The strongest 32-family relations holding between x and y.
 
         These are the maximal true relations under the implication
-        hierarchy — the most informative synchronization facts.
+        hierarchy — the most informative synchronization facts.  On the
+        cached configuration the hierarchy walk itself is memoized per
+        distinct verdict row, so repeated sweeps cost one tuple lookup.
         """
+        vc = self._verdict_cache
+        if vc is not None:
+            self._check_pair(x, y)
+            return _strongest_of_row(vc.verdict_row(x, y))
         return maximal_true(self.all_relations(x, y, prune=True))
+
+    # ------------------------------------------------------------------
+    # Problem 4 (ii), batched: many pairs in one kernel pass
+    # ------------------------------------------------------------------
+    def _fill_family(
+        self, pairs: Sequence[tuple[NonatomicEvent, NonatomicEvent]]
+    ) -> "SharedVerdictCache | None":
+        """Validate ``pairs`` and batch-fill their verdict rows (cached
+        configurations); returns the cache, or ``None`` on bypass."""
+        for x, y in pairs:
+            self._check_pair(x, y)
+        vc = self._verdict_cache
+        if vc is not None:
+            vc.fill_pairs(pairs)
+        return vc
+
+    def all_relations_batch(
+        self, pairs: Iterable[tuple[NonatomicEvent, NonatomicEvent]]
+    ) -> list[dict[RelationSpec, bool]]:
+        """:meth:`all_relations` for many ordered pairs at once.
+
+        On the cached configuration every missing pair is answered by
+        **one** batched operand gather + one
+        :func:`~repro.core.family.verdict_matrix` pass (all 24 subtests
+        × all pairs), then scattered; results align with the input
+        order and are identical to per-pair :meth:`all_relations`.
+        Bypass configurations fall back to the scalar loop.
+        """
+        seq = list(pairs)
+        vc = self._fill_family(seq)
+        if vc is None:
+            return [
+                {spec: self._engine_holds(spec, x, y) for spec in FAMILY32}
+                for x, y in seq
+            ]
+        return [
+            {spec: row[c] for spec, c in _FAMILY_COLS}
+            for row in (vc.verdict_row(x, y) for x, y in seq)
+        ]
+
+    def base_relations_batch(
+        self, pairs: Iterable[tuple[NonatomicEvent, NonatomicEvent]]
+    ) -> list[dict[Relation, bool]]:
+        """:meth:`base_relations` for many ordered pairs at once
+        (one kernel pass on the cached configuration)."""
+        seq = list(pairs)
+        vc = self._fill_family(seq)
+        if vc is None:
+            return [
+                {r: self._engine_holds(r, x, y) for r in BASE_RELATIONS}
+                for x, y in seq
+            ]
+        return [
+            {r: row[c] for r, c in _BASE_COLS}
+            for row in (vc.verdict_row(x, y) for x, y in seq)
+        ]
+
+    def strongest_batch(
+        self, pairs: Iterable[tuple[NonatomicEvent, NonatomicEvent]]
+    ) -> list[tuple[RelationSpec, ...]]:
+        """:meth:`strongest` for many ordered pairs at once
+        (one kernel pass + memoized hierarchy walks on the cached
+        configuration)."""
+        seq = list(pairs)
+        vc = self._fill_family(seq)
+        if vc is None:
+            return [self.strongest(x, y) for x, y in seq]
+        return [_strongest_of_row(vc.verdict_row(x, y)) for x, y in seq]
 
     # ------------------------------------------------------------------
     # all-pairs evaluation

@@ -1,0 +1,208 @@
+"""The batched family-query kernel: all 24 ≪-subtests, all pairs at once.
+
+Theorem 19/20 reduce every one of the 40 evaluable specs (8 base
+relations + the 32-member proxy family) to one of 24 distinct vector
+subtests per ordered pair (:data:`~repro.core.relations.SUBTEST_KEYS`).
+PR 4 exploited that factoring per pair, but still paid one Python
+dispatch per spec per pair — and the op-count win arrived with a
+wall-clock *loss* (BENCH_PR4: 0.80x).  This module removes the per-pair
+loop entirely:
+
+* :func:`operand_tensor` reshapes one batched
+  :class:`~repro.backends.stats.CutStats` fill over the interleaved
+  ``(L, U)`` proxies of k intervals into a contiguous ``(k, 12, P)``
+  operand tensor — the twelve rows (six stats × two proxies) any subtest
+  key can select;
+* :func:`verdict_matrix` answers **all 24 subtest columns for Q ordered
+  pairs** with three fancy-indexed gathers and three comparison +
+  reduction passes, producing the ``(Q, 24)`` boolean verdict matrix
+  that :class:`~repro.core.evaluator.SharedVerdictCache` scatters into
+  its per-pair memo in one pass;
+* :data:`RELATION_ROWS` / :func:`compare_rows` are the single source of
+  the per-relation comparison formulas, shared with the all-pairs and
+  gather kernels of :mod:`repro.core.pairwise` so the batched, matrix
+  and scalar surfaces cannot drift apart.
+
+Layering: this module sits beside :mod:`repro.core.relations` and below
+:mod:`repro.core.context` — it sees only stacked arrays, never
+executions or caches.
+"""
+
+from __future__ import annotations
+
+# repro: hot, dtype-strict
+
+import numpy as np
+
+from ..backends.stats import CutStats
+from .relations import (
+    SUBTEST_COLUMNS,
+    SUBTEST_KEYS,
+    Relation,
+    SubtestKey,
+    SubtestKind,
+)
+
+__all__ = [
+    "N_OPERANDS",
+    "N_SUBTESTS",
+    "OPERAND_ORDER",
+    "OPERAND_INDEX",
+    "RELATION_ROWS",
+    "operand_tensor",
+    "verdict_matrix",
+    "subtest_matrix",
+    "compare_rows",
+]
+
+#: Stat row names in :class:`~repro.backends.stats.CutStats` order.
+_OPERAND_STATS: tuple[str, ...] = ("c1", "c2", "c3", "c4", "first", "last")
+
+#: The twelve operand rows of one interval — ``(stat, proxy_tag)`` in a
+#: fixed layout (stat-major, L before U) matching :func:`operand_tensor`.
+OPERAND_ORDER: tuple[tuple[str, str], ...] = tuple(
+    (stat, tag) for stat in _OPERAND_STATS for tag in ("L", "U")
+)
+
+#: ``(stat, tag)`` → row index into the ``(k, 12, P)`` operand tensor.
+OPERAND_INDEX: dict[tuple[str, str], int] = {
+    op: i for i, op in enumerate(OPERAND_ORDER)
+}
+
+N_OPERANDS: int = len(OPERAND_ORDER)
+N_SUBTESTS: int = len(SUBTEST_KEYS)
+
+#: Base relation → ``(kind, y_stat, x_stat)`` comparison row — the
+#: formula table behind the all-pairs/gather kernels
+#: (:mod:`repro.core.pairwise`).  Stat names select attributes of the
+#: *full-interval* :class:`~repro.backends.stats.CutStats`; the proxy
+#: coincidences of :func:`~repro.core.relations.subtest_key` make these
+#: rows identical to the canonical family subtests.
+RELATION_ROWS: dict[Relation, tuple[SubtestKind, str, str]] = {
+    Relation.R1: (SubtestKind.FORALL_PAST, "c1", "last"),
+    Relation.R1P: (SubtestKind.FORALL_PAST, "c1", "last"),
+    Relation.R2: (SubtestKind.FORALL_PAST, "c2", "last"),
+    Relation.R2P: (SubtestKind.EXISTS_CUT, "c2", "c4"),
+    Relation.R3: (SubtestKind.EXISTS_CUT, "c1", "c3"),
+    Relation.R3P: (SubtestKind.FORALL_FUTURE, "first", "c3"),
+    Relation.R4: (SubtestKind.EXISTS_CUT, "c2", "c3"),
+    Relation.R4P: (SubtestKind.EXISTS_CUT, "c2", "c3"),
+}
+
+
+def compare_rows(
+    kind: SubtestKind, y: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """The three subtest formulas, reduced over the trailing (node) axis.
+
+    ``y``/``x`` are broadcast-compatible stacks whose last axis is
+    ``|P|``; the result drops that axis.  These are the sound
+    full-``|P|``-scan forms shared by every vectorized surface:
+
+    * ``FORALL_PAST``:   ``all(y ≥ x)`` — ``x = lastX̂`` is 0 off
+      ``N_X̂``, neutral because cut timestamps are nonnegative;
+    * ``EXISTS_CUT``:    ``any(y ≥ x)`` — the genuine cut-pair ``≪̸``
+      tests (future-cut components are ≥ 1, so a hit implies ``y ≥ 1``);
+    * ``FORALL_FUTURE``: ``all((y == 0) | (y ≥ x))`` — ``y = firstŶ``
+      with 0 encoding "node not in ``N_Ŷ``", skipped.
+    """
+    if kind is SubtestKind.EXISTS_CUT:
+        return np.any(y >= x, axis=-1)
+    if kind is SubtestKind.FORALL_PAST:
+        return np.all(y >= x, axis=-1)
+    if kind is SubtestKind.FORALL_FUTURE:
+        return np.all((y == 0) | (y >= x), axis=-1)
+    raise ValueError(f"unknown subtest kind: {kind!r}")  # pragma: no cover
+
+
+def _column_groups() -> tuple[
+    tuple[SubtestKind, np.ndarray, np.ndarray, np.ndarray], ...
+]:
+    """Per-kind column plans: (kind, columns, y operand rows, x rows).
+
+    Grouping the 24 columns by kind lets :func:`verdict_matrix` answer
+    each group with one gather pair + one comparison/reduction pass.
+    """
+    groups = []
+    for kind in SubtestKind:
+        sel = [
+            (SUBTEST_COLUMNS[key], key)
+            for key in SUBTEST_KEYS
+            if key[0] is kind
+        ]
+        cols = np.asarray([c for c, _ in sel], dtype=np.intp)
+        y_ops = np.asarray(
+            [OPERAND_INDEX[key[1]] for _, key in sel], dtype=np.intp
+        )
+        x_ops = np.asarray(
+            [OPERAND_INDEX[key[2]] for _, key in sel], dtype=np.intp
+        )
+        for arr in (cols, y_ops, x_ops):
+            arr.setflags(write=False)
+        groups.append((kind, cols, y_ops, x_ops))
+    return tuple(groups)
+
+
+_GROUPS: tuple[
+    tuple[SubtestKind, np.ndarray, np.ndarray, np.ndarray], ...
+] = _column_groups()
+
+
+def operand_tensor(stats: CutStats) -> np.ndarray:
+    """Reshape proxy stats into the ``(k, 12, P)`` operand tensor.
+
+    ``stats`` must stack the **interleaved proxies** of k intervals —
+    rows ``[L_0, U_0, L_1, U_1, …]`` from one batched cut fill.  Row
+    ``out[i, OPERAND_INDEX[stat, tag]]`` is the ``stat`` vector of
+    interval ``i``'s ``tag`` proxy; the tensor is contiguous so the
+    fancy gathers of :func:`verdict_matrix` touch one block per group.
+    """
+    two_k, num_nodes = stats.c1.shape
+    if two_k % 2:
+        raise ValueError("stats must stack interleaved (L, U) proxy rows")
+    k = two_k // 2
+    out = np.empty((k, N_OPERANDS, num_nodes), dtype=np.int64)
+    for stat_i, stat in enumerate(_OPERAND_STATS):
+        mat = getattr(stats, stat)
+        out[:, 2 * stat_i] = mat[0::2]
+        out[:, 2 * stat_i + 1] = mat[1::2]
+    out.setflags(write=False)
+    return out
+
+
+def verdict_matrix(
+    ops: np.ndarray, xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """All 24 subtest verdicts for Q ordered pairs in one pass.
+
+    ``ops`` is the ``(k, 12, P)`` operand tensor of the distinct
+    intervals; ``xs``/``ys`` are length-Q row indices selecting each
+    pair's X and Y interval.  Returns the ``(Q, 24)`` boolean verdict
+    matrix whose column ``j`` answers
+    ``SUBTEST_KEYS[j]`` (:data:`~repro.core.relations.SUBTEST_COLUMNS`).
+
+    Cost: three ``(Q, group, P)`` gather pairs + three comparison/
+    reduction passes — zero per-pair Python dispatch, ``O(Q · P)``
+    total work for the whole 40-spec query surface.
+    """
+    xs = np.asarray(xs, dtype=np.intp)
+    ys = np.asarray(ys, dtype=np.intp)
+    out = np.empty((xs.shape[0], N_SUBTESTS), dtype=np.bool_)
+    for kind, cols, y_ops, x_ops in _GROUPS:
+        y = ops[ys[:, None], y_ops[None, :]]
+        x = ops[xs[:, None], x_ops[None, :]]
+        out[:, cols] = compare_rows(kind, y, x)
+    return out
+
+
+def subtest_matrix(ops: np.ndarray, key: SubtestKey) -> np.ndarray:
+    """All-pairs ``(k, k)`` matrix for one subtest key.
+
+    ``M[i, j]`` answers the subtest with ``intervals[i]`` as X and
+    ``intervals[j]`` as Y — the broadcast form of :func:`verdict_matrix`
+    used by :meth:`~repro.core.pairwise.IntervalSetMatrices.spec_matrix`.
+    """
+    kind, yop, xop = key
+    y = ops[:, OPERAND_INDEX[yop]][None, :, :]
+    x = ops[:, OPERAND_INDEX[xop]][:, None, :]
+    return compare_rows(kind, y, x)

@@ -34,8 +34,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..nonatomic.event import NonatomicEvent
-from ..nonatomic.proxies import ProxyDefinition, proxy_of
+from ..nonatomic.proxies import Proxy, ProxyDefinition, proxy_of
 from .cuts import CutStats, cut_stats
+from .family import RELATION_ROWS, compare_rows, operand_tensor, subtest_matrix
 from .relations import Relation, RelationSpec, subtest_key
 
 if TYPE_CHECKING:
@@ -142,18 +143,36 @@ class IntervalSetMatrices:
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        left = IntervalSetMatrices(
-            [proxy_of(iv, spec.proxy_x, proxy_definition) for iv in self.intervals],
-            cache=self.cache,
-        )
-        right = IntervalSetMatrices(
-            [proxy_of(iv, spec.proxy_y, proxy_definition) for iv in self.intervals],
-            cache=self.cache,
-        )
-        out = _relation_matrix_from(left, right, spec.relation)
+        out = subtest_matrix(self._operands(proxy_definition), subtest_key(spec))
         if mask_diagonal:
             np.fill_diagonal(out, False)
         out.setflags(write=False)
+        self._memo[key] = out
+        return out
+
+    def _operands(self, proxy_definition: ProxyDefinition) -> np.ndarray:
+        """The ``(k, 12, P)`` family operand tensor over this stack's
+        intervals, memoized per proxy definition.
+
+        One batched cut fill over the ``2k`` interleaved ``(L, U)``
+        proxies supplies every row any subtest key selects, so a full
+        32-spec sweep pays one gather however many spec matrices it
+        builds.
+        """
+        key = ("__operands__", proxy_definition)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if self.cache is not None:
+            out = self.cache.family_operands(self.intervals, proxy_definition)
+        else:
+            proxies: list[NonatomicEvent] = []
+            for iv in self.intervals:
+                proxies.append(proxy_of(iv, Proxy.L, proxy_definition))
+                proxies.append(proxy_of(iv, Proxy.U, proxy_definition))
+            out = operand_tensor(
+                cut_stats(self.intervals[0].execution, proxies)
+            )
         self._memo[key] = out
         return out
 
@@ -161,31 +180,18 @@ class IntervalSetMatrices:
 def _relation_matrix_from(
     xs: "IntervalSetMatrices", ys: "IntervalSetMatrices", relation: Relation
 ) -> np.ndarray:
-    """Core broadcasting kernel: rows index X, columns index Y."""
-    # Shapes: X-side tensors are (k, 1, P); Y-side are (1, k, P).
-    lastX = xs.last[:, None, :]
-    c3X = xs.c3[:, None, :]
-    c4X = xs.c4[:, None, :]
-    c1Y = ys.c1[None, :, :]
-    c2Y = ys.c2[None, :, :]
-    firstY = ys.first[None, :, :]
+    """Core broadcasting kernel: rows index X, columns index Y.
 
-    if relation in (Relation.R1, Relation.R1P):
-        # ∀i ∈ N_X: T(∩⇓Y)[i] ≥ lastX[i]   (lastX = 0 off N_X: neutral)
-        return np.all(c1Y >= lastX, axis=2)
-    if relation is Relation.R2:
-        return np.all(c2Y >= lastX, axis=2)
-    if relation is Relation.R2P:
-        # ∃i: T(∪⇓Y)[i] ≥ T(∪⇑X)[i]   (full-|P| scan, always sound)
-        return np.any(c2Y >= c4X, axis=2)
-    if relation is Relation.R3:
-        return np.any(c1Y >= c3X, axis=2)
-    if relation is Relation.R3P:
-        # ∀i ∈ N_Y: firstY[i] ≥ T(∩⇑X)[i]  (firstY = 0 off N_Y: skip)
-        return np.all((firstY == 0) | (firstY >= c3X), axis=2)
-    if relation in (Relation.R4, Relation.R4P):
-        return np.any(c2Y >= c3X, axis=2)
-    raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
+    The comparison row per relation comes from the shared formula table
+    (:data:`~repro.core.family.RELATION_ROWS`), so this surface, the
+    gather form (:func:`pairwise_verdicts`) and the batched family
+    kernel cannot drift apart.  X-side stacks broadcast as
+    ``(k, 1, P)``, Y-side as ``(1, k, P)``.
+    """
+    kind, y_stat, x_stat = RELATION_ROWS[relation]
+    y = getattr(ys, y_stat)[None, :, :]
+    x = getattr(xs, x_stat)[:, None, :]
+    return compare_rows(kind, y, x)
 
 
 def relation_matrix(
@@ -220,17 +226,7 @@ def pairwise_verdicts(
     """
     xs = np.asarray(xs, dtype=np.intp)
     ys = np.asarray(ys, dtype=np.intp)
-    if relation in (Relation.R1, Relation.R1P):
-        return np.all(stats.c1[ys] >= stats.last[xs], axis=1)
-    if relation is Relation.R2:
-        return np.all(stats.c2[ys] >= stats.last[xs], axis=1)
-    if relation is Relation.R2P:
-        return np.any(stats.c2[ys] >= stats.c4[xs], axis=1)
-    if relation is Relation.R3:
-        return np.any(stats.c1[ys] >= stats.c3[xs], axis=1)
-    if relation is Relation.R3P:
-        firstY = stats.first[ys]
-        return np.all((firstY == 0) | (firstY >= stats.c3[xs]), axis=1)
-    if relation in (Relation.R4, Relation.R4P):
-        return np.any(stats.c2[ys] >= stats.c3[xs], axis=1)
-    raise ValueError(f"unknown relation: {relation!r}")  # pragma: no cover
+    kind, y_stat, x_stat = RELATION_ROWS[relation]
+    return compare_rows(
+        kind, getattr(stats, y_stat)[ys], getattr(stats, x_stat)[xs]
+    )

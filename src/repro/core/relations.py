@@ -43,8 +43,10 @@ __all__ = [
     "parse_spec",
     "quantifier_eval",
     "SubtestKind",
+    "SubtestKey",
     "subtest_key",
     "SUBTEST_KEYS",
+    "SUBTEST_COLUMNS",
 ]
 
 
@@ -289,6 +291,25 @@ SUBTEST_KEYS: tuple[SubtestKey, ...] = tuple(
         + [subtest_key(rel) for rel in BASE_RELATIONS]
     )
 )
+
+#: The vectorized subtest table: each :data:`SubtestKey` → its fixed
+#: column in the ``(pairs, 24)`` verdict matrix of the batched family
+#: kernel (:func:`repro.core.family.verdict_matrix`).  Column ``j``
+#: answers ``SUBTEST_KEYS[j]``; the formula applied to that column is
+#: determined by the key itself — with Y-side operand row ``y`` and
+#: X-side operand row ``x`` selected by the key's ``(stat, proxy)``
+#: pairs:
+#:
+#: * :attr:`SubtestKind.FORALL_PAST`   → ``all(y ≥ x)``
+#: * :attr:`SubtestKind.EXISTS_CUT`    → ``any(y ≥ x)``
+#: * :attr:`SubtestKind.FORALL_FUTURE` → ``all((y == 0) | (y ≥ x))``
+#:
+#: This ordering is a stable contract: verdict rows cached by
+#: :class:`~repro.core.evaluator.SharedVerdictCache` are tuples indexed
+#: by these columns.
+SUBTEST_COLUMNS: dict[SubtestKey, int] = {
+    key: j for j, key in enumerate(SUBTEST_KEYS)
+}
 
 
 def quantifier_eval(

@@ -1,0 +1,36 @@
+# repro: hot, dtype-strict
+"""True negatives in the batched-kernel module shape.
+
+The clean counterpart of ``family_kernel_tp.py``: the idiom
+``repro.core.family`` actually uses — explicit int64 operand tensors,
+``np.intp`` gather indices, slotted cache state, and vectorized
+reductions with no per-event Python loops.
+"""
+
+import numpy as np
+
+OPERANDS = ("c1", "c2", "first")
+OPERAND_INDEX = {name: i for i, name in enumerate(OPERANDS)}
+
+
+class VerdictScratch:
+    __slots__ = ("rows", "hits")
+
+    def __init__(self, rows):
+        self.rows = rows
+        self.hits = 0
+
+
+def operand_tensor(stats, k):
+    out = np.zeros((k, len(OPERANDS), stats.shape[-1]), dtype=np.int64)
+    for i in range(len(OPERANDS)):  # bounded by the operand table, not events
+        out[:, i] = stats[i::len(OPERANDS)]
+    out.setflags(write=False)
+    return out
+
+
+def verdict_matrix(ops, xs, ys):
+    cols = np.fromiter(range(xs.shape[0]), np.intp, count=xs.shape[0])
+    y = ops[ys[:, None], cols[None, :]]
+    x = ops[xs[:, None], cols[None, :]]
+    return np.all(y >= x, axis=-1)

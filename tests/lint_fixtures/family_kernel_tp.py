@@ -1,0 +1,35 @@
+# repro: hot, dtype-strict
+"""True positives in the batched-kernel module shape.
+
+Mirrors ``repro.core.family``: one module carrying *both* gate pragmas
+on a single line, module-level operand tables, stacked-matrix kernel
+functions, and a small per-context cache class.  Each habit below is
+exactly the regression the dual-tagged kernel must never grow back.
+"""
+
+import numpy as np
+
+OPERANDS = ("c1", "c2", "first")
+
+
+class VerdictScratch:
+    # REP004: instantiated per fill, but no __slots__
+    def __init__(self, rows):
+        self.rows = rows
+        self.hits = 0
+
+
+def operand_tensor(execution, intervals, scratch=[]):
+    # REP004 (x2): mutable default accumulator + per-event Python loop
+    for eid in execution.iter_ids():
+        scratch.append(eid)
+    # REP002: kernel matrix without an explicit dtype
+    return np.zeros((len(intervals), len(OPERANDS)))
+
+
+def verdict_matrix(ops, xs, ys):
+    # REP002: index vector materialised at the default width
+    cols = np.array(range(len(xs)))
+    # REP004: per-event comprehension over the event table
+    widths = [len(e) for e in ys.events]
+    return ops[cols], widths

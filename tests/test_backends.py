@@ -210,6 +210,39 @@ class TestVerdictEquivalence:
         assert v == r
 
 
+class TestBatchedFamilyEquivalence:
+    """The batched ``(pairs, 24)`` kernel agrees with the scalar path
+    on both backends — including after real append-only growth."""
+
+    @given(st.integers(2, 4), _ops, _ops)
+    @settings(max_examples=20, deadline=None)
+    def test_batched_rows_match_scalar_after_extend(
+        self, num_nodes, head, tail
+    ):
+        prefix = _replay(num_nodes, head)
+        full = _replay(num_nodes, head + tail)
+        assume(full.total_events > prefix.total_events)
+        for backend in ("vector", "reachability"):
+            ctx = AnalysisContext(Execution(prefix), backend=backend)
+            an = SynchronizationAnalyzer(ctx)
+            oracle = SynchronizationAnalyzer(ctx, counted=True)
+            assert oracle.verdict_cache is None
+            ids = sorted(ctx.execution.iter_ids())
+            half = max(1, len(ids) // 2)
+            x = ctx.interval(ids[:half], name="X")
+            y = ctx.interval(ids[half:] or ids[:1], name="Y")
+            # pay a pre-growth batched fill so stale rows would be caught
+            an.all_relations_batch([(x, y)])
+            ctx.extend(full)
+            ids = sorted(ctx.execution.iter_ids())
+            half = max(1, len(ids) // 2)
+            x = ctx.interval(ids[:half], name="X")
+            y = ctx.interval(ids[half:], name="Y")
+            fam = an.all_relations_batch([(x, y), (y, x)])
+            for f, (a, b) in zip(fam, [(x, y), (y, x)], strict=True):
+                assert f == {s: oracle.holds(s, a, b) for s in FAMILY32}
+
+
 class TestSeamEnforcement:
     """No engine above the events layer names the clock substrate."""
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.core.context import AnalysisContext
 from repro.core.evaluator import SynchronizationAnalyzer
@@ -23,6 +24,8 @@ from repro.events.poset import Execution
 from repro.nonatomic.proxies import ProxyDefinition
 from repro.nonatomic.selection import random_disjoint_pair
 from repro.simulation.workloads import random_execution
+
+from .strategies import execution_with_pair
 
 
 def _pair(seed=7, nodes=6, k=6):
@@ -59,9 +62,9 @@ class TestAccounting:
         assert vc.cut_pair_evals <= 16
 
         hits = vc.hits
-        an.all_relations(x, y)  # repeat: pure hits, no new evaluations
+        an.all_relations(x, y)  # repeat: one verdict-row hit, no evals
         assert vc.evals == 24 and vc.cut_pair_evals == 12
-        assert vc.hits == hits + 32
+        assert vc.hits == hits + 1
 
     def test_reverse_pair_is_a_separate_fill(self):
         ex, x, y = _pair()
@@ -81,7 +84,7 @@ class TestAccounting:
         hits = a1.verdict_cache.hits
         a2.all_relations(x, y)
         assert a2.verdict_cache.evals == 24
-        assert a2.verdict_cache.hits == hits + 32
+        assert a2.verdict_cache.hits == hits + 1
 
 
 class TestInvalidation:
@@ -125,6 +128,98 @@ class TestInvalidation:
         vc = an.verdict_cache
         assert an.all_relations(x, y) == before  # refilled, identical
         assert vc.evals == 48
+
+
+class TestBatchedKernel:
+    """The one-pass ``(pairs, 24)`` fill behind the ``*_batch`` APIs."""
+
+    def test_batch_matches_per_pair(self):
+        ex, x, y = _pair()
+        an = SynchronizationAnalyzer(ex)
+        ref = SynchronizationAnalyzer(Execution(ex.trace))
+        rx = ref.interval(sorted(x.ids))
+        ry = ref.interval(sorted(y.ids))
+        fam = an.all_relations_batch([(x, y), (y, x), (x, y)])
+        assert fam[0] == fam[2] == ref.all_relations(rx, ry)
+        assert fam[1] == ref.all_relations(ry, rx)
+        assert an.base_relations_batch([(x, y)])[0] == ref.base_relations(rx, ry)
+        assert an.strongest_batch([(x, y), (y, x)]) == [
+            ref.strongest(rx, ry), ref.strongest(ry, rx)
+        ]
+
+    def test_batch_fill_is_one_pass(self):
+        """N distinct pairs cost one kernel fill (24·N evals), and the
+        reads afterwards are pure verdict-row hits."""
+        ex = random_execution(6, events_per_node=6, msg_prob=0.35, seed=3)
+        rng = np.random.default_rng(4)
+        pairs = [
+            random_disjoint_pair(ex, rng, events_per_node=2) for _ in range(5)
+        ]
+        an = SynchronizationAnalyzer(ex)
+        vc = an.verdict_cache
+        an.all_relations_batch(pairs + pairs)  # duplicates dedup in-fill
+        assert vc.fills == 1
+        assert vc.evals == 24 * len(pairs)
+        assert vc.cut_pair_evals == 12 * len(pairs)
+        assert vc.pairs_cached == len(pairs)
+        hits = vc.hits
+        an.strongest_batch(pairs)  # already filled: hits only
+        assert vc.fills == 1 and vc.hits == hits + len(pairs)
+
+    def test_batch_bypass_configuration_falls_back(self):
+        ex, x, y = _pair()
+        scalar = SynchronizationAnalyzer(ex, engine="polynomial")
+        cached = SynchronizationAnalyzer(ex)
+        assert scalar.verdict_cache is None
+        assert scalar.all_relations_batch([(x, y)]) == \
+            cached.all_relations_batch([(x, y)])
+        assert scalar.base_relations_batch([(x, y)]) == \
+            cached.base_relations_batch([(x, y)])
+        assert scalar.strongest_batch([(x, y)]) == \
+            cached.strongest_batch([(x, y)])
+
+    def test_batch_refills_after_extend(self):
+        ex, x, y = _pair()
+        an = SynchronizationAnalyzer(ex)
+        before = an.all_relations_batch([(x, y)])[0]
+        an.context.extend(ex.trace)  # no-op growth still bumps version
+        vc = an.verdict_cache
+        assert vc.pairs_cached == 0
+        assert an.all_relations_batch([(x, y)])[0] == before
+        assert vc.evals == 48  # refilled: the old row was dropped, not reused
+
+
+#: per-pair scalar-oracle analyzer config: linear engine, counted → the
+#: verdict cache is bypassed and every spec runs the scalar path.
+_ORACLE = dict(counted=True)
+
+
+class TestVectorizedOracleEquivalence:
+    """Hypothesis: the vectorized ``(pairs, 24)`` verdict matrix is
+    bit-identical to scalar per-pair evaluation over all 40 specs, on
+    both backends, including across ``extend()`` invalidation."""
+
+    @pytest.mark.parametrize("backend", ["vector", "reachability"])
+    @settings(max_examples=15, deadline=None)
+    @given(exy=execution_with_pair(max_nodes=4, max_ops=25))
+    def test_all_40_specs_match_scalar(self, backend, exy):
+        ex, x, y = exy
+        ctx = AnalysisContext(Execution(ex.trace), backend=backend)
+        x = ctx.interval(sorted(x.ids), name="X")
+        y = ctx.interval(sorted(y.ids), name="Y")
+        cached = SynchronizationAnalyzer(ctx)
+        oracle = SynchronizationAnalyzer(ctx, **_ORACLE)
+        assert cached.verdict_cache is not None
+        assert oracle.verdict_cache is None
+        fam = cached.all_relations_batch([(x, y), (y, x)])
+        base = cached.base_relations_batch([(x, y), (y, x)])
+        for (a, b), f, bs in zip([(x, y), (y, x)], fam, base, strict=True):
+            assert f == {s: oracle.holds(s, a, b) for s in FAMILY32}
+            assert bs == {r: oracle.holds(r, a, b) for r in BASE_RELATIONS}
+        # growth invalidation: the refilled rows must still agree
+        ctx.extend(ctx.execution.trace)
+        assert cached.verdict_cache.pairs_cached == 0
+        assert cached.all_relations_batch([(x, y)])[0] == fam[0]
 
 
 class TestBypass:

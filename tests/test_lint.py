@@ -69,6 +69,19 @@ def test_rep005_flags_late_version_check():
     assert len(findings) == 2  # holds() and late_check()
 
 
+def test_dual_tagged_kernel_module_shape():
+    """The ``repro.core.family`` module shape — one ``hot, dtype-strict``
+    pragma line gating both rules over operand tables, stacked-matrix
+    kernels and a cache class — triggers REP002 *and* REP004 on the
+    true positive and neither on the clean twin."""
+    tp = codes_in(FIXTURES / "family_kernel_tp.py")
+    assert "REP002" in tp and "REP004" in tp
+    assert tp.count("REP002") >= 2  # kernel matrix + index vector
+    assert tp.count("REP004") >= 4  # slotless, mutable default, 2 loops
+    tn = codes_in(FIXTURES / "family_kernel_tn.py")
+    assert tn == [], f"clean kernel fixture should not fire: {tn}"
+
+
 # ---------------------------------------------------------------------------
 # pragmas and suppressions
 # ---------------------------------------------------------------------------
