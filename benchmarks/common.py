@@ -133,26 +133,14 @@ def stream_schedule(trace) -> list[tuple]:
 
     Returns ``(node, event, send_eid)`` triples — exactly what a
     monitoring point would observe: per-node program order, every
-    receive after its send.
+    receive after its send.  Thin alias of
+    :func:`repro.events.trace.causal_schedule` (the one shared
+    implementation, also behind the ``stream`` CLI command and the
+    networked service's trace replay).
     """
-    order: list[tuple] = []
-    emitted = set()
-    pos = [0] * trace.num_nodes
-    progressed = True
-    while progressed:
-        progressed = False
-        for node in range(trace.num_nodes):
-            while pos[node] < trace.num_real(node):
-                ev = trace.events_of(node)[pos[node]]
-                send = trace.send_of(ev.eid)
-                if send is not None and send not in emitted:
-                    break  # wait until the matching send is replayed
-                emitted.add(ev.eid)
-                order.append((node, ev, send))
-                pos[node] += 1
-                progressed = True
-    assert pos == [trace.num_real(i) for i in range(trace.num_nodes)]
-    return order
+    from repro.events.trace import causal_schedule
+
+    return causal_schedule(trace)
 
 
 def _chunk_name(node: int, count: int, chunk: int) -> str:

@@ -1,7 +1,7 @@
 """Machine-readable performance report for the analysis substrate.
 
 Measures the headline numbers on the current host and writes them as
-JSON (default ``BENCH_PR7.json``):
+JSON (default ``BENCH_PR8.json``):
 
 * clock substrate construction throughput (events/sec) for the
   forward + reverse columnar tables;
@@ -25,11 +25,15 @@ JSON (default ``BENCH_PR7.json``):
   the breakpoint-compressed reachability backend on its favourable and
   unfavourable regimes — sparse communication with few queries (where
   reachability skips the dense reverse pass) and dense communication
-  with a query-heavy batch (where the columnar fills win).
+  with a query-heavy batch (where the columnar fills win);
+* ``service_ingest``: sustained events/sec through the live networked
+  monitoring service over loopback TCP with concurrent sharded
+  clients (sockets + framing + asyncio sessions + core + streaming
+  clock table), clock-pass counters recorded and required zero.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR7.json]
+    PYTHONPATH=src python scripts/bench_report.py [--out BENCH_PR8.json]
         [--jobs 4] [--quick] [--backend reachability]
         [--baseline BENCH_PR4.json]
 
@@ -78,6 +82,7 @@ from repro.events.poset import Execution  # noqa: E402
 from repro.nonatomic.event import NonatomicEvent  # noqa: E402
 from repro.simulation.workloads import random_trace  # noqa: E402
 
+from benchmarks.bench_service_ingest import run_service_ingest  # noqa: E402
 from benchmarks.common import (  # noqa: E402
     best_of,
     disjoint_intervals,
@@ -389,6 +394,8 @@ _GATED = (
     # kernel backs both surfaces — a kernel regression drags it down too
     ("family_query", ("nodes", "pairs", "specs"),
      lambda s: s["cached_verdicts_per_sec"]),
+    ("service_ingest", ("nodes", "events", "clients"),
+     lambda s: s["events_per_sec"]),
 )
 
 
@@ -429,7 +436,7 @@ def compare_baseline(report: dict, baseline: dict, threshold: float) -> list:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_PR7.json")
+    ap.add_argument("--out", default="BENCH_PR8.json")
     ap.add_argument("--jobs", type=int, default=4,
                     help="worker processes for the parallel benchmark "
                          "(clamped to the core count)")
@@ -460,13 +467,17 @@ def main(argv=None) -> int:
                      stream_nodes=8, stream_events=60, chunk=20,
                      fam_nodes=12, fam_events=8, fam_pairs=4,
                      sp_nodes=16, sp_events=40, sp_k=8,
-                     dn_nodes=4, dn_events=40, dn_k=24, dn_reps=12)
+                     dn_nodes=4, dn_events=40, dn_k=24, dn_reps=12,
+                     svc_nodes=4, svc_events=40, svc_clients=2,
+                     svc_chunk=20, svc_reps=1)
     else:
         sizes = dict(nodes=16, events=64, fill_k=256, par_k=128, reps=5,
                      stream_nodes=8, stream_events=1250, chunk=125,
                      fam_nodes=12, fam_events=8, fam_pairs=16,
                      sp_nodes=48, sp_events=150, sp_k=16,
-                     dn_nodes=4, dn_events=120, dn_k=64, dn_reps=50)
+                     dn_nodes=4, dn_events=120, dn_k=64, dn_reps=50,
+                     svc_nodes=8, svc_events=1250, svc_clients=4,
+                     svc_chunk=125, svc_reps=3)
 
     report = {
         "host": {
@@ -502,6 +513,10 @@ def main(argv=None) -> int:
         "backend_dense": bench_backends(
             "dense", sizes["dn_nodes"], sizes["dn_events"], 0.6,
             sizes["dn_k"], sizes["dn_reps"], sizes["reps"],
+        ),
+        "service_ingest": run_service_ingest(
+            sizes["svc_nodes"], sizes["svc_events"], sizes["svc_clients"],
+            sizes["svc_chunk"], sizes["svc_reps"],
         ),
     }
     # the same family workload through the non-default backend, so the
@@ -566,6 +581,11 @@ def main(argv=None) -> int:
           f"streaming, {oi['speedup']:.1f}x vs rebuild-per-close "
           f"({oi['events']} events, {oi['closes']} closes; "
           f"clock passes {oi['clock_passes']})")
+    si = report["service_ingest"]
+    print(f"  service ingest: {si['events_per_sec']:,.0f} events/sec over "
+          f"loopback ({si['clients']} clients, {si['events']} events, "
+          f"{si['closes']} closes, {si['throttles']} throttles; "
+          f"clock passes {si['clock_passes']})")
     for fq_name in ("family_query", f"family_query_{other}"):
         fq = report[fq_name]
         vs_pr4 = (

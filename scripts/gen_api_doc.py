@@ -30,6 +30,8 @@ MODULES = [
     "repro.core.parallel", "repro.core.idioms",
     "repro.monitor", "repro.monitor.predicates", "repro.monitor.checker",
     "repro.monitor.online",
+    "repro.service", "repro.service.protocol", "repro.service.log",
+    "repro.service.core", "repro.service.server", "repro.service.client",
     "repro.globalstates", "repro.globalstates.lattice",
     "repro.globalstates.detection", "repro.globalstates.observations",
     "repro.realtime", "repro.realtime.timing", "repro.realtime.constraints",

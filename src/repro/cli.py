@@ -10,6 +10,9 @@ Make the library usable on recorded traces without writing Python::
     python -m repro check trace.json --spec "R1(U,L)(a, b) and not R4(b, a)" \\
         --bind a=phase0 --bind b=phase1
     python -m repro stream trace.json --watch "order=R1(phase0, phase1)"
+    python -m repro serve --nodes 4 --port 7700 --log monitor.log
+    python -m repro client trace.json --connect localhost:7700 \\
+        --watch "order=R1(phase0, phase1)"
     python -m repro figures
 
 Intervals are named by event *label*: ``--x phase0`` selects every
@@ -30,6 +33,7 @@ from .core.evaluator import SynchronizationAnalyzer
 from .core.relations import FAMILY32
 from .events.poset import Execution
 from .events.serialization import load, save
+from .events.trace import causal_schedule
 from .lint.cli import add_lint_arguments, run_lint
 from .monitor.checker import ConditionChecker
 from .nonatomic.selection import by_label
@@ -141,6 +145,56 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["vector", "reachability"],
                           help="causality backend for the finalisation "
                                "context (default: $REPRO_BACKEND or vector)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the live monitoring service (see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--nodes", type=int, required=True,
+                         help="number of monitored nodes")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--log", default=None, metavar="PATH",
+                         help="append-only replicated event log file")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="ingest shard count (default: one per node)")
+    p_serve.add_argument("--watch", action="append", default=[],
+                         metavar="NAME=CONDITION",
+                         help="watch registered at startup (repeatable)")
+    p_serve.add_argument("--standby", default=None, metavar="HOST:PORT",
+                         help="start as warm standby tailing this primary; "
+                              "promotes itself when the primary dies")
+    p_serve.add_argument("--throttle-at", type=int, default=256,
+                         help="per-session backlog soft limit")
+    p_serve.add_argument("--disconnect-at", type=int, default=1024,
+                         help="per-session backlog hard limit")
+    p_serve.add_argument("--fsync-every", type=int, default=64,
+                         help="fsync batch size for the event log "
+                              "(0 disables fsync)")
+    p_serve.add_argument("--oneshot", action="store_true",
+                         help="exit after the first client session ends "
+                              "(CI smoke tests)")
+
+    p_client = sub.add_parser(
+        "client",
+        help="replay a recorded trace into a running monitoring service",
+    )
+    p_client.add_argument("trace")
+    p_client.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p_client.add_argument("--shard", default="0/1", metavar="I/N",
+                          help="stream only nodes with node %% N == I "
+                               "(run one client per shard)")
+    p_client.add_argument("--watch", action="append", default=[],
+                          metavar="NAME=CONDITION",
+                          help="watch to register before streaming "
+                               "(repeatable)")
+    p_client.add_argument("--expect-verdicts", type=int, default=None,
+                          metavar="K",
+                          help="block until K verdicts arrive (default: "
+                               "the number of --watch registrations)")
+    p_client.add_argument("--stats", action="store_true",
+                          help="print the service stat line afterwards")
 
     sub.add_parser("figures", help="print the paper's figures")
 
@@ -293,45 +347,34 @@ def _cmd_stream(args) -> int:
 
     handles: dict = {}
     closed: list[str] = []
-    pos = [0] * trace.num_nodes
-    progressed = True
-    while progressed:
-        progressed = False
-        for node in range(trace.num_nodes):
-            while pos[node] < trace.num_real(node):
-                ev = trace.events_of(node)[pos[node]]
-                send = trace.send_of(ev.eid)
-                if send is not None and send not in handles:
-                    break  # wait until the matching send is replayed
-                if ev.kind.name == "SEND":
-                    handles[ev.eid] = om.send(
-                        node, label=ev.label, time=ev.time, interval=ev.label
-                    )
-                elif send is not None:
-                    om.recv(node, handles[send], label=ev.label,
-                            time=ev.time, interval=ev.label)
-                else:
-                    om.internal(node, label=ev.label, time=ev.time,
-                                interval=ev.label)
-                pos[node] += 1
-                progressed = True
-                if ev.label is None:
-                    continue
-                remaining[ev.label] -= 1
-                if remaining[ev.label] == 0:
-                    for note in om.close(ev.label):
-                        verdict = "holds" if note.passed else "fails"
-                        print(f"watch {note.name!r} decided at close of "
-                              f"{ev.label!r} (t={note.decided_at}): "
-                              f"{verdict}")
-                    iv = om.interval(ev.label)
-                    print(f"closed {ev.label!r} ({iv.count} events on "
-                          f"nodes {list(iv.node_set)})")
-                    if args.spec and closed:
-                        v = om.holds(args.spec, closed[-1], ev.label)
-                        print(f"  {args.spec}({closed[-1]}, {ev.label}) "
-                              f"= {v}")
-                    closed.append(ev.label)
+    for node, ev, send in causal_schedule(trace):
+        if ev.kind.name == "SEND":
+            handles[ev.eid] = om.send(
+                node, label=ev.label, time=ev.time, interval=ev.label
+            )
+        elif send is not None:
+            om.recv(node, handles[send], label=ev.label,
+                    time=ev.time, interval=ev.label)
+        else:
+            om.internal(node, label=ev.label, time=ev.time,
+                        interval=ev.label)
+        if ev.label is None:
+            continue
+        remaining[ev.label] -= 1
+        if remaining[ev.label] == 0:
+            for note in om.close(ev.label):
+                verdict = "holds" if note.passed else "fails"
+                print(f"watch {note.name!r} decided at close of "
+                      f"{ev.label!r} (t={note.decided_at}): "
+                      f"{verdict}")
+            iv = om.interval(ev.label)
+            print(f"closed {ev.label!r} ({iv.count} events on "
+                  f"nodes {list(iv.node_set)})")
+            if args.spec and closed:
+                v = om.holds(args.spec, closed[-1], ev.label)
+                print(f"  {args.spec}({closed[-1]}, {ev.label}) "
+                      f"= {v}")
+            closed.append(ev.label)
 
     # zero-copy finalisation from the live table into a full context
     ctx = AnalysisContext(om.to_execution(), backend=args.backend)
@@ -341,6 +384,148 @@ def _cmd_stream(args) -> int:
     print(f"offline clock passes during the run: forward={passes['forward']} "
           f"reverse={passes['reverse']} extend={passes['extend']}")
     print(f"finalisation context backend: {ctx.backend_name}")
+    return 0
+
+
+def _parse_watches(items: list[str]) -> list[tuple[str, str]]:
+    """Parse repeated ``NAME=CONDITION`` watch arguments."""
+    watches: list[tuple[str, str]] = []
+    for item in items:
+        name, _, cond = item.partition("=")
+        if not name or not cond:
+            raise ValueError(f"--watch needs NAME=CONDITION, got {item!r}")
+        watches.append((name, cond))
+    return watches
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` argument."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _print_service_stats(stats: dict) -> None:
+    """One stat line for the service: ingest, queue depths, latency,
+    and the clock-pass proof that ingest stayed streaming."""
+    shards = " ".join(
+        f"s{i}={s['applied']}/{s['queued_peak']}"
+        for i, s in enumerate(stats["shards"])
+    )
+    lat = stats["watch_latency"]
+    passes = stats["clock_passes"]
+    print(f"service[{stats['role']}]: {stats['events_applied']} events, "
+          f"{stats['closes_applied']} closes, "
+          f"{stats['verdicts_emitted']} verdicts, "
+          f"{stats['throttles']} throttles, {stats['parked']} parked | "
+          f"shard applied/peak-depth: {shards} | "
+          f"watch latency: n={lat['count']} avg={lat['avg_ms']:.2f}ms "
+          f"max={lat['max_ms']:.2f}ms | "
+          f"clock passes: forward={passes['forward']} "
+          f"reverse={passes['reverse']} extend={passes['extend']}")
+
+
+def _cmd_serve(args) -> int:
+    """Run the monitoring service until interrupted (or ``--oneshot``).
+
+    With ``--standby HOST:PORT`` the service starts as a warm standby:
+    it tails the primary's replicated log and, when the primary dies,
+    promotes itself — emitting exactly the watch verdicts the primary
+    had not already confirmed — and starts listening.
+    """
+    import asyncio
+
+    from .service import MonitorService
+
+    watches = _parse_watches(args.watch)
+    primary = _parse_hostport(args.standby) if args.standby else None
+
+    async def run() -> None:
+        service = MonitorService(
+            args.nodes,
+            host=args.host,
+            port=args.port,
+            log_path=args.log,
+            num_shards=args.shards,
+            fsync_every=args.fsync_every,
+            throttle_at=args.throttle_at,
+            disconnect_at=args.disconnect_at,
+            watches=tuple(watches),
+            primary=primary,
+        )
+        await service.start()
+        try:
+            if primary is not None:
+                print(f"standby: tailing {primary[0]}:{primary[1]}",
+                      flush=True)
+                await service.wait_primary_loss()
+                verdicts = await service.promote()
+                host, port = service.address
+                print(f"primary lost: promoted, {len(verdicts)} pending "
+                      f"verdict(s) emitted, serving on {host}:{port}",
+                      flush=True)
+            else:
+                host, port = service.address
+                print(f"serving {args.nodes} nodes on {host}:{port}",
+                      flush=True)
+            if args.oneshot:
+                await service.wait_session_end()
+            else:
+                await asyncio.Event().wait()  # until cancelled (ctrl-C)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            _print_service_stats(service.core.stats())
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """Replay a recorded trace into a running service, one shard of
+    the node set per invocation."""
+    from .service import MonitorClient
+    from .service.client import replay_trace
+
+    shard_txt, _, total_txt = args.shard.partition("/")
+    if not shard_txt.isdigit() or not total_txt.isdigit():
+        raise ValueError(f"--shard needs I/N, got {args.shard!r}")
+    shard, num_shards = int(shard_txt), int(total_txt)
+    host, port = _parse_hostport(args.connect)
+    watches = _parse_watches(args.watch)
+    trace = load(args.trace)
+    if watches and not any(
+        ev.label is not None for ev in trace.iter_events()
+    ):
+        print("error: trace has no labelled events, so no interval ever "
+              "closes and no watch can fire", file=sys.stderr)
+        return 2
+
+    with MonitorClient(host, port, num_nodes=trace.num_nodes) as client:
+        for name, cond in watches:
+            client.watch(name, cond)
+        counts = replay_trace(client, trace, shard, num_shards)
+        client.stats()  # barrier: everything sent is ingested
+        expect = args.expect_verdicts
+        if expect is None:
+            expect = len(watches)
+        if expect:
+            client.wait_verdicts(expect)
+        for v in client.verdicts:
+            verdict = "holds" if v["passed"] else "fails"
+            print(f"verdict #{v['watch_seq']} {v['name']!r} "
+                  f"(decided_at={v['decided_at']}): {verdict}")
+        print(f"streamed shard {shard}/{num_shards}: {counts['events']} "
+              f"events, {counts['closes']} closes, "
+              f"{client.throttles} throttle(s)")
+        if args.stats:
+            stats = client.stats()
+            _print_service_stats(stats)
     return 0
 
 
@@ -367,6 +552,8 @@ _COMMANDS = {
     "relations": _cmd_relations,
     "check": _cmd_check,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
     "figures": _cmd_figures,
     "lint": run_lint,
 }

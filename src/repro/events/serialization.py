@@ -27,9 +27,36 @@ from typing import Any
 from .event import Event, EventKind
 from .trace import Message, Trace, TraceError
 
-__all__ = ["trace_to_dict", "trace_from_dict", "dumps", "loads", "save", "load"]
+__all__ = [
+    "MAX_TRACE_BYTES",
+    "PayloadTooLargeError",
+    "SchemaVersionError",
+    "trace_to_dict",
+    "trace_from_dict",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+]
 
 SCHEMA_VERSION = 1
+
+#: Default byte ceiling for :func:`loads` when a limit is requested.
+#: Wire-facing callers (the monitoring service protocol) pass their own
+#: frame budget; the default suits single-trace payloads.
+MAX_TRACE_BYTES = 16 * 1024 * 1024
+
+
+class PayloadTooLargeError(TraceError):
+    """A serialised trace exceeded the caller's byte budget.
+
+    Raised *before* JSON parsing, so oversized (or hostile) payloads
+    are rejected at O(len) cost without materialising anything.
+    """
+
+
+class SchemaVersionError(TraceError):
+    """A trace payload declared an unknown schema version."""
 
 
 def _event_to_dict(ev: Event) -> dict[str, Any]:
@@ -73,7 +100,10 @@ def trace_from_dict(data: dict[str, Any]) -> Trace:
     """
     version = data.get("version")
     if version != SCHEMA_VERSION:
-        raise TraceError(f"unsupported trace schema version: {version!r}")
+        raise SchemaVersionError(
+            f"unsupported trace schema version: {version!r} "
+            f"(this reader speaks version {SCHEMA_VERSION})"
+        )
     try:
         num_nodes = int(data["num_nodes"])
         raw_events: list[list[dict[str, Any]]] = data["events"]
@@ -120,9 +150,45 @@ def dumps(trace: Trace, **json_kwargs: Any) -> str:
     return json.dumps(trace_to_dict(trace), **json_kwargs)
 
 
-def loads(text: str) -> Trace:
-    """Deserialise a trace from a JSON string."""
-    return trace_from_dict(json.loads(text))
+def loads(text: str | bytes, *, max_bytes: int | None = None) -> Trace:
+    """Deserialise a trace from a JSON string.
+
+    Parameters
+    ----------
+    text:
+        The JSON document (``str`` or UTF-8 ``bytes``).
+    max_bytes:
+        Optional size guard: payloads whose encoded size exceeds this
+        many bytes are rejected with :class:`PayloadTooLargeError`
+        *before* parsing.  Pass :data:`MAX_TRACE_BYTES` for the default
+        ceiling; ``None`` (the default) keeps the historical unlimited
+        behaviour for trusted local files.
+
+    Raises
+    ------
+    PayloadTooLargeError
+        If ``max_bytes`` is given and the payload exceeds it.
+    SchemaVersionError
+        If the payload declares an unknown schema version.
+    TraceError
+        If the payload is otherwise malformed (including non-JSON
+        input, which is reported as a malformed payload rather than a
+        bare ``json.JSONDecodeError``).
+    """
+    size = len(text) if isinstance(text, bytes) else len(text.encode("utf-8"))
+    if max_bytes is not None and size > max_bytes:
+        raise PayloadTooLargeError(
+            f"serialised trace is {size} bytes, over the {max_bytes}-byte limit"
+        )
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"malformed trace payload: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TraceError(
+            f"trace payload must be a JSON object, got {type(data).__name__}"
+        )
+    return trace_from_dict(data)
 
 
 def save(trace: Trace, path: str, **json_kwargs: Any) -> None:

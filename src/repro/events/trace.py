@@ -19,7 +19,7 @@ from collections.abc import Iterator, Sequence
 
 from .event import Event, EventId, EventKind
 
-__all__ = ["Message", "Trace", "TraceError"]
+__all__ = ["Message", "Trace", "TraceError", "causal_schedule"]
 
 
 class TraceError(ValueError):
@@ -218,3 +218,41 @@ class Trace:
 def _node_lengths(trace: Trace) -> list[int]:
     """Per-node real event counts (helper shared by clock routines)."""
     return [trace.num_real(i) for i in range(trace.num_nodes)]
+
+
+def causal_schedule(trace: Trace) -> list[tuple[int, Event, EventId | None]]:
+    """A causally valid global replay order for a recorded trace.
+
+    Returns ``(node, event, send_eid)`` triples — exactly what a live
+    monitoring point would observe: per-node program order, every
+    receive after its matching send.  ``send_eid`` is the id of the
+    matching send for receive events, else ``None``.  Shared by the
+    ``stream`` CLI command, the networked monitoring client's trace
+    replay, and the streaming benchmarks.
+
+    Raises
+    ------
+    TraceError
+        If no such order exists (a cycle through the message edges).
+    """
+    order: list[tuple[int, Event, EventId | None]] = []
+    emitted: set[EventId] = set()
+    pos = [0] * trace.num_nodes
+    progressed = True
+    while progressed:
+        progressed = False
+        for node in range(trace.num_nodes):
+            while pos[node] < trace.num_real(node):
+                ev = trace.events_of(node)[pos[node]]
+                send = trace.send_of(ev.eid)
+                if send is not None and send not in emitted:
+                    break  # wait until the matching send is replayed
+                emitted.add(ev.eid)
+                order.append((node, ev, send))
+                pos[node] += 1
+                progressed = True
+    if pos != _node_lengths(trace):
+        raise TraceError(
+            "trace admits no causally valid replay order (message cycle)"
+        )
+    return order

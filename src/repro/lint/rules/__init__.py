@@ -1,5 +1,5 @@
 """Rule modules; importing this package registers every rule."""
 
-from . import dtype, hotpath, shm, versioning
+from . import dtype, hotpath, shm, sockets, versioning
 
-__all__ = ["dtype", "hotpath", "shm", "versioning"]
+__all__ = ["dtype", "hotpath", "shm", "sockets", "versioning"]

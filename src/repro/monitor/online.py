@@ -377,6 +377,18 @@ class OnlineMonitor:
             raise ValueError(f"cannot close empty interval {name!r}")
         iv.closed = True
         iv._finalize()
+        return self.poll_watches()
+
+    def poll_watches(self) -> list[WatchNotification]:
+        """Fire every currently decidable watch.
+
+        Normally driven by :meth:`close`, but callable directly — e.g.
+        when a watch is registered *after* all the intervals it
+        mentions have already closed (the networked service accepts
+        watches at any point in a session).  Decidable watches are
+        batch-evaluated in one NumPy pass and removed; each fires at
+        most once.
+        """
         fired: list[WatchNotification] = []
         remaining: list[tuple[str, Condition]] = []
         decidable: list[tuple[str, Condition]] = []
@@ -407,6 +419,10 @@ class OnlineMonitor:
         if isinstance(condition, str):
             condition = parse_condition(condition)
         self._watches.append((name, condition))
+
+    def watch_names(self) -> tuple[str, ...]:
+        """Names of the watches still pending (not yet fired)."""
+        return tuple(name for name, _ in self._watches)
 
     # ------------------------------------------------------------------
     # past-only relation evaluation

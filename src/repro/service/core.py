@@ -1,0 +1,542 @@
+"""Transport-agnostic ingest state machine for the monitoring service.
+
+:class:`MonitorCore` owns everything about live ingest that is *not*
+networking, so the asyncio front end stays a thin frame router and the
+failover tests can drive the state machine directly:
+
+* **Sharded ingest** — every node has its own FIFO pending queue (a
+  shard groups ``num_nodes / num_shards`` of them for the counters;
+  the default is one shard per node).  Events flow through the
+  wrapped :class:`~repro.monitor.online.OnlineMonitor`, whose clock
+  storage comes from the
+  :func:`~repro.backends.base.make_streaming_table` seam — ingest and
+  finalisation keep the streaming fast path's **zero offline clock
+  passes**.
+* **Causal parking** — a receive arriving before its send (normal
+  under multi-client sharded replay) parks its node's queue; the pump
+  re-sweeps after every application until a fixpoint.  Interval
+  closes carry the *expected* tag count and apply once the count is
+  reached, so any client of a sharded replay may issue them.
+* **The log** — every applied operation is appended (in application
+  order, which makes the log replayable without parking) before its
+  effects are visible to any client; see :mod:`repro.service.log`.
+* **Exactly-once watch notifications** — emitted verdicts get a
+  monotone ``watch_seq`` and are themselves logged; a replica stashes
+  the notifications it derives from replayed closes as *unconfirmed*
+  until the primary's matching verdict record arrives, and
+  :meth:`promote` emits exactly the unconfirmed remainder — no watch
+  is lost, none is duplicated.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..backends.base import clock_pass_counts
+from ..events.event import EventId
+from ..monitor.online import OnlineMonitor
+from .log import EventLog, LogError
+
+__all__ = ["MonitorCore", "ShardCounters"]
+
+_KINDS = ("internal", "send", "recv")
+
+
+@dataclass
+class ShardCounters:
+    """Ingest counters for one shard (a group of node queues)."""
+
+    applied: int = 0
+    queued: int = 0
+    queued_peak: int = 0
+    throttles: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready snapshot for the ``stats`` frame."""
+        return {
+            "applied": self.applied,
+            "queued": self.queued,
+            "queued_peak": self.queued_peak,
+            "throttles": self.throttles,
+        }
+
+
+@dataclass
+class _PendingClose:
+    """A ``close`` op waiting for its interval to reach ``expected``."""
+
+    interval: str
+    expected: int
+    session: int | None
+    submitted_at: float = 0.0
+
+
+class MonitorCore:
+    """Sharded, log-backed, failover-aware wrapper of the online monitor.
+
+    Parameters
+    ----------
+    num_nodes:
+        Width of the monitored system.
+    num_shards:
+        Counter granularity for ingest sharding; defaults to one shard
+        per node (``shard = node % num_shards``).
+    log:
+        The durable :class:`~repro.service.log.EventLog`; ``None``
+        keeps records in memory only (tests, benchmarks) with the same
+        sequencing semantics.
+    role:
+        ``"primary"`` emits watch verdicts as they fire; ``"replica"``
+        stashes them unconfirmed until the primary's verdict records
+        arrive (see :meth:`promote`).
+    clock:
+        Monotonic time source (injectable for tests); used for the
+        watch-latency counters only.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        num_shards: int | None = None,
+        log: EventLog | None = None,
+        role: str = "primary",
+        clock=time.monotonic,
+    ) -> None:
+        if role not in ("primary", "replica"):
+            raise ValueError(f"unknown role: {role!r}")
+        self.num_nodes = num_nodes
+        self.num_shards = (
+            num_nodes if num_shards is None else max(1, min(num_shards, num_nodes))
+        )
+        self.role = role
+        self._clock = clock
+        self._monitor = OnlineMonitor(num_nodes)
+        self._handles: dict[EventId, Any] = {}
+        self._queues: list[deque] = [deque() for _ in range(num_nodes)]
+        self._pending_closes: list[_PendingClose] = []
+        self._pending_by_session: dict[int, int] = {}
+        self.shards = [ShardCounters() for _ in range(self.num_shards)]
+        self._log = log
+        self._mem_records: list[dict[str, Any]] = []
+        self._mem_next_seq = 1
+        self._replayed_last_seq = 0
+        self.throttles = 0
+        self._watch_seq = 0
+        self._emitted: set[str] = set()
+        self._unconfirmed: dict[str, dict[str, Any]] = {}
+        self._closes_applied = 0
+        self._watch_count = 0
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        # the pass counters are process-global; report deltas since
+        # this core came up (other code in the process may run offline
+        # analyses of its own)
+        self._passes_at_start = dict(clock_pass_counts())
+        if log is not None and not log.records:
+            self._append({"op": "init", "num_nodes": num_nodes})
+        elif log is None:
+            self._append({"op": "init", "num_nodes": num_nodes})
+
+    # ------------------------------------------------------------------
+    # construction from a replicated log
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: list[dict[str, Any]],
+        *,
+        log: EventLog | None = None,
+        role: str = "primary",
+        num_shards: int | None = None,
+    ) -> "MonitorCore":
+        """Rebuild the full monitor state by replaying log records.
+
+        ``records`` is typically :func:`~repro.service.log.read_records`
+        output (or :attr:`EventLog.records` of a freshly opened log —
+        pass that same log as ``log`` and the replay will not
+        re-append).  The returned core resumes at the records' last
+        sequence number; when ``role`` is ``"primary"`` (promotion from
+        a dead primary's replicated log), watches that were decidable
+        but have no logged verdict are re-derived and will be emitted
+        by the first :meth:`promote` call.
+        """
+        if not records:
+            raise LogError("cannot rebuild from an empty record list")
+        head = records[0]
+        if head.get("op") != "init" or "num_nodes" not in head:
+            raise LogError("log must start with an init record")
+        core = cls(
+            int(head["num_nodes"]),
+            num_shards=num_shards,
+            log=None,
+            role="replica",
+        )
+        core._mem_records.clear()  # drop the fresh init; replay the real one
+        for rec in records:
+            core._replay(rec)
+        core._mem_records = list(records)
+        core._mem_next_seq = core._replayed_last_seq + 1
+        core._log = log
+        if role == "primary":
+            core.role = "primary"
+        return core
+
+    # ------------------------------------------------------------------
+    # record plumbing
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> int:
+        """Durably record one applied operation; returns its seq."""
+        if self._log is not None:
+            return self._log.append(record)
+        seq = record.get("seq")
+        if seq is None:
+            record = {"seq": self._mem_next_seq, **record}
+        self._mem_records.append(record)
+        self._mem_next_seq = record["seq"] + 1
+        return record["seq"]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent record."""
+        if self._log is not None:
+            return self._log.last_seq
+        return self._mem_next_seq - 1
+
+    def records_from(self, seq: int) -> list[dict[str, Any]]:
+        """Records with sequence number strictly greater than ``seq``
+        (replication catch-up reads)."""
+        if self._log is not None:
+            return self._log.records_from(seq)
+        return [r for r in self._mem_records if r["seq"] > seq]
+
+    # ------------------------------------------------------------------
+    # submission (live clients)
+    # ------------------------------------------------------------------
+    def _validate_event(self, rec: dict[str, Any]) -> dict[str, Any]:
+        node = rec.get("node")
+        if not isinstance(node, int) or not (0 <= node < self.num_nodes):
+            raise ValueError(f"event names no such node: {node!r}")
+        kind = rec.get("kind", "internal")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown event kind: {kind!r}")
+        out: dict[str, Any] = {"node": node, "kind": kind}
+        for key in ("label", "interval"):
+            val = rec.get(key)
+            if val is not None and not isinstance(val, str):
+                raise ValueError(f"event {key} must be a string")
+            if val is not None:
+                out[key] = val
+        t = rec.get("time")
+        if t is not None:
+            if not isinstance(t, (int, float)) or isinstance(t, bool):
+                raise ValueError("event time must be a number")
+            out["time"] = float(t)
+        if kind == "recv":
+            send = rec.get("send")
+            if (
+                not isinstance(send, (list, tuple))
+                or len(send) != 2
+                or not all(isinstance(v, int) for v in send)
+            ):
+                raise ValueError("recv events need send=[node, index]")
+            s_node, s_idx = send
+            if not (0 <= s_node < self.num_nodes) or s_idx < 1:
+                raise ValueError(f"recv references no such send: {send!r}")
+            out["send"] = [s_node, s_idx]
+        elif rec.get("send") is not None:
+            raise ValueError("only recv events carry a send reference")
+        return out
+
+    def submit_event(
+        self, rec: dict[str, Any], session: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Enqueue one event frame; returns any verdicts that fired.
+
+        The event is validated, queued on its node's shard, and the
+        pump applies everything that became applicable (this event,
+        parked receives it unblocked, deferred closes it completed).
+        """
+        rec = self._validate_event(rec)
+        node = rec["node"]
+        shard = self.shards[node % self.num_shards]
+        self._queues[node].append((rec, session))
+        shard.queued += 1
+        shard.queued_peak = max(shard.queued_peak, shard.queued)
+        if session is not None:
+            self._pending_by_session[session] = (
+                self._pending_by_session.get(session, 0) + 1
+            )
+        return self._pump()
+
+    def submit_close(
+        self, interval: str, expected: int, session: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Declare an interval complete at ``expected`` tagged events.
+
+        The close applies (fires watches, is logged) as soon as the
+        interval's tag count reaches ``expected`` — immediately if it
+        already has.
+        """
+        if not isinstance(interval, str) or not interval:
+            raise ValueError("close needs a non-empty interval name")
+        if not isinstance(expected, int) or expected < 1:
+            raise ValueError("close needs expected >= 1")
+        self._pending_closes.append(
+            _PendingClose(interval, expected, session, self._clock())
+        )
+        if session is not None:
+            self._pending_by_session[session] = (
+                self._pending_by_session.get(session, 0) + 1
+            )
+        return self._pump()
+
+    def submit_watch(
+        self, name: str, condition: str, session: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Register a watch; fires immediately if already decidable."""
+        if not isinstance(name, str) or not name:
+            raise ValueError("watch needs a non-empty name")
+        if name in self._emitted or name in self._monitor.watch_names():
+            raise ValueError(f"watch {name!r} already registered")
+        self._monitor.watch(name, condition)  # parse errors propagate
+        self._watch_count += 1
+        self._append({"op": "watch", "name": name, "condition": condition})
+        notes = self._monitor.poll_watches()
+        return self._handle_notifications(notes, submitted_at=self._clock())
+
+    def pending(self, session: int | None = None) -> int:
+        """Unapplied (parked) operations — of one session, or total."""
+        if session is not None:
+            return self._pending_by_session.get(session, 0)
+        return sum(len(q) for q in self._queues) + len(self._pending_closes)
+
+    def session_gone(self, session: int) -> None:
+        """Forget per-session accounting after a disconnect."""
+        self._pending_by_session.pop(session, None)
+
+    # ------------------------------------------------------------------
+    # the pump
+    # ------------------------------------------------------------------
+    def _applicable(self, rec: dict[str, Any]) -> bool:
+        if rec["kind"] != "recv":
+            return True
+        return tuple(rec["send"]) in self._handles
+
+    def _apply_event(self, rec: dict[str, Any]) -> None:
+        """Feed one validated event into the monitor (no logging here:
+        the pump logs live submissions; replay must not re-log)."""
+        node, kind = rec["node"], rec["kind"]
+        label = rec.get("label")
+        t = rec.get("time")
+        tag = rec.get("interval")
+        if kind == "send":
+            handle = self._monitor.send(node, label=label, time=t, interval=tag)
+            self._handles[handle.send] = handle
+        elif kind == "recv":
+            handle = self._handles[tuple(rec["send"])]
+            self._monitor.recv(node, handle, label=label, time=t, interval=tag)
+        else:
+            self._monitor.internal(node, label=label, time=t, interval=tag)
+
+    def _settle(self, session: int | None) -> None:
+        if session is not None and session in self._pending_by_session:
+            left = self._pending_by_session[session] - 1
+            if left <= 0:
+                del self._pending_by_session[session]
+            else:
+                self._pending_by_session[session] = left
+
+    def _pump(self) -> list[dict[str, Any]]:
+        """Apply every applicable queued op until a fixpoint; returns
+        the verdict notifications emitted along the way."""
+        out: list[dict[str, Any]] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for node, queue in enumerate(self._queues):
+                shard = self.shards[node % self.num_shards]
+                while queue and self._applicable(queue[0][0]):
+                    rec, session = queue.popleft()
+                    self._apply_event(rec)
+                    self._append({"op": "event", **rec})
+                    shard.queued -= 1
+                    shard.applied += 1
+                    self._settle(session)
+                    progressed = True
+            still: list[_PendingClose] = []
+            for close in self._pending_closes:
+                iv = self._monitor.interval(close.interval)
+                if iv.closed:
+                    self._settle(close.session)
+                    progressed = True
+                    continue  # duplicate close; first one won
+                if iv.count >= close.expected:
+                    notes = self._monitor.close(close.interval)
+                    self._closes_applied += 1
+                    self._append({
+                        "op": "close",
+                        "interval": close.interval,
+                        "expected": close.expected,
+                    })
+                    out.extend(
+                        self._handle_notifications(
+                            notes, submitted_at=close.submitted_at
+                        )
+                    )
+                    self._settle(close.session)
+                    progressed = True
+                else:
+                    still.append(close)
+            self._pending_closes = still
+        return out
+
+    # ------------------------------------------------------------------
+    # watch emission / replication / failover
+    # ------------------------------------------------------------------
+    def _handle_notifications(
+        self, notes, submitted_at: float
+    ) -> list[dict[str, Any]]:
+        """Route fired watches: emit (primary) or stash (replica)."""
+        out: list[dict[str, Any]] = []
+        for note in notes:
+            if note.name in self._emitted:
+                continue
+            verdict = {
+                "op": "verdict",
+                "name": note.name,
+                "passed": note.passed,
+                "decided_at": note.decided_at,
+            }
+            if self.role == "primary":
+                out.append(self._emit(verdict, submitted_at))
+            else:
+                self._unconfirmed.setdefault(note.name, verdict)
+        return out
+
+    def _emit(
+        self, verdict: dict[str, Any], submitted_at: float | None
+    ) -> dict[str, Any]:
+        self._watch_seq += 1
+        verdict = {**verdict, "watch_seq": self._watch_seq}
+        self._emitted.add(verdict["name"])
+        self._append(verdict)
+        if submitted_at is not None:
+            lat = max(self._clock() - submitted_at, 0.0)
+            self._latency_count += 1
+            self._latency_total += lat
+            self._latency_max = max(self._latency_max, lat)
+        return verdict
+
+    def _replay(self, rec: dict[str, Any]) -> None:
+        """Apply one already-sequenced record without re-logging."""
+        op = rec.get("op")
+        if op == "init":
+            if int(rec["num_nodes"]) != self.num_nodes:
+                raise LogError(
+                    f"init record num_nodes={rec['num_nodes']} does not "
+                    f"match core width {self.num_nodes}"
+                )
+        elif op == "event":
+            body = self._validate_event(rec)
+            if not self._applicable(body):
+                raise LogError(
+                    f"record seq={rec.get('seq')}: receive precedes its "
+                    "send in the log (corrupt replication order)"
+                )
+            self._apply_event(body)
+            self.shards[body["node"] % self.num_shards].applied += 1
+        elif op == "close":
+            notes = self._monitor.close(rec["interval"])
+            self._closes_applied += 1
+            self._handle_notifications(notes, submitted_at=self._clock())
+        elif op == "watch":
+            self._monitor.watch(rec["name"], rec["condition"])
+            self._watch_count += 1
+            notes = self._monitor.poll_watches()
+            self._handle_notifications(notes, submitted_at=self._clock())
+        elif op == "verdict":
+            name = rec["name"]
+            self._emitted.add(name)
+            self._unconfirmed.pop(name, None)
+            self._watch_seq = max(self._watch_seq, int(rec["watch_seq"]))
+        else:
+            raise LogError(f"unknown log op: {op!r}")
+        if "seq" in rec:
+            self._replayed_last_seq = int(rec["seq"])
+
+    def apply_record(self, rec: dict[str, Any]) -> None:
+        """Standby path: durably append one replicated record, then
+        apply it.  Records must arrive in sequence order."""
+        self._append(dict(rec))
+        self._replay(rec)
+
+    def promote(self) -> list[dict[str, Any]]:
+        """Become primary; emit the unconfirmed watch remainder.
+
+        Returns the verdicts for every watch that had fired on the
+        (dead) primary's behalf but whose emission was never confirmed
+        by a replicated verdict record — plus nothing else, which is
+        the exactly-once guarantee: already-confirmed watches stay in
+        ``emitted`` and are never re-announced.
+        """
+        self.role = "primary"
+        out = []
+        for verdict in list(self._unconfirmed.values()):
+            out.append(self._emit(verdict, submitted_at=None))
+        self._unconfirmed.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def monitor(self) -> OnlineMonitor:
+        """The wrapped online monitor (finalisation, offline hand-off)."""
+        return self._monitor
+
+    @property
+    def watch_seq(self) -> int:
+        """Highest emitted watch sequence number."""
+        return self._watch_seq
+
+    def note_throttle(self, node: int | None = None) -> None:
+        """Count one throttle frame (against a node's shard if known)."""
+        self.throttles += 1
+        if node is not None:
+            self.shards[node % self.num_shards].throttles += 1
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready counters for the ``stats`` frame and CLI line."""
+        passes = {
+            key: count - self._passes_at_start.get(key, 0)
+            for key, count in clock_pass_counts().items()
+        }
+        lat = {
+            "count": self._latency_count,
+            "avg_ms": (
+                self._latency_total / self._latency_count * 1e3
+                if self._latency_count
+                else 0.0
+            ),
+            "max_ms": self._latency_max * 1e3,
+        }
+        return {
+            "role": self.role,
+            "num_nodes": self.num_nodes,
+            "num_shards": self.num_shards,
+            "events_applied": sum(s.applied for s in self.shards),
+            "closes_applied": self._closes_applied,
+            "watches_registered": self._watch_count,
+            "verdicts_emitted": self._watch_seq,
+            "throttles": self.throttles,
+            "parked": self.pending(),
+            "last_seq": self.last_seq,
+            "shards": [s.as_dict() for s in self.shards],
+            "watch_latency": lat,
+            "clock_passes": dict(passes),
+        }

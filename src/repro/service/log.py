@@ -1,0 +1,176 @@
+"""Append-only replicated event log.
+
+Every operation the primary :class:`~repro.service.server.MonitorService`
+accepts — events, interval closes, watch registrations, and emitted
+verdicts — is appended here as one JSON line before its effects are
+visible to any client.  The log is:
+
+* **append-only** — records carry a strictly increasing ``seq``;
+* **fsync-batched** — one ``fsync`` per ``fsync_every`` appends (plus
+  on :meth:`~EventLog.sync`/:meth:`~EventLog.close`), amortising
+  durability cost across the ingest batch;
+* **replayable** — :func:`read_records` tolerates a trailing partial
+  line (a crash mid-write loses at most the unsynced suffix, never the
+  parseable prefix), and
+  :meth:`repro.service.core.MonitorCore.from_records` rebuilds the
+  whole monitor state from it;
+* **replicated** — a warm-standby service tails the primary's appends
+  over the wire (``replicate`` frames) into its own ``EventLog``, so
+  promotion starts from local durable state.
+
+Record shapes (all carry ``seq`` and ``op``):
+
+=========== ========================================================
+``init``     ``num_nodes`` — first record of every log
+``event``    ``node``, ``kind``, ``label``, ``time``, ``interval``,
+             ``send`` (recvs only: ``[node, index]`` of the send)
+``close``    ``interval``, ``expected``
+``watch``    ``name``, ``condition``
+``verdict``  ``watch_seq``, ``name``, ``passed``, ``decided_at`` —
+             appended when a notification is *emitted*; its presence
+             is what makes failover exactly-once (a promoted standby
+             re-emits only watches with no logged verdict)
+=========== ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = ["EventLog", "LogError", "read_records"]
+
+
+class LogError(ValueError):
+    """Raised when a log file or record sequence is invalid."""
+
+
+def read_records(path: str) -> list[dict[str, Any]]:
+    """Read every complete record of a log file.
+
+    A trailing partial line (crash mid-append) is ignored; a corrupt
+    line *followed by* further records raises :class:`LogError`, since
+    that indicates real damage rather than a torn tail.
+    """
+    records: list[dict[str, Any]] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    lines = raw.split(b"\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            trailing = all(not later.strip() for later in lines[i + 1 :])
+            if trailing:
+                break  # torn tail from a crash mid-write; safe to drop
+            raise LogError(
+                f"{path}: corrupt record at line {i + 1}: {exc}"
+            ) from exc
+        if not isinstance(rec, dict) or "seq" not in rec or "op" not in rec:
+            raise LogError(f"{path}: malformed record at line {i + 1}")
+        records.append(rec)
+    for prev, cur in zip(records, records[1:]):
+        if cur["seq"] != prev["seq"] + 1:
+            raise LogError(
+                f"{path}: sequence gap {prev['seq']} -> {cur['seq']}"
+            )
+    return records
+
+
+class EventLog:
+    """One append-only, fsync-batched log file.
+
+    Parameters
+    ----------
+    path:
+        File to append to.  Existing complete records are loaded (and
+        kept in memory for replication catch-up); appending resumes at
+        the next sequence number.
+    fsync_every:
+        Batch size for durability: an ``fsync`` is issued every this
+        many appends.  ``0`` disables fsync entirely (tests,
+        throwaway logs).
+    """
+
+    def __init__(self, path: str, *, fsync_every: int = 64) -> None:
+        self.path = path
+        self.fsync_every = fsync_every
+        self._records = read_records(path)
+        self._next_seq = self._records[-1]["seq"] + 1 if self._records else 1
+        self._unsynced = 0
+        self._fh = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> int:
+        """Append one record; assigns and returns its ``seq``.
+
+        If the record already carries a ``seq`` (replication apply), it
+        must be exactly the next expected one.
+        """
+        seq = record.get("seq")
+        if seq is None:
+            record = {"seq": self._next_seq, **record}
+        elif seq != self._next_seq:
+            raise LogError(
+                f"out-of-order append: got seq {seq}, expected {self._next_seq}"
+            )
+        self._fh.write(
+            json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        self._records.append(record)
+        self._next_seq += 1
+        self._unsynced += 1
+        if self.fsync_every and self._unsynced >= self.fsync_every:
+            self.sync()
+        return record["seq"]
+
+    def sync(self) -> None:
+        """Flush buffered appends and fsync to disk."""
+        self._fh.flush()
+        if self.fsync_every:
+            os.fsync(self._fh.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Sync and close the file (idempotent)."""
+        if not self._fh.closed:
+            self.sync()
+            self._fh.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent record (0 when empty)."""
+        return self._next_seq - 1
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        """All records, oldest first (live list — do not mutate)."""
+        return self._records
+
+    def records_from(self, seq: int) -> list[dict[str, Any]]:
+        """Records with sequence number strictly greater than ``seq``."""
+        if not self._records or seq >= self._next_seq - 1:
+            return []
+        # records are dense (seq i lives at index i - first_seq)
+        first = self._records[0]["seq"]
+        start = max(seq + 1 - first, 0)
+        return self._records[start:]
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventLog({self.path!r}, last_seq={self.last_seq})"

@@ -1,0 +1,201 @@
+"""Wire protocol for the live monitoring service.
+
+Frames are length-prefixed newline-JSON: one ASCII decimal byte count,
+a newline, the UTF-8 JSON body, a trailing newline::
+
+    38
+    {"type":"event","node":0,"kind":"send"}
+
+The length prefix lets both sides reject oversized frames *before*
+buffering or parsing them (the same discipline
+:func:`repro.events.serialization.loads` applies to whole-trace
+payloads via its ``max_bytes`` guard), and the trailing newline keeps
+captures greppable and the protocol debuggable with ``nc``.
+
+Every frame is a JSON object with a ``type`` field.  Client → server:
+
+========== ==========================================================
+``hello``   open a session: ``version``, ``role`` (``client`` /
+            ``replica``), and for replicas ``resume_seq`` (last log
+            sequence number already held)
+``event``   one observed event: ``node``, ``kind`` (``internal`` /
+            ``send`` / ``recv``), optional ``label``/``time``/
+            ``interval`` tag, and for receives ``send`` = the
+            ``[node, index]`` id of the matching send
+``close``   declare an interval complete: ``interval`` plus
+            ``expected`` — the total number of events that will have
+            been tagged into it; the server defers the close until
+            the count is reached (so any client of a sharded replay
+            may issue it)
+``watch``   register a watch: ``name``, ``condition`` (textual
+            condition syntax of :mod:`repro.monitor.predicates`)
+``stats``   request a counters snapshot
+``bye``     end the session cleanly
+========== ==========================================================
+
+Server → client:
+
+============ ========================================================
+``welcome``   session accepted: ``version``, ``session``,
+              ``num_nodes``, ``role``
+``verdict``   a watch fired: ``watch_seq`` (monotone), ``name``,
+              ``passed``, ``decided_at``
+``throttle``  backpressure warning: ``queued``, ``limit`` — slow or
+              causally-stalled sessions get one of these when their
+              unapplied backlog crosses the soft limit; crossing the
+              hard limit closes the connection with an ``error``
+``stats``     counters snapshot (see
+              :meth:`repro.service.core.MonitorCore.stats`)
+``error``     terminal failure: ``code``, ``message``
+``replicate`` one replicated log record: ``record`` (replica
+              sessions only)
+``bye``       session closed
+============ ========================================================
+
+:class:`FrameDecoder` is the incremental byte-stream decoder used by
+the blocking client; :func:`read_frame_async` is the asyncio-side
+reader.  Both enforce :data:`MAX_FRAME_BYTES` (configurable) and raise
+typed errors so the server can answer garbage with an ``error`` frame
+instead of dying.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "FrameTooLargeError",
+    "ProtocolError",
+    "encode_frame",
+    "error_frame",
+    "read_frame_async",
+]
+
+#: Protocol schema version; ``hello``/``welcome`` carry it and peers
+#: reject mismatches rather than guessing.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame byte ceiling.  Single events are tiny; the cap
+#: bounds a hostile or broken peer's memory cost per frame.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Longest accepted length-prefix line ("1048576" is 7 chars; allow
+#: slack for the newline and future caps).
+_MAX_HEADER_BYTES = 16
+
+
+class ProtocolError(ValueError):
+    """The byte stream violates the framing or frame schema."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame's declared length exceeds the configured ceiling."""
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """Serialise one frame: ``b"<len>\\n<json>\\n"``."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    return b"%d\n%s\n" % (len(body), body)
+
+
+def error_frame(code: str, message: str) -> dict[str, Any]:
+    """A terminal ``error`` frame."""
+    return {"type": "error", "code": code, "message": message}
+
+
+def _parse_body(body: bytes) -> dict[str, Any]:
+    """Decode and validate one frame body."""
+    try:
+        frame = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict) or not isinstance(frame.get("type"), str):
+        raise ProtocolError("frame must be a JSON object with a 'type' field")
+    return frame
+
+
+def _parse_header(line: bytes, max_frame_bytes: int) -> int:
+    """Parse one length-prefix line into a validated byte count."""
+    text = line.strip()
+    if not text.isdigit():
+        raise ProtocolError(f"bad frame length prefix: {text[:32]!r}")
+    length = int(text)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return length
+
+
+class FrameDecoder:
+    """Incremental decoder for the blocking-socket side.
+
+    Feed raw chunks with :meth:`feed`; complete frames come back in
+    arrival order.  Enforces the frame-size ceiling at the header, so
+    an oversized frame costs at most one header line of buffering.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = bytearray()
+        self._need: int | None = None  # body bytes awaited (incl. newline)
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Consume a chunk; return every frame it completed."""
+        self._buf.extend(data)
+        frames: list[dict[str, Any]] = []
+        while True:
+            if self._need is None:
+                nl = self._buf.find(b"\n")
+                if nl < 0:
+                    if len(self._buf) > _MAX_HEADER_BYTES:
+                        raise ProtocolError("frame length prefix too long")
+                    return frames
+                header = bytes(self._buf[:nl])
+                del self._buf[: nl + 1]
+                self._need = _parse_header(header, self.max_frame_bytes) + 1
+            if len(self._buf) < self._need:
+                return frames
+            body = bytes(self._buf[: self._need - 1])
+            del self._buf[: self._need]
+            self._need = None
+            frames.append(_parse_body(body))
+
+
+async def read_frame_async(
+    reader: Any, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on clean EOF at a frame boundary.  The size
+    ceiling is enforced from the header before the body is awaited.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed framing, truncated frames, or invalid bodies.
+    FrameTooLargeError
+        If the declared length exceeds ``max_frame_bytes``.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-header") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("frame length prefix too long") from exc
+    if len(header) > _MAX_HEADER_BYTES:
+        raise ProtocolError("frame length prefix too long")
+    length = _parse_header(header, max_frame_bytes)
+    try:
+        body = await reader.readexactly(length + 1)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _parse_body(body[:-1])

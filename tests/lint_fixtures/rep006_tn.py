@@ -1,0 +1,41 @@
+# repro: service-sockets
+"""True negatives for REP006: every acquisition path guarantees close."""
+
+import asyncio
+import socket
+
+
+async def published_listener(handler):
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    try:
+        return server
+    except BaseException:
+        server.close()
+        raise
+
+
+def with_ownership(host, port):
+    with socket.create_connection((host, port)) as sock:
+        sock.sendall(b"hello")
+
+
+def shielded_connect(host, port):
+    sock = None
+    try:
+        sock = socket.create_connection((host, port))
+        sock.sendall(b"hello")
+    finally:
+        if sock is not None:
+            sock.close()
+
+
+async def tail_connection(host, port):
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return None
+    try:
+        return await reader.read(1)
+    finally:
+        writer.close()
+        await writer.wait_closed()

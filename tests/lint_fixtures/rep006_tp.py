@@ -1,0 +1,36 @@
+# repro: service-sockets
+"""True positives for REP006: leak-prone socket/server acquisition."""
+
+import asyncio
+import socket
+
+
+async def naked_listener(handler):
+    # REP006: an exception before the server is published leaks it
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server
+
+
+def naked_connect(host, port):
+    # REP006: create_connection outside any with/try shield
+    sock = socket.create_connection((host, port))
+    sock.sendall(b"hello")
+    return sock
+
+
+def try_without_close(host, port):
+    try:
+        # REP006: the handler re-raises but never closes the socket
+        sock = socket.create_connection((host, port))
+        return sock
+    except OSError:
+        raise
+
+
+async def connect_in_handler(host, port):
+    try:
+        pass
+    except OSError:
+        # REP006: acquisition in a handler is past the try's shield
+        reader, writer = await asyncio.open_connection(host, port)
+        return reader, writer

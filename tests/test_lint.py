@@ -13,7 +13,7 @@ from repro.lint import RULES, Baseline, partition, run_file, run_paths
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
 
 
 def codes_in(path: Path) -> list:

@@ -6,6 +6,9 @@ import pytest
 from hypothesis import given, settings
 
 from repro.events.serialization import (
+    MAX_TRACE_BYTES,
+    PayloadTooLargeError,
+    SchemaVersionError,
     dumps,
     load,
     loads,
@@ -107,3 +110,53 @@ class TestMalformedInput:
         assert data["version"] == 1
         assert data["num_nodes"] == 2
         assert len(data["events"]) == 2
+
+
+class TestLoadsGuard:
+    """The wire-facing ``loads`` guard: size ceiling + typed errors."""
+
+    def test_round_trip_under_limit(self):
+        tr = random_trace(3, events_per_node=6, msg_prob=0.4, seed=9)
+        text = dumps(tr)
+        assert loads(text, max_bytes=len(text)) == tr
+        assert loads(text, max_bytes=MAX_TRACE_BYTES) == tr
+
+    def test_oversized_payload_rejected_before_parsing(self):
+        tr = random_trace(2, events_per_node=4, seed=3)
+        text = dumps(tr)
+        with pytest.raises(PayloadTooLargeError, match="byte"):
+            loads(text, max_bytes=len(text) - 1)
+        # even syntactically invalid JSON is rejected at the size gate,
+        # proving the check runs before the parser
+        with pytest.raises(PayloadTooLargeError):
+            loads("{" * 100, max_bytes=10)
+
+    def test_size_counts_encoded_bytes_for_str(self):
+        # one multi-byte character: 1 code point, 3 UTF-8 bytes
+        payload = '"€"'
+        with pytest.raises(PayloadTooLargeError):
+            loads(payload, max_bytes=len(payload))  # 3 < 5 bytes
+
+    def test_bytes_input_round_trip(self):
+        tr = random_trace(2, events_per_node=5, msg_prob=0.5, seed=7)
+        raw = dumps(tr).encode("utf-8")
+        assert loads(raw, max_bytes=len(raw)) == tr
+
+    def test_schema_version_typed_error(self):
+        with pytest.raises(SchemaVersionError, match="version"):
+            loads('{"version": 99}')
+
+    def test_malformed_json_is_trace_error(self):
+        with pytest.raises(TraceError, match="malformed"):
+            loads("{not json")
+
+    def test_non_object_payload_is_trace_error(self):
+        with pytest.raises(TraceError, match="JSON object"):
+            loads("[1, 2, 3]")
+        with pytest.raises(TraceError, match="JSON object"):
+            loads("42")
+
+    def test_typed_errors_are_trace_errors(self):
+        # callers may catch the broad TraceError and still distinguish
+        assert issubclass(PayloadTooLargeError, TraceError)
+        assert issubclass(SchemaVersionError, TraceError)
