@@ -301,13 +301,19 @@ class MonitorCore:
         """Register a watch; fires immediately if already decidable."""
         if not isinstance(name, str) or not name:
             raise ValueError("watch needs a non-empty name")
-        if name in self._emitted or name in self._monitor.watch_names():
+        if self.has_watch(name):
             raise ValueError(f"watch {name!r} already registered")
         self._monitor.watch(name, condition)  # parse errors propagate
         self._watch_count += 1
         self._append({"op": "watch", "name": name, "condition": condition})
         notes = self._monitor.poll_watches()
         return self._handle_notifications(notes, submitted_at=self._clock())
+
+    def has_watch(self, name: str) -> bool:
+        """Whether ``name`` is already registered (or already decided);
+        lets a restarted service skip re-submitting startup watches that
+        the resumed log replayed."""
+        return name in self._emitted or name in self._monitor.watch_names()
 
     def pending(self, session: int | None = None) -> int:
         """Unapplied (parked) operations — of one session, or total."""

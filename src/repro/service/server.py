@@ -27,8 +27,10 @@ record from its ``resume_seq`` on as ``replicate`` frames — catch-up
 from the in-memory log tail, then live pushes as records append.  A
 *standby* service is a ``MonitorService`` constructed with
 ``primary=(host, port)``: its :meth:`start` tails the primary instead
-of listening, and :meth:`promote` (after primary death) emits the
-unconfirmed watch remainder and opens its own listener.
+of listening (retrying an unreachable primary with backoff — loss is
+only reported once an established stream dies), and :meth:`promote`
+(after primary death) emits the unconfirmed watch remainder and opens
+its own listener.
 
 :class:`ServiceHandle` runs a service on a dedicated thread + event
 loop for synchronous callers (tests, benchmarks, the CLI client side).
@@ -116,17 +118,36 @@ class MonitorService:
         if core is None:
             if num_nodes is None:
                 raise ValueError("need num_nodes (or a prebuilt core)")
+            role = "replica" if primary is not None else "primary"
             log = (
                 EventLog(log_path, fsync_every=fsync_every)
                 if log_path
                 else None
             )
-            core = MonitorCore(
-                num_nodes,
-                num_shards=num_shards,
-                log=log,
-                role="replica" if primary is not None else "primary",
-            )
+            if log is not None and log.records:
+                # restart over an existing log: replaying it is the only
+                # way the core's handles/intervals/emitted-watch state
+                # matches the sequence numbers the log resumes at
+                try:
+                    core = MonitorCore.from_records(
+                        log.records,
+                        log=log,
+                        role=role,
+                        num_shards=num_shards,
+                    )
+                    if core.num_nodes != num_nodes:
+                        raise ValueError(
+                            f"log {log_path!r} was recorded for "
+                            f"{core.num_nodes} nodes, service asked for "
+                            f"{num_nodes}"
+                        )
+                except BaseException:
+                    log.close()
+                    raise
+            else:
+                core = MonitorCore(
+                    num_nodes, num_shards=num_shards, log=log, role=role
+                )
         self.core = core
         self.host = host
         self.port = port
@@ -158,10 +179,18 @@ class MonitorService:
         """Start serving (primary) or tailing the primary (standby)."""
         self._session_ended = asyncio.Event()
         for name, cond in self._startup_watches:
+            if self.core.has_watch(name):
+                continue  # already registered in the resumed log
             self.core.submit_watch(name, cond)
         if self.primary is not None:
             self._tail_task = asyncio.ensure_future(self._tail_primary())
             return
+        # a core rebuilt from a log may hold verdicts that fired during
+        # replay but were never durably emitted (the old primary died
+        # between a close and its verdict record); emit them before any
+        # client connects so the log regains its exactly-once invariant
+        for verdict in self.core.promote():
+            self._broadcast_verdict(verdict)
         await self._listen()
 
     async def _listen(self) -> None:
@@ -223,6 +252,24 @@ class MonitorService:
     # ------------------------------------------------------------------
     # session plumbing
     # ------------------------------------------------------------------
+    def _cut_session(self, sess: _Session, frame: dict[str, Any] | None) -> None:
+        """Terminate a session from the push side without assuming the
+        outbound queue has capacity: the parting ``error`` frame and the
+        writer sentinel are enqueued only if they fit; a queue too full
+        even for the sentinel gets its writer task cancelled instead
+        (the writer's ``finally`` closes the transport either way)."""
+        if sess.closed:
+            return
+        sess.closed = True
+        if frame is not None:
+            with contextlib.suppress(asyncio.QueueFull):
+                sess.queue.put_nowait(frame)
+        try:
+            sess.queue.put_nowait(None)  # writer task: drain and close
+        except asyncio.QueueFull:
+            if sess.task is not None:
+                sess.task.cancel()
+
     def _push(self, sess: _Session, frame: dict[str, Any]) -> None:
         """Enqueue one outbound frame, applying push-pressure rules."""
         if sess.closed:
@@ -230,12 +277,9 @@ class MonitorService:
         depth = sess.queue.qsize()
         if depth >= self.disconnect_at - 1:
             # the peer has stopped reading: cut it off rather than buffer
-            sess.closed = True
-            with contextlib.suppress(asyncio.QueueFull):
-                sess.queue.put_nowait(
-                    error_frame("slow-consumer", "outbound queue overflow")
-                )
-            sess.queue.put_nowait(None)  # writer task: drain and close
+            self._cut_session(
+                sess, error_frame("slow-consumer", "outbound queue overflow")
+            )
             return
         if depth >= self.throttle_at and not sess.throttled:
             sess.throttled = True
@@ -294,8 +338,10 @@ class MonitorService:
         self._sessions.pop(sess.sid, None)
         self.core.session_gone(sess.sid)
         if sess.task is not None and not sess.task.done():
-            with contextlib.suppress(asyncio.QueueFull):
+            try:
                 sess.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                sess.task.cancel()
             with contextlib.suppress(Exception):
                 await asyncio.wait_for(sess.task, timeout=1.0)
         if sess.role == "client" and self._session_ended is not None:
@@ -421,13 +467,11 @@ class MonitorService:
     def _check_ingest_pressure(self, sess: _Session, frame: dict) -> None:
         backlog = self.core.pending(sess.sid)
         if backlog > self.disconnect_at:
-            self._push(sess, error_frame(
+            self._cut_session(sess, error_frame(
                 "backlog",
                 f"unapplied backlog {backlog} exceeds {self.disconnect_at}; "
                 "stream causally (sends before their receives)",
             ))
-            sess.closed = True
-            sess.queue.put_nowait(None)
         elif backlog > self.throttle_at and not sess.throttled:
             sess.throttled = True
             self.core.note_throttle(frame.get("node"))
@@ -443,42 +487,65 @@ class MonitorService:
     # replication tailing (standby side)
     # ------------------------------------------------------------------
     async def _tail_primary(self) -> None:
+        """Replicate from the primary; returns only once an *established*
+        stream is lost.  A primary that is unreachable (not up yet,
+        refused, transient network error) or that vanishes mid-handshake
+        is retried with backoff — :meth:`wait_primary_loss` resolving
+        means replication genuinely ran and then died, never that a
+        standby simply started first."""
         assert self.primary is not None
         host, port = self.primary
-        try:
-            reader, writer = await asyncio.open_connection(host, port)
-        except OSError:
-            return  # primary unreachable; stay warm, await promote()
-        try:
-            writer.write(encode_frame({
-                "type": "hello",
-                "version": PROTOCOL_VERSION,
-                "role": "replica",
-                "num_nodes": self.core.num_nodes,
-                "resume_seq": self.core.last_seq,
-            }))
-            await writer.drain()
-            welcome = await read_frame_async(reader, self.max_frame_bytes)
-            if welcome is None or welcome.get("type") != "welcome":
-                raise ProtocolError(
-                    f"primary rejected replication: {welcome!r}"
-                )
-            while True:
-                frame = await read_frame_async(reader, self.max_frame_bytes)
-                if frame is None:
-                    return  # primary gone; stay warm, await promote()
-                if frame.get("type") == "replicate":
-                    self.core.apply_record(frame["record"])
-                elif frame.get("type") == "error":
-                    raise ProtocolError(
-                        f"primary error: {frame.get('message')}"
-                    )
-        except ConnectionError:
-            return  # primary gone; stay warm, await promote()
-        finally:
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
+        backoff = 0.05
+        while True:
+            established = False
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 2.0)
+                continue
+            try:
+                writer.write(encode_frame({
+                    "type": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "role": "replica",
+                    "num_nodes": self.core.num_nodes,
+                    "resume_seq": self.core.last_seq,
+                }))
+                await writer.drain()
+                welcome = await read_frame_async(reader, self.max_frame_bytes)
+                if welcome is not None:
+                    if welcome.get("type") != "welcome":
+                        # an explicit rejection (version/num-nodes/role
+                        # mismatch) is terminal misconfiguration, not a
+                        # transient outage: propagate rather than retry
+                        raise ProtocolError(
+                            f"primary rejected replication: {welcome!r}"
+                        )
+                    established = True
+                    backoff = 0.05
+                    while True:
+                        frame = await read_frame_async(
+                            reader, self.max_frame_bytes
+                        )
+                        if frame is None:
+                            return  # stream lost; promotion may proceed
+                        if frame.get("type") == "replicate":
+                            self.core.apply_record(frame["record"])
+                        elif frame.get("type") == "error":
+                            raise ProtocolError(
+                                f"primary error: {frame.get('message')}"
+                            )
+            except ConnectionError:
+                if established:
+                    return  # stream lost; promotion may proceed
+                # connection died mid-handshake: treat as unreachable
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, 2.0)
 
 
 class ServiceHandle:

@@ -17,7 +17,10 @@ clock passes during ingest.
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import dataclasses
+import socket
 import threading
 import time
 
@@ -417,6 +420,201 @@ class TestLiveService:
         assert stats["events_applied"] == trace.total_events
         expected = _offline_verdicts(trace, watches, "vector")
         assert {(n, p) for n, p, _ in live} == expected
+
+
+class TestPushPressureUnit:
+    def test_slow_consumer_cutoff_spares_other_sessions(self):
+        """A session whose outbound queue is completely full must be
+        cut off in place — never raise ``QueueFull`` out of the verdict
+        broadcast into the submitting session's loop."""
+        from repro.service.server import _Session
+
+        class _NullWriter:
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                pass
+
+            def close(self):
+                pass
+
+            async def wait_closed(self):
+                pass
+
+        async def scenario():
+            service = MonitorService(
+                num_nodes=1, throttle_at=2, disconnect_at=4
+            )
+            slow = _Session(1, "client", _NullWriter(), maxsize=4)
+            slow.task = asyncio.get_running_loop().create_task(
+                asyncio.sleep(3600)
+            )
+            healthy = _Session(2, "client", _NullWriter(), maxsize=4)
+            service._sessions = {1: slow, 2: healthy}
+            while not slow.queue.full():  # peer stopped reading entirely
+                slow.queue.put_nowait({"type": "noise"})
+            service._broadcast_verdict(
+                {"watch_seq": 1, "name": "w", "passed": True, "decided_at": 0}
+            )
+            # the slow session is closed and its writer cancelled (the
+            # sentinel could not fit), the healthy one got the verdict
+            assert slow.closed
+            with contextlib.suppress(asyncio.CancelledError):
+                await slow.task
+            assert slow.task.cancelled()
+            assert not healthy.closed
+            assert healthy.queue.qsize() == 1
+
+        asyncio.run(scenario())
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServiceRestart:
+    def test_restart_resumes_monitor_state_from_log(self, tmp_path):
+        """Restarting over a non-empty log must replay it: old sends
+        stay known, watch registrations survive, and the sequence and
+        watch-seq numbering continue instead of resetting."""
+        path = str(tmp_path / "log.jsonl")
+        watches = (("w", "R1(X, Y)"),)
+        first = _serve(
+            num_nodes=2, log_path=path, fsync_every=0, watches=watches
+        )
+        host, port = first.address
+        with MonitorClient(host, port, num_nodes=2) as client:
+            client.send_event(0, "send", interval="X")
+            client.close_interval("X", expected=1)
+            stats = client.stats()  # applied barrier before the restart
+            assert stats["verdicts_emitted"] == 0
+        first.stop()
+
+        second = _serve(
+            num_nodes=2, log_path=path, fsync_every=0, watches=watches
+        )
+        try:
+            host, port = second.address
+            with MonitorClient(host, port, num_nodes=2) as client:
+                # the pre-restart send is known: its receive applies now
+                client.send_event(1, "recv", send=[0, 1], interval="Y")
+                client.close_interval("Y", expected=1)
+                verdicts = client.wait_verdicts(1)
+                stats = client.stats()
+            assert [(v["name"], v["watch_seq"]) for v in verdicts] == [
+                ("w", 1)
+            ]
+            assert stats["parked"] == 0
+            assert stats["events_applied"] == 2  # one replayed + one live
+        finally:
+            second.stop()
+        # one continuous record sequence across both incarnations
+        records = read_records(path)
+        assert [r["seq"] for r in records] == list(
+            range(1, len(records) + 1)
+        )
+        assert sum(r["op"] == "verdict" for r in records) == 1
+        assert sum(r["op"] == "watch" for r in records) == 1
+
+    def test_restart_rejects_num_nodes_mismatch(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        _serve(num_nodes=2, log_path=path, fsync_every=0).stop()
+        with pytest.raises(ValueError, match="nodes"):
+            _serve(num_nodes=3, log_path=path, fsync_every=0)
+
+    def test_restart_emits_verdict_lost_in_crash(self, tmp_path):
+        """If the old primary died between applying a close and logging
+        its verdict, the restarted service emits (and logs) that verdict
+        before accepting connections."""
+        core = MonitorCore(1)
+        core.submit_watch("w", "R4(X, X)")
+        core.submit_event(_ev(0, interval="X"))
+        core.submit_close("X", expected=1)
+        path = str(tmp_path / "log.jsonl")
+        with EventLog(path, fsync_every=0) as log:
+            for rec in core.records_from(0):
+                if rec["op"] != "verdict":
+                    log.append(rec)
+
+        handle = _serve(num_nodes=1, log_path=path, fsync_every=0)
+        try:
+            assert handle.stats()["verdicts_emitted"] == 1
+        finally:
+            handle.stop()
+        records = read_records(path)
+        assert [
+            (r["name"], r["watch_seq"])
+            for r in records
+            if r["op"] == "verdict"
+        ] == [("w", 1)]
+
+
+class TestStandbyRetry:
+    def test_standby_started_before_primary_stays_warm(self, tmp_path):
+        """A standby whose primary is not up yet must retry — primary
+        loss (and with it auto-promotion) may only trigger after an
+        established replication stream dies."""
+        port = _free_port()
+
+        def loss_pending(handle) -> bool:
+            async def probe(service):
+                try:
+                    await asyncio.wait_for(
+                        service.wait_primary_loss(), timeout=0.4
+                    )
+                except asyncio.TimeoutError:
+                    return True
+                return False
+
+            return handle.call(probe)
+
+        standby = _serve(
+            num_nodes=1,
+            log_path=str(tmp_path / "standby.jsonl"),
+            fsync_every=0,
+            primary=("127.0.0.1", port),
+        )
+        primary = None
+        try:
+            # nothing is listening yet: refused connects must not count
+            assert loss_pending(standby)
+            primary = _serve(
+                num_nodes=1,
+                log_path=str(tmp_path / "primary.jsonl"),
+                fsync_every=0,
+                port=port,
+            )
+            host, bound = primary.address
+            with MonitorClient(host, bound, num_nodes=1) as client:
+                client.watch("w", "R4(X, X)")
+                client.send_event(0, interval="X")
+                client.close_interval("X", expected=1)
+                client.wait_verdicts(1)
+                client.stats()  # barrier: replication flushed
+            target = primary.stats()["last_seq"]
+            deadline = 200
+            while standby.stats()["last_seq"] < target:
+                deadline -= 1
+                assert deadline, "standby never caught up"
+                time.sleep(0.05)
+            primary.stop()
+
+            async def wait_loss(service):
+                await asyncio.wait_for(service.wait_primary_loss(), 5.0)
+
+            standby.call(wait_loss)
+            assert standby.promote() == []  # verdict was confirmed
+            stats = standby.stats()
+            assert stats["role"] == "primary"
+            assert stats["events_applied"] == 1
+            assert stats["verdicts_emitted"] == 1
+        finally:
+            if primary is not None:
+                primary.stop()
+            standby.stop()
 
 
 def _offline_verdicts(trace, watches, backend) -> set[tuple[str, bool]]:
