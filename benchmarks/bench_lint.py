@@ -1,0 +1,93 @@
+"""Wall-clock smoke for the linter: the project phase must stay cheap.
+
+The whole-program phase (symbol index + call graph + REP007-REP009)
+runs in CI on every push, so its cost is a tax on every contributor.
+This benchmark times both phases over the real ``src`` tree and fails
+if the project pass blows its budget — catching an accidentally
+quadratic resolution step before it lands.
+
+Usage::
+
+    python benchmarks/bench_lint.py           # 3 repeats, best-of
+    python benchmarks/bench_lint.py --quick   # 1 repeat (CI smoke)
+    python benchmarks/bench_lint.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Seconds allowed for one full run over ``src`` (generous: the
+#: measured pass is well under 2s on a cold 1-core container).
+PROJECT_BUDGET_S = 20.0
+PER_FILE_BUDGET_S = 10.0
+
+
+def _time_pass(paths: list[Path], *, project: bool, repeats: int) -> tuple[float, int]:
+    from repro.lint import run_paths
+
+    best = float("inf")
+    count = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        findings = run_paths(paths, project=project)
+        best = min(best, time.perf_counter() - t0)
+        count = len(findings)
+    return best, count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="single repeat (CI smoke)"
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write timings to a JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    src = REPO / "src"
+    repeats = 1 if args.quick else 3
+
+    per_file_s, per_file_n = _time_pass([src], project=False, repeats=repeats)
+    project_s, project_n = _time_pass([src], project=True, repeats=repeats)
+    graph_s = project_s - per_file_s
+
+    report = {
+        "repeats": repeats,
+        "per_file_s": round(per_file_s, 4),
+        "project_s": round(project_s, 4),
+        "graph_overhead_s": round(graph_s, 4),
+        "per_file_findings": per_file_n,
+        "project_findings": project_n,
+        "per_file_budget_s": PER_FILE_BUDGET_S,
+        "project_budget_s": PROJECT_BUDGET_S,
+    }
+    print(
+        f"lint per-file pass: {per_file_s:.3f}s  "
+        f"(+graph {graph_s:.3f}s -> project {project_s:.3f}s, "
+        f"budget {PROJECT_BUDGET_S:.0f}s)"
+    )
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+    ok = per_file_s <= PER_FILE_BUDGET_S and project_s <= PROJECT_BUDGET_S
+    if not ok:
+        print(
+            f"FAIL: lint pass over budget "
+            f"(per-file {per_file_s:.2f}s/{PER_FILE_BUDGET_S:.0f}s, "
+            f"project {project_s:.2f}s/{PROJECT_BUDGET_S:.0f}s)",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,8 @@ MODULES = [
     "repro.monitor.online",
     "repro.service", "repro.service.protocol", "repro.service.log",
     "repro.service.core", "repro.service.server", "repro.service.client",
+    "repro.lint", "repro.lint.engine", "repro.lint.project",
+    "repro.lint.baseline", "repro.lint.cli",
     "repro.globalstates", "repro.globalstates.lattice",
     "repro.globalstates.detection", "repro.globalstates.observations",
     "repro.realtime", "repro.realtime.timing", "repro.realtime.constraints",

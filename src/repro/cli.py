@@ -442,6 +442,10 @@ def _cmd_serve(args) -> int:
     primary = _parse_hostport(args.standby) if args.standby else None
 
     async def run() -> None:
+        # The constructor's log open/replay completes before any client
+        # can connect, so blocking here stalls nobody; steady-state
+        # appends are executor-offloaded (MonitorService._flush_log).
+        # repro-lint: disable=REP007 -- startup-only blocking is harmless
         service = MonitorService(
             args.nodes,
             host=args.host,

@@ -2,19 +2,26 @@
 
 Output is one ``path:line:col: RULE message`` line per finding (the
 ruff/flake8 convention, so editors and CI annotators parse it for
-free).  Exit status: 0 when every finding is grandfathered by the
+free), or a JSON document with ``--format=json`` for machine
+consumers.  Exit status: 0 when every finding is grandfathered by the
 baseline (or there are none), 1 when new findings exist, 2 on usage
 errors.
+
+``--project`` enables the second, whole-program analysis phase
+(REP007-REP009); ``--no-project`` forces it off so scripts can pin the
+behaviour regardless of future defaults.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .baseline import Baseline, partition
-from .engine import RULES, run_paths
+from .engine import RULES, Finding, run_paths
+from .project import PROJECT_RULES
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
 
@@ -22,6 +29,7 @@ DEFAULT_BASELINE = Path("lint-baseline.json")
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's flags to ``parser``."""
     parser.add_argument(
         "paths",
         nargs="*",
@@ -47,6 +55,25 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="rewrite the baseline to grandfather all current findings",
     )
     parser.add_argument(
+        "--project",
+        dest="project",
+        action="store_true",
+        default=False,
+        help="also run the whole-program phase (call-graph rules REP007+)",
+    )
+    parser.add_argument(
+        "--no-project",
+        dest="project",
+        action="store_false",
+        help="run only the per-file rules (the default, stated explicitly)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule registry and exit",
@@ -68,15 +95,59 @@ def _resolve_baseline_path(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _all_rules() -> dict[str, object]:
+    merged: dict[str, object] = dict(RULES)
+    merged.update(PROJECT_RULES)
+    return merged
+
+
+def _finding_dict(f: Finding) -> dict[str, object]:
+    return {
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "rule": f.rule,
+        "message": f.message,
+        "severity": f.severity,
+    }
+
+
+def _emit_json(
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[tuple[str, str, str]],
+) -> None:
+    doc = {
+        "findings": [_finding_dict(f) for f in new],
+        "grandfathered": len(grandfathered),
+        "stale_baseline_entries": [list(key) for key in stale],
+        "counts": _rule_counts(new),
+    }
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def _rule_counts(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; return the exit code."""
     # Rule modules self-register on import (run_paths triggers it), but
     # --list-rules must see them without a run.
     from . import rules as _rules  # noqa: F401
 
+    registry = _all_rules()
     if args.list_rules:
-        for code in sorted(RULES):
-            entry = RULES[code]
-            print(f"{code} [{entry.severity}] {entry.name}: {entry.description}")
+        for code in sorted(registry):
+            entry = registry[code]
+            phase = " (project)" if code in PROJECT_RULES else ""
+            print(
+                f"{code} [{entry.severity}] {entry.name}{phase}: "  # type: ignore[attr-defined]
+                f"{entry.description}"  # type: ignore[attr-defined]
+            )
         return 0
 
     paths: list[Path] = list(args.paths) if args.paths else [Path("src")]
@@ -86,7 +157,7 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"error: no such path: {p}", file=sys.stderr)
         return 2
 
-    findings = run_paths(paths)
+    findings = run_paths(paths, project=args.project)
 
     baseline_path = _resolve_baseline_path(args)
     baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
@@ -101,6 +172,10 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
 
     new, grandfathered, stale = partition(findings, baseline)
+    if args.format == "json":
+        _emit_json(new, grandfathered, stale)
+        return 1 if new else 0
+
     for f in new:
         print(f.render())
     if grandfathered:
@@ -115,12 +190,10 @@ def run_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.statistics and new:
-        counts: dict = {}
-        for f in new:
-            counts[f.rule] = counts.get(f.rule, 0) + 1
         print("--")
-        for code in sorted(counts):
-            print(f"{counts[code]:5d}  {code}  {RULES[code].name}")
+        for code, count in _rule_counts(new).items():
+            name = getattr(registry.get(code), "name", code)
+            print(f"{count:5d}  {code}  {name}")
     if new:
         noun = "finding" if len(new) == 1 else "findings"
         print(f"{len(new)} {noun}", file=sys.stderr)
@@ -129,9 +202,10 @@ def run_lint(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="project-specific static analysis (REP001-REP005)",
+        description="project-specific static analysis (REP001-REP009)",
     )
     add_lint_arguments(parser)
     args = parser.parse_args(argv)

@@ -48,7 +48,9 @@ __all__ = [
     "RULES",
     "rule",
     "iter_python_files",
+    "parse_file",
     "run_file",
+    "run_file_rules",
     "run_paths",
 ]
 
@@ -221,33 +223,39 @@ def _display_path(path: Path, root: Path | None) -> str:
         return path.as_posix()
 
 
-def run_file(path: Path, root: Path | None = None) -> list[Finding]:
-    """Run every registered rule over one file."""
+def parse_file(
+    path: Path, root: Path | None = None
+) -> tuple[FileContext | None, Finding | None]:
+    """Phase-one parse: return ``(context, None)`` or ``(None, finding)``.
+
+    A file that cannot be read or parsed yields a single ``PARSE``
+    finding and is excluded from both rule phases.
+    """
+    display = _display_path(path, root)
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
-        display = _display_path(path, root)
-        return [
-            Finding(display, 1, 1, "PARSE", f"unreadable file: {exc}", "error")
-        ]
-    display = _display_path(path, root)
+        return None, Finding(display, 1, 1, "PARSE", f"unreadable file: {exc}", "error")
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        return [
-            Finding(
-                display,
-                exc.lineno or 1,
-                (exc.offset or 1),
-                "PARSE",
-                f"syntax error: {exc.msg}",
-                "error",
-            )
-        ]
+        return None, Finding(
+            display,
+            exc.lineno or 1,
+            (exc.offset or 1),
+            "PARSE",
+            f"syntax error: {exc.msg}",
+            "error",
+        )
     tags, suppressions = _scan_comments(source)
     ctx = FileContext(
         path=display, source=source, tree=tree, tags=tags, suppressions=suppressions
     )
+    return ctx, None
+
+
+def run_file_rules(ctx: FileContext) -> list[Finding]:
+    """Run every registered per-file rule over one parsed context."""
     findings: list[Finding] = []
     for entry in RULES.values():
         if entry.requires_tag is not None and entry.requires_tag not in ctx.tags:
@@ -265,6 +273,14 @@ def run_file(path: Path, root: Path | None = None) -> list[Finding]:
             )
     findings.sort()
     return findings
+
+
+def run_file(path: Path, root: Path | None = None) -> list[Finding]:
+    """Run every registered per-file rule over one file."""
+    ctx, parse_finding = parse_file(path, root)
+    if ctx is None:
+        return [parse_finding] if parse_finding is not None else []
+    return run_file_rules(ctx)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -287,13 +303,35 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield c
 
 
-def run_paths(paths: Iterable[Path], root: Path | None = None) -> list[Finding]:
-    """Run all rules over every python file reachable from ``paths``."""
+def run_paths(
+    paths: Iterable[Path],
+    root: Path | None = None,
+    *,
+    project: bool = False,
+) -> list[Finding]:
+    """Run all rules over every python file reachable from ``paths``.
+
+    With ``project=True`` a second, whole-program phase runs after the
+    per-file rules: every successfully parsed file is indexed into a
+    :class:`~repro.lint.project.ProjectContext` (symbol table + call
+    graph) and the registered project rules (REP007+) run over it.
+    """
     # Import for side effect: rule modules self-register on import.
     from . import rules as _rules  # noqa: F401
 
     findings: list[Finding] = []
+    contexts: list[FileContext] = []
     for path in iter_python_files(paths):
-        findings.extend(run_file(path, root))
+        ctx, parse_finding = parse_file(path, root)
+        if ctx is None:
+            if parse_finding is not None:
+                findings.append(parse_finding)
+            continue
+        contexts.append(ctx)
+        findings.extend(run_file_rules(ctx))
+    if project:
+        from .project import run_project
+
+        findings.extend(run_project(contexts))
     findings.sort()
     return findings

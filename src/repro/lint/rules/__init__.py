@@ -1,5 +1,28 @@
-"""Rule modules; importing this package registers every rule."""
+"""Rule modules; importing this package registers every rule.
 
-from . import dtype, hotpath, shm, sockets, versioning
+Per-file rules (REP001-REP006) register into
+:data:`repro.lint.engine.RULES`; project rules (REP007-REP009) into
+:data:`repro.lint.project.PROJECT_RULES`.
+"""
 
-__all__ = ["dtype", "hotpath", "shm", "sockets", "versioning"]
+from . import (
+    asyncblocking,
+    dtype,
+    frameprotocol,
+    hotpath,
+    shm,
+    sockets,
+    tasklifecycle,
+    versioning,
+)
+
+__all__ = [
+    "asyncblocking",
+    "dtype",
+    "frameprotocol",
+    "hotpath",
+    "shm",
+    "sockets",
+    "tasklifecycle",
+    "versioning",
+]

@@ -1,0 +1,192 @@
+"""REP009 — frame-protocol consistency across the service modules.
+
+The wire protocol is a set of JSON frames distinguished by their
+``"type"`` field.  The sender and the dispatcher live in *different*
+files (client constructs ``{"type": "event", ...}``; the server's
+session loop compares ``frame.get("type") == "event"``), so a typo'd
+or orphaned frame type is exactly the class of bug no per-file rule
+can see: both sides parse, both sides run, and the frame is silently
+dropped at runtime.
+
+This rule collects, across every module in the *protocol group*:
+
+* **constructed** types — ``dict`` literals containing a literal
+  ``"type"`` key with a string value;
+* **dispatched** types — string literals compared (``==``/``!=``/
+  ``in``/``not in``/``match``) against a *type expression*:
+  ``x.get("type")``, ``x["type"]``, or a name assigned from one in the
+  same scope.
+
+and flags the symmetric difference: a type that is constructed but
+never dispatched on (dead frame — silently dropped by every receiver)
+and a type that is dispatched on but never constructed (dead handler —
+or a sender typo).
+
+The protocol group is every module under ``src/repro/service/`` plus
+any module tagged ``# repro: frame-protocol``.  The rule is silent
+when the group has fewer than two modules: judging protocol symmetry
+requires seeing both sides, so linting a single file in isolation
+must not produce noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext
+from ..project import ProjectContext, project_rule
+
+_TAG = "frame-protocol"
+
+#: (ctx, node) anchor lists per frame type.
+_Sites = dict[str, list[tuple[FileContext, ast.AST]]]
+
+
+def _in_group(ctx: FileContext) -> bool:
+    return "/service/" in ctx.path.replace("\\", "/") or _TAG in ctx.tags
+
+
+def _is_type_expr(node: ast.AST) -> bool:
+    """``x.get("type")`` or ``x["type"]``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "type"
+    ):
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == "type"
+    ):
+        return True
+    return False
+
+
+def _type_names(tree: ast.AST) -> set[str]:
+    """Names assigned from a type expression anywhere in the module.
+
+    Scoping is deliberately coarse (module-wide name set): frame
+    dispatchers are short functions and a false *handled* entry only
+    ever silences a finding, never invents one.
+    """
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_type_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        elif isinstance(node, ast.NamedExpr) and _is_type_expr(node.value):
+            if isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+    return out
+
+
+def _collect_constructed(ctx: FileContext, sites: _Sites) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                sites.setdefault(value.value, []).append((ctx, node))
+
+
+def _collect_dispatched(ctx: FileContext, sites: _Sites) -> None:
+    names = _type_names(ctx.tree)
+
+    def is_selector(node: ast.AST) -> bool:
+        return _is_type_expr(node) or (
+            isinstance(node, ast.Name) and node.id in names
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left, op, right = node.left, node.ops[0], node.comparators[0]
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                for selector, literal in ((left, right), (right, left)):
+                    if (
+                        is_selector(selector)
+                        and isinstance(literal, ast.Constant)
+                        and isinstance(literal.value, str)
+                    ):
+                        sites.setdefault(literal.value, []).append((ctx, node))
+            elif isinstance(op, (ast.In, ast.NotIn)) and is_selector(left):
+                if isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in right.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            sites.setdefault(elt.value, []).append((ctx, node))
+        elif isinstance(node, ast.Match) and is_selector(node.subject):
+            for case in node.cases:
+                pattern = case.pattern
+                if isinstance(pattern, ast.MatchValue) and isinstance(
+                    pattern.value, ast.Constant
+                ):
+                    if isinstance(pattern.value.value, str):
+                        sites.setdefault(pattern.value.value, []).append(
+                            (ctx, node)
+                        )
+
+
+def _anchor(sites: list[tuple[FileContext, ast.AST]]) -> tuple[FileContext, ast.AST]:
+    return min(
+        sites,
+        key=lambda s: (
+            s[0].path,
+            getattr(s[1], "lineno", 1),
+            getattr(s[1], "col_offset", 0),
+        ),
+    )
+
+
+@project_rule(
+    "REP009",
+    "frame-protocol-consistency",
+    severity="error",
+    description=(
+        "every frame type constructed in the service protocol group must "
+        "have a dispatch handler somewhere in the group, and vice versa"
+    ),
+)
+def check_frame_protocol(
+    project: ProjectContext,
+) -> Iterator[tuple[FileContext, object, str]]:
+    group = [
+        project.modules[name].ctx
+        for name in sorted(project.modules)
+        if _in_group(project.modules[name].ctx)
+    ]
+    if len(group) < 2:
+        return
+    constructed: _Sites = {}
+    dispatched: _Sites = {}
+    for ctx in group:
+        _collect_constructed(ctx, constructed)
+        _collect_dispatched(ctx, dispatched)
+    for ftype in sorted(set(constructed) - set(dispatched)):
+        ctx, node = _anchor(constructed[ftype])
+        yield (
+            ctx,
+            node,
+            f"frame type {ftype!r} is constructed here but no module in "
+            "the protocol group dispatches on it; the frame is silently "
+            "dropped by every receiver",
+        )
+    for ftype in sorted(set(dispatched) - set(constructed)):
+        ctx, node = _anchor(dispatched[ftype])
+        yield (
+            ctx,
+            node,
+            f"handler dispatches on frame type {ftype!r} but no module in "
+            "the protocol group constructs it; dead handler or sender typo",
+        )

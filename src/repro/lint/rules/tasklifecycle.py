@@ -1,0 +1,188 @@
+"""REP008 — spawned task handles must be kept and settled.
+
+``asyncio.create_task`` / ``asyncio.ensure_future`` return a handle
+that is the *only* place the task's exception can surface.  A handle
+that is discarded (bare expression statement) or stored but never
+awaited, cancelled, or handed onward is a task whose failure vanishes
+— the service keeps running with a dead pump and nobody is told.  It
+is also vulnerable to premature garbage collection: the event loop
+holds only a weak reference to scheduled tasks.
+
+Checked shapes:
+
+* ``create_task(...)`` as a bare expression statement → flagged.
+* ``name = create_task(...)`` → the name must be *consumed* somewhere
+  in the same function: awaited, ``.cancel()``-ed,
+  ``.add_done_callback()``-ed, passed to a call (``gather``,
+  ``wait_for``, list building), returned/yielded, or stored onward.
+* ``self.attr = create_task(...)`` → the attribute name must be
+  consumed the same way somewhere in the project (the owner often
+  cancels in another method or module).
+
+Tasks spawned through ``asyncio.TaskGroup`` (``tg.create_task`` where
+``tg`` is bound by ``async with asyncio.TaskGroup()``) are exempt: the
+group awaits its children structurally.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext
+from ..project import FunctionInfo, ProjectContext, project_rule
+
+_SPAWN_EXTERNALS = {"asyncio.create_task", "asyncio.ensure_future"}
+_SPAWN_ATTRS = {"create_task", "ensure_future"}
+_SETTLE_ATTRS = {"cancel", "add_done_callback"}
+
+
+def _taskgroup_vars(fn: FunctionInfo) -> set[str]:
+    """Names bound by ``async with asyncio.TaskGroup() as tg``."""
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.AsyncWith):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            is_group = (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "TaskGroup"
+            )
+            if is_group and isinstance(item.optional_vars, ast.Name):
+                out.add(item.optional_vars.id)
+    return out
+
+
+def _spawn_sites(fn: FunctionInfo) -> Iterator[ast.Call]:
+    groups = _taskgroup_vars(fn)
+    for site in fn.calls:
+        if any(c in _SPAWN_EXTERNALS for c in site.callees):
+            yield site.node
+            continue
+        func = site.node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SPAWN_ATTRS
+            and not site.callees
+            and not (isinstance(func.value, ast.Name) and func.value.id in groups)
+        ):
+            # unresolved receiver (loop.create_task, tg outside groups)
+            yield site.node
+
+
+def _name_consumed(fn: FunctionInfo, ctx: FileContext, name: str) -> bool:
+    """Does any *load* of ``name`` in the function settle the task?"""
+    for node in ast.walk(fn.node):
+        if not (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            continue
+        if _consuming_use(ctx, node):
+            return True
+    return False
+
+
+def _consuming_use(ctx: FileContext, node: ast.AST) -> bool:
+    """True when this use awaits, settles, or hands the value onward."""
+    parent = ctx.parents.get(node)
+    # receiver of t.cancel() / t.add_done_callback(...)
+    if (
+        isinstance(parent, ast.Attribute)
+        and parent.value is node
+        and parent.attr in _SETTLE_ATTRS
+        and isinstance(ctx.parents.get(parent), ast.Call)
+    ):
+        return True
+    cur: ast.AST | None = node
+    while cur is not None:
+        up = ctx.parents.get(cur)
+        if isinstance(up, (ast.Await, ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(up, ast.Call) and cur is not up.func:
+            return True  # passed as an argument (gather, wait_for, append)
+        if isinstance(up, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+            value = getattr(up, "value", None)
+            if value is not None and any(sub is node for sub in ast.walk(value)):
+                return True  # stored onward
+            return False
+        if isinstance(up, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            return False
+        cur = up
+    return False
+
+
+def _attr_consumed(project: ProjectContext, attr: str) -> bool:
+    """Is ``<anything>.attr`` settled anywhere in the project?"""
+    for name in sorted(project.modules):
+        ctx = project.modules[name].ctx
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Attribute) and node.attr == attr
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            if _consuming_use(ctx, node):
+                return True
+    return False
+
+
+@project_rule(
+    "REP008",
+    "task-lifecycle",
+    severity="error",
+    description=(
+        "asyncio.create_task/ensure_future handles must be stored and later "
+        "awaited, cancelled, or handed onward; a discarded task loses its "
+        "exception and may be garbage-collected mid-flight"
+    ),
+)
+def check_task_lifecycle(
+    project: ProjectContext,
+) -> Iterator[tuple[FileContext, object, str]]:
+    for fn in project.iter_functions():
+        for call in _spawn_sites(fn):
+            parent = fn.ctx.parents.get(call)
+            # unwrap `name = await create_task(...)`-style oddities
+            if isinstance(parent, ast.Await):
+                continue  # awaited immediately: settled
+            if isinstance(parent, ast.Expr):
+                yield (
+                    fn.ctx,
+                    call,
+                    "task handle is discarded; store it and await or "
+                    "cancel it (or use asyncio.TaskGroup) so its "
+                    "exception cannot vanish",
+                )
+                continue
+            if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    parent.targets
+                    if isinstance(parent, ast.Assign)
+                    else [parent.target]
+                )
+                if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                    name = targets[0].id
+                    if not _name_consumed(fn, fn.ctx, name):
+                        yield (
+                            fn.ctx,
+                            call,
+                            f"task handle {name!r} is stored but never "
+                            "awaited, cancelled, or handed onward in "
+                            f"{fn.qualname.rsplit('.', 1)[-1]}()",
+                        )
+                    continue
+                if len(targets) == 1 and isinstance(targets[0], ast.Attribute):
+                    attr = targets[0].attr
+                    if not _attr_consumed(project, attr):
+                        yield (
+                            fn.ctx,
+                            call,
+                            f"task handle stored on .{attr} is never "
+                            "awaited, cancelled, or handed onward "
+                            "anywhere in the project",
+                        )
+                    continue
+            # any other context (call argument, return, container
+            # literal) hands the handle onward — fine.

@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from typing import Any
 
 from ..backends.base import clock_pass_counts
 from ..events.event import EventId
-from ..monitor.online import OnlineMonitor
+from ..monitor.online import OnlineMonitor, WatchNotification
 from .log import EventLog, LogError
 
 __all__ = ["MonitorCore", "ShardCounters"]
@@ -104,7 +105,7 @@ class MonitorCore:
         num_shards: int | None = None,
         log: EventLog | None = None,
         role: str = "primary",
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if role not in ("primary", "replica"):
             raise ValueError(f"unknown role: {role!r}")
@@ -213,6 +214,23 @@ class MonitorCore:
         if self._log is not None:
             return self._log.records_from(seq)
         return [r for r in self._mem_records if r["seq"] > seq]
+
+    @property
+    def log_needs_sync(self) -> bool:
+        """Whether the backing log has a full unsynced batch pending."""
+        return self._log is not None and self._log.needs_sync
+
+    def flush_log(self) -> None:
+        """Fsync batched appends.  Blocking: event-loop owners must run
+        this in an executor (``MonitorService._flush_log`` does)."""
+        if self._log is not None:
+            self._log.sync()
+
+    def close_log(self) -> None:
+        """Sync and close the backing log (idempotent).  Blocking, like
+        :meth:`flush_log`."""
+        if self._log is not None:
+            self._log.close()
 
     # ------------------------------------------------------------------
     # submission (live clients)
@@ -405,7 +423,7 @@ class MonitorCore:
     # watch emission / replication / failover
     # ------------------------------------------------------------------
     def _handle_notifications(
-        self, notes, submitted_at: float
+        self, notes: Iterable[WatchNotification], submitted_at: float
     ) -> list[dict[str, Any]]:
         """Route fired watches: emit (primary) or stash (replica)."""
         out: list[dict[str, Any]] = []

@@ -6,9 +6,13 @@ verdicts — is appended here as one JSON line before its effects are
 visible to any client.  The log is:
 
 * **append-only** — records carry a strictly increasing ``seq``;
-* **fsync-batched** — one ``fsync`` per ``fsync_every`` appends (plus
-  on :meth:`~EventLog.sync`/:meth:`~EventLog.close`), amortising
-  durability cost across the ingest batch;
+* **fsync-batched** — appends only buffer and count; the *owner*
+  issues one ``fsync`` per ``fsync_every`` appends by polling
+  :attr:`~EventLog.needs_sync` and calling :meth:`~EventLog.sync`
+  (from a worker thread when the owner is an event loop), plus on
+  :meth:`~EventLog.close` — amortising durability cost across the
+  ingest batch while keeping the blocking syscall out of every
+  coroutine's call graph;
 * **replayable** — :func:`read_records` tolerates a trailing partial
   line (a crash mid-write loses at most the unsynced suffix, never the
   parseable prefix), and
@@ -113,6 +117,13 @@ class EventLog:
 
         If the record already carries a ``seq`` (replication apply), it
         must be exactly the next expected one.
+
+        ``append`` never blocks on durability: it only buffers the
+        write and counts it.  The *owner* watches :attr:`needs_sync`
+        and calls :meth:`sync` — from a worker thread when the owner is
+        an event loop (see ``MonitorService._flush_log``), inline
+        otherwise.  This keeps the fsync out of every coroutine's call
+        graph instead of burying it ``fsync_every`` appends deep.
         """
         seq = record.get("seq")
         if seq is None:
@@ -127,16 +138,25 @@ class EventLog:
         self._records.append(record)
         self._next_seq += 1
         self._unsynced += 1
-        if self.fsync_every and self._unsynced >= self.fsync_every:
-            self.sync()
         return record["seq"]
 
+    @property
+    def needs_sync(self) -> bool:
+        """True once ``fsync_every`` appends have accumulated unsynced."""
+        return bool(self.fsync_every) and self._unsynced >= self.fsync_every
+
     def sync(self) -> None:
-        """Flush buffered appends and fsync to disk."""
+        """Flush buffered appends and fsync to disk.
+
+        The unsynced counter is reset *before* the flush: an append
+        racing in from another thread while the fsync runs counts
+        toward the next batch (one extra sync at worst, never a record
+        silently left out of durability accounting).
+        """
+        self._unsynced = 0
         self._fh.flush()
         if self.fsync_every:
             os.fsync(self._fh.fileno())
-        self._unsynced = 0
 
     def close(self) -> None:
         """Sync and close the file (idempotent)."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+from collections.abc import Callable, Coroutine
 from typing import Any
 
 from .core import MonitorCore
@@ -66,7 +67,9 @@ class _Session:
         "throttled", "repl_cursor", "closed",
     )
 
-    def __init__(self, sid: int, role: str, writer, maxsize: int) -> None:
+    def __init__(
+        self, sid: int, role: str, writer: asyncio.StreamWriter, maxsize: int
+    ) -> None:
         self.sid = sid
         self.role = role
         self.writer = writer
@@ -161,6 +164,7 @@ class MonitorService:
         self._next_sid = 1
         self._tail_task: asyncio.Task | None = None
         self._session_ended: asyncio.Event | None = None
+        self._sync_lock = asyncio.Lock()
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -182,6 +186,7 @@ class MonitorService:
             if self.core.has_watch(name):
                 continue  # already registered in the resumed log
             self.core.submit_watch(name, cond)
+        await self._flush_log()
         if self.primary is not None:
             self._tail_task = asyncio.ensure_future(self._tail_primary())
             return
@@ -191,6 +196,7 @@ class MonitorService:
         # client connects so the log regains its exactly-once invariant
         for verdict in self.core.promote():
             self._broadcast_verdict(verdict)
+        await self._flush_log()
         await self._listen()
 
     async def _listen(self) -> None:
@@ -222,6 +228,7 @@ class MonitorService:
         verdicts = self.core.promote()
         for verdict in verdicts:
             self._broadcast_verdict(verdict)
+        await self._flush_log()
         if self._server is None:
             await self._listen()
         return verdicts
@@ -240,9 +247,11 @@ class MonitorService:
             self._server = None
         for sess in list(self._sessions.values()):
             await self._end_session(sess)
-        log = self.core._log
-        if log is not None:
-            log.close()
+        # the final sync+close blocks on the disk, like every fsync:
+        # hand it to a worker thread rather than stalling the loop
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.core.close_log
+        )
 
     async def wait_session_end(self) -> None:
         """Block until some client session ends (``--oneshot`` serving)."""
@@ -317,6 +326,25 @@ class MonitorService:
             self._broadcast_verdict(verdict)
         self._flush_replication()
 
+    async def _flush_log(self) -> None:
+        """Durability batching, off the loop: when the log has a full
+        unsynced batch, run its fsync in a worker thread.
+
+        The lock dedups concurrent sessions — one flusher syncs for
+        everyone, late arrivals re-check and find the batch drained.
+        Appends themselves never sync (see ``EventLog.append``), so no
+        coroutine ever reaches ``os.fsync`` on the loop thread; this is
+        the pattern REP007 enforces project-wide.
+        """
+        if not self.core.log_needs_sync:
+            return
+        async with self._sync_lock:
+            if not self.core.log_needs_sync:
+                return
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.core.flush_log
+            )
+
     async def _writer_loop(self, sess: _Session) -> None:
         try:
             while True:
@@ -350,7 +378,9 @@ class MonitorService:
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
-    async def _handle_conn(self, reader, writer) -> None:
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         sess: _Session | None = None
         try:
             hello = await read_frame_async(reader, self.max_frame_bytes)
@@ -419,7 +449,9 @@ class MonitorService:
                 with contextlib.suppress(Exception):
                     await writer.wait_closed()
 
-    async def _session_loop(self, reader, sess: _Session) -> None:
+    async def _session_loop(
+        self, reader: asyncio.StreamReader, sess: _Session
+    ) -> None:
         while not sess.closed and not self._stopped:
             frame = await read_frame_async(reader, self.max_frame_bytes)
             if frame is None:
@@ -463,6 +495,7 @@ class MonitorService:
                 # terminal for the session, reported before the close
                 self._push(sess, error_frame("rejected", str(exc)))
                 return
+            await self._flush_log()
 
     def _check_ingest_pressure(self, sess: _Session, frame: dict) -> None:
         backlog = self.core.pending(sess.sid)
@@ -532,6 +565,7 @@ class MonitorService:
                             return  # stream lost; promotion may proceed
                         if frame.get("type") == "replicate":
                             self.core.apply_record(frame["record"])
+                            await self._flush_log()
                         elif frame.get("type") == "error":
                             raise ProtocolError(
                                 f"primary error: {frame.get('message')}"
@@ -562,7 +596,7 @@ class ServiceHandle:
         handle.stop()
     """
 
-    def __init__(self, factory) -> None:
+    def __init__(self, factory: Callable[[], MonitorService]) -> None:
         self._factory = factory
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -604,7 +638,11 @@ class ServiceHandle:
         assert self.service is not None
         return self.service.address
 
-    def call(self, coro_factory, timeout: float = 10.0):
+    def call(
+        self,
+        coro_factory: Callable[[MonitorService], Coroutine[Any, Any, Any]],
+        timeout: float = 10.0,
+    ) -> Any:
         """Run ``coro_factory(service)`` on the service's loop."""
         assert self._loop is not None and self.service is not None
         fut = asyncio.run_coroutine_threadsafe(
@@ -621,7 +659,7 @@ class ServiceHandle:
 
     def promote(self) -> list[dict[str, Any]]:
         """Thread-safe standby promotion."""
-        async def _promote(service: MonitorService):
+        async def _promote(service: MonitorService) -> list[dict[str, Any]]:
             return await service.promote()
 
         return self.call(_promote)

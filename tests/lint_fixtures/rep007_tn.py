@@ -1,0 +1,37 @@
+"""REP007 clean twin: the same blocking work, offloaded correctly.
+
+Passing a tainted function *as an argument* to ``run_in_executor`` /
+``to_thread`` creates no call edge, so offloaded work never fires.
+"""
+
+import asyncio
+import os
+
+
+def flush(fd: int) -> None:
+    os.fsync(fd)
+
+
+class Log:
+    def __init__(self, path: str) -> None:
+        self._fh = open(path, "ab")
+
+    def sync(self) -> None:
+        os.fsync(self._fh.fileno())
+
+
+class Service:
+    def __init__(self, log: Log) -> None:
+        self.log = log
+
+    async def ingest(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.log.sync)
+
+
+async def offloaded(fd: int) -> None:
+    await asyncio.to_thread(flush, fd)
+
+
+async def cooperative() -> None:
+    await asyncio.sleep(0.1)  # the non-blocking sleep

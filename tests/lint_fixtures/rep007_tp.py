@@ -1,0 +1,40 @@
+"""REP007 true positive: coroutines reach blocking primitives.
+
+Three shapes: a direct seed call, a transitive module-level chain, and
+a chain through an attribute-typed collaborator (the EventLog shape).
+"""
+
+import os
+import time
+
+
+def flush(fd: int) -> None:
+    os.fsync(fd)
+
+
+def persist(fd: int) -> None:
+    flush(fd)
+
+
+async def transitive(fd: int) -> None:
+    persist(fd)  # async -> persist -> flush -> os.fsync
+
+
+async def direct() -> None:
+    time.sleep(0.1)  # direct blocking seed on the loop
+
+
+class Log:
+    def __init__(self, path: str) -> None:
+        self._fh = open(path, "ab")
+
+    def sync(self) -> None:
+        os.fsync(self._fh.fileno())
+
+
+class Service:
+    def __init__(self, log: Log) -> None:
+        self.log = log
+
+    async def ingest(self) -> None:
+        self.log.sync()  # attr-typed chain: Service.log -> Log.sync -> fsync

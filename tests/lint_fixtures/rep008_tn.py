@@ -1,0 +1,39 @@
+"""REP008 clean twin: every spawned handle is settled somewhere.
+
+Awaited locals, gathered lists, a cancelled-then-awaited attribute
+(settled in a *different* method), and structured TaskGroup spawns.
+"""
+
+import asyncio
+
+
+async def beat() -> None:
+    await asyncio.sleep(0)
+
+
+async def awaited() -> None:
+    t = asyncio.create_task(beat())
+    await t
+
+
+async def gathered() -> None:
+    tasks = [asyncio.create_task(beat()) for _ in range(3)]
+    await asyncio.gather(*tasks)
+
+
+async def returned() -> "asyncio.Task":
+    return asyncio.create_task(beat())
+
+
+class Owner:
+    def spawn(self) -> None:
+        self._task = asyncio.ensure_future(beat())
+
+    async def stop(self) -> None:
+        self._task.cancel()
+        await asyncio.wait_for(self._task, timeout=1.0)
+
+
+async def grouped() -> None:
+    async with asyncio.TaskGroup() as tg:
+        tg.create_task(beat())  # the group awaits its children

@@ -1,0 +1,26 @@
+"""REP008 true positives: spawned task handles that are lost.
+
+A discarded handle, a local that is stored but never settled, and an
+instance attribute no method of the project ever awaits or cancels.
+"""
+
+import asyncio
+
+
+async def beat() -> None:
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget() -> None:
+    asyncio.create_task(beat())  # handle discarded outright
+
+
+async def stored_but_dropped() -> None:
+    t = asyncio.create_task(beat())
+    if t is not None:  # inspected, never awaited/cancelled/handed on
+        return
+
+
+class Owner:
+    def spawn(self) -> None:
+        self._bg = asyncio.ensure_future(beat())  # .(_bg) never settled

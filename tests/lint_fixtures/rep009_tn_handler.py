@@ -1,0 +1,15 @@
+# repro: frame-protocol
+"""Balanced handler: dispatches exactly the types the peer constructs.
+
+Uses both comparison shapes the rule understands: ``==`` against a
+name bound from ``frame["type"]``, and membership in a literal tuple.
+"""
+
+
+def dispatch(frame: dict) -> str:
+    ftype = frame["type"]
+    if ftype == "hello":
+        return "hi"
+    if ftype in ("data",):
+        return "stored"
+    return "drop"

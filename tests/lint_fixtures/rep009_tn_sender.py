@@ -1,0 +1,10 @@
+# repro: frame-protocol
+"""Balanced sender: every constructed type has a handler in the peer."""
+
+
+def hello_frame(version: int) -> dict:
+    return {"type": "hello", "version": version}
+
+
+def data_frame(payload: dict) -> dict:
+    return {"type": "data", "payload": payload}

@@ -1,0 +1,15 @@
+# repro: frame-protocol
+"""Handler half of the cross-file REP009 fixture pair.
+
+Dispatches on ``hello`` (constructed by the peer module) and ``bye``
+(which nothing ever constructs — a dead handler, or a sender typo).
+"""
+
+
+def dispatch(frame: dict) -> str:
+    ftype = frame.get("type")
+    if ftype == "hello":
+        return "hi"
+    if ftype == "bye":
+        return "gone"
+    return "drop"

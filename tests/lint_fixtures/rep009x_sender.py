@@ -1,0 +1,16 @@
+# repro: frame-protocol
+"""Sender half of the cross-file REP009 fixture pair.
+
+Constructs ``hello`` (handled by the peer module) and ``snapshot``
+(which no handler anywhere dispatches on — a silently dropped frame).
+Lint this file *together with* :mod:`rep009x_handler` to exercise the
+cross-module set comparison; REP009 is silent on a lone module.
+"""
+
+
+def hello_frame(version: int) -> dict:
+    return {"type": "hello", "version": version}
+
+
+def snapshot_frame(state: dict) -> dict:
+    return {"type": "snapshot", "state": state}

@@ -519,6 +519,39 @@ class TestServiceRestart:
         assert sum(r["op"] == "verdict" for r in records) == 1
         assert sum(r["op"] == "watch" for r in records) == 1
 
+    def test_fsync_batched_ingest_logs_every_mutation(self, tmp_path):
+        """Regression for the executor-offloaded fsync (REP007 fix):
+        appends no longer sync inline, so with a tiny batch size the
+        off-loop flusher must keep pace mid-session and the close must
+        drain the remainder — every applied mutation ends up durable,
+        in application order, with nothing lost to buffering."""
+        path = str(tmp_path / "wal.jsonl")
+        trace = barrier_trace(4, phases=2)
+        handle = _serve(num_nodes=4, log_path=path, fsync_every=2)
+        try:
+            host, port = handle.address
+            with MonitorClient(host, port, num_nodes=4) as client:
+                client.watch("order", "R1(phase0, phase1)")
+                counts = replay_trace(client, trace)
+                client.wait_verdicts(1)
+                stats = client.stats()
+            assert stats["events_applied"] == trace.total_events
+            # mid-session (before stop/close): the off-loop flusher has
+            # been syncing full batches, so the durable prefix is within
+            # one batch of everything applied — not an empty file whose
+            # records all sit in the write buffer until close
+            assert len(read_records(path)) >= stats["last_seq"] - 2
+        finally:
+            handle.stop()
+        records = read_records(path)
+        ops = [r["op"] for r in records]
+        assert ops[0] == "init"
+        assert ops.count("event") == counts["events"] == trace.total_events
+        assert ops.count("close") == counts["closes"]
+        assert ops.count("watch") == 1
+        assert ops.count("verdict") == 1
+        assert [r["seq"] for r in records] == list(range(1, len(records) + 1))
+
     def test_restart_rejects_num_nodes_mismatch(self, tmp_path):
         path = str(tmp_path / "log.jsonl")
         _serve(num_nodes=2, log_path=path, fsync_every=0).stop()
